@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces the Section 8 scaling projection: "For an architecture
+ * with forty-eight functional units, a distributed register file
+ * architecture would require 12% as much area and 9% as much power as
+ * a clustered register file architecture with four clusters." Sweeps
+ * the unit count from 12 to 96 arithmetic units.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "costmodel/machine_cost.hpp"
+#include "support/logging.hpp"
+
+int
+main()
+{
+    using namespace cs;
+    setVerboseLogging(false);
+
+    printBanner(std::cout, "Section 8: cost scaling with unit count "
+                           "(distributed / clustered-4)");
+    TextTable table({"Arith units", "Area ratio", "Power ratio",
+                     "Dist area ~N^2 check", "Central area ~N^3"});
+
+    double prev_dist = 0.0, prev_cen = 0.0;
+    for (int scale : {1, 2, 4, 8}) {
+        StdMachineConfig cfg;
+        cfg.mix = FuMix{}.scaled(scale);
+        cfg.totalRegisters = 256 * scale;
+        cfg.numGlobalBuses = 10 * scale;
+        MachineCost cl4 = machineCost(makeClustered(cfg, 4));
+        MachineCost dist = machineCost(makeDistributed(cfg));
+        MachineCost cen = machineCost(makeCentral(cfg));
+        CostRatios r = costRatios(dist, cl4);
+        std::string dist_growth =
+            prev_dist > 0
+                ? TextTable::num(dist.area() / prev_dist, 1) + "x"
+                : "-";
+        std::string cen_growth =
+            prev_cen > 0
+                ? TextTable::num(cen.area() / prev_cen, 1) + "x"
+                : "-";
+        table.addRow({std::to_string(12 * scale),
+                      TextTable::num(r.area, 2),
+                      TextTable::num(r.power, 2), dist_growth,
+                      cen_growth});
+        prev_dist = dist.area();
+        prev_cen = cen.area();
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper at 48 units: area 12%, power 9% of "
+                 "clustered(4). Doubling N should\ngrow distributed "
+                 "area ~4x (N^2) and central ~8x (N^3).\n";
+    return 0;
+}

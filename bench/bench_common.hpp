@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared plumbing for the benchmark binaries: the four evaluation
+ * machines and the cycles-per-iteration measurement used by the
+ * Figure 28/29 reproductions.
+ */
+
+#ifndef CS_BENCH_COMMON_HPP
+#define CS_BENCH_COMMON_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/builders.hpp"
+#include "sim/harness.hpp"
+#include "support/table.hpp"
+
+namespace cs {
+namespace bench {
+
+/** The paper's four register-file architectures (Section 5). */
+inline std::vector<std::pair<std::string, Machine>>
+evaluationMachines()
+{
+    std::vector<std::pair<std::string, Machine>> machines;
+    machines.emplace_back("Central", makeCentral());
+    machines.emplace_back("Clustered (2)", makeClustered({}, 2));
+    machines.emplace_back("Clustered (4)", makeClustered({}, 4));
+    machines.emplace_back("Distributed", makeDistributed());
+    return machines;
+}
+
+/** Paper Figure 29 values, for side-by-side printing. */
+inline double
+paperOverallSpeedup(std::size_t machineIndex)
+{
+    static const double kPaper[4] = {1.00, 0.82, 0.82, 0.98};
+    return kPaper[machineIndex];
+}
+
+} // namespace bench
+} // namespace cs
+
+#endif // CS_BENCH_COMMON_HPP

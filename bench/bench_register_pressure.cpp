@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Section 7 analysis: the register allocation communication
+ * scheduling performs implicitly. For every kernel on every machine,
+ * report the peak register demand per file organization (with modulo
+ * variable expansion for pipelined loops), whether the files'
+ * capacities suffice, and the spill plan size when they do not.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include <exception>
+
+#include "core/register_pressure.hpp"
+#include "support/logging.hpp"
+
+int
+main()
+{
+    using namespace cs;
+    setVerboseLogging(false);
+
+    auto machines = bench::evaluationMachines();
+    printBanner(std::cout,
+                "Section 7: implicit register allocation "
+                "(software-pipelined; demand = live values with "
+                "modulo expansion)");
+
+    TextTable table({"Kernel", "Central util", "Clustered(4) util",
+                     "Distributed util", "overflows", "spills"});
+    for (const KernelSpec &spec : allKernels()) {
+        if (spec.name == "Sort" || spec.name == "Merge")
+            continue; // minutes of scheduling; covered in fig28 bench
+        std::vector<std::string> row{spec.name};
+        int overflow_total = 0;
+        int spill_total = 0;
+        for (std::size_t m : {std::size_t{0}, std::size_t{2},
+                              std::size_t{3}}) {
+            KernelRunResult run =
+                runKernel(spec, machines[m].second, true);
+            CS_ASSERT(run.scheduled, "schedule failed");
+            PressureReport report = analyzeRegisterPressure(
+                run.sched.kernel, machines[m].second,
+                run.sched.schedule);
+            row.push_back(
+                TextTable::num(100 * report.worstUtilization(), 0) +
+                "%");
+            overflow_total +=
+                static_cast<int>(report.overflows.size());
+            if (!report.fits()) {
+                try {
+                    spill_total += static_cast<int>(
+                        planSpills(machines[m].second, report)
+                            .size());
+                } catch (const std::exception &) {
+                    // No file has both headroom and a copy path:
+                    // register-unallocatable at this capacity. Report
+                    // the overflow; a real compiler would retry at a
+                    // larger II or spill through memory.
+                    spill_total = -999;
+                }
+            }
+        }
+        row.push_back(std::to_string(overflow_total));
+        row.push_back(spill_total < 0 ? "unspillable"
+                                      : std::to_string(spill_total));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\nThe paper defers register allocation to a spill "
+                 "post-pass (Section 7). Most\nkernels fit; the FIR "
+                 "delay line (56 live samples) genuinely exceeds "
+                 "small\ndistributed/cluster files — Imagine staged "
+                 "such state through the stream\nregister file "
+                 "rather than holding it in local registers.\n";
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Engineering-health microbenchmarks (google-benchmark): wall-clock
+ * cost of the scheduler itself per kernel/machine, plus machine and
+ * dependence-graph construction. Not a paper figure; tracks that the
+ * implementation stays usable as the library evolves.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/list_scheduler.hpp"
+#include "core/modulo_scheduler.hpp"
+#include "ir/ddg.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/builders.hpp"
+#include "support/logging.hpp"
+
+namespace {
+
+using namespace cs;
+
+void
+BM_BuildDistributedMachine(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Machine m = makeDistributed();
+        benchmark::DoNotOptimize(m.numBuses());
+    }
+}
+BENCHMARK(BM_BuildDistributedMachine);
+
+void
+BM_BuildKernel(benchmark::State &state)
+{
+    const KernelSpec &spec =
+        allKernels()[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        Kernel k = spec.build();
+        benchmark::DoNotOptimize(k.numOperations());
+    }
+    state.SetLabel(spec.name);
+}
+BENCHMARK(BM_BuildKernel)->DenseRange(0, 9);
+
+void
+BM_Ddg(benchmark::State &state)
+{
+    Machine machine = makeCentral();
+    Kernel kernel = kernelByName("Sort").build();
+    for (auto _ : state) {
+        Ddg ddg(kernel, BlockId(0), machine);
+        benchmark::DoNotOptimize(ddg.criticalPathLength());
+    }
+}
+BENCHMARK(BM_Ddg);
+
+void
+BM_ScheduleBlock(benchmark::State &state)
+{
+    setVerboseLogging(false);
+    Machine machine = state.range(1) == 0 ? makeCentral()
+                      : state.range(1) == 1
+                          ? makeClustered({}, 4)
+                          : makeDistributed();
+    const KernelSpec &spec =
+        allKernels()[static_cast<std::size_t>(state.range(0))];
+    Kernel kernel = spec.build();
+    for (auto _ : state) {
+        ScheduleResult r = scheduleBlock(kernel, BlockId(0), machine);
+        benchmark::DoNotOptimize(r.success);
+    }
+    state.SetLabel(spec.name + " / " + machine.name());
+}
+BENCHMARK(BM_ScheduleBlock)
+    ->Args({1, 0}) // FFT on central
+    ->Args({1, 1}) // FFT on clustered4
+    ->Args({1, 2}) // FFT on distributed
+    ->Args({3, 2}) // FIR-FP on distributed
+    ->Args({0, 2}) // DCT on distributed
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SchedulePipelined(benchmark::State &state)
+{
+    setVerboseLogging(false);
+    Machine machine = makeDistributed();
+    const KernelSpec &spec =
+        allKernels()[static_cast<std::size_t>(state.range(0))];
+    Kernel kernel = spec.build();
+    for (auto _ : state) {
+        PipelineResult r =
+            schedulePipelined(kernel, BlockId(0), machine);
+        benchmark::DoNotOptimize(r.ii);
+    }
+    state.SetLabel(spec.name + " / distributed (modulo)");
+}
+BENCHMARK(BM_SchedulePipelined)
+    ->Arg(1) // FFT
+    ->Arg(5) // Block Warp
+    ->Arg(3) // FIR-FP
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

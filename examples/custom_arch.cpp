@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Architecture-exploration example (the paper's Section 8 pitch:
+ * communication scheduling "can be used to explore novel register
+ * file architectures without implementing a custom compiler for each
+ * architecture"). Builds distributed variants with 4..16 global
+ * result buses, checks each is copy-connected, and maps the bus count
+ * against achieved II and estimated cost for two kernels — exposing
+ * the bandwidth/area knee.
+ *
+ * Build and run:  ./build/examples/custom_arch
+ */
+
+#include <iostream>
+
+#include "core/modulo_scheduler.hpp"
+#include "costmodel/machine_cost.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/builders.hpp"
+#include "support/logging.hpp"
+#include "support/table.hpp"
+
+using namespace cs;
+
+int
+main()
+{
+    setVerboseLogging(false);
+
+    printBanner(std::cout, "Distributed register files: how many "
+                           "global result buses are enough?");
+    TextTable table({"Buses", "copy-connected", "FFT-U4 II",
+                     "Block Warp II", "rel. area", "rel. power"});
+
+    double base_area = 0.0, base_power = 0.0;
+    Kernel fft = kernelByName("FFT-U4").build();
+    Kernel warp = kernelByName("Block Warp").build();
+
+    for (int buses : {4, 6, 8, 10, 12, 16}) {
+        StdMachineConfig cfg;
+        cfg.numGlobalBuses = buses;
+        Machine machine = makeDistributed(cfg);
+
+        std::string why;
+        bool connected = machine.checkCopyConnected(&why);
+
+        MachineCost cost = machineCost(machine);
+        if (base_area == 0.0) {
+            base_area = cost.area();
+            base_power = cost.power();
+        }
+
+        auto ii_of = [&](const Kernel &kernel) -> std::string {
+            PipelineResult pipe =
+                schedulePipelined(kernel, BlockId(0), machine);
+            return pipe.success ? std::to_string(pipe.ii) : "fail";
+        };
+
+        table.addRow({std::to_string(buses),
+                      connected ? "yes" : "no", ii_of(fft),
+                      ii_of(warp),
+                      TextTable::num(cost.area() / base_area, 2),
+                      TextTable::num(cost.power() / base_power, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nFewer buses cost less but throttle result "
+                 "bandwidth (higher II); the paper's\nten buses sit "
+                 "where the kernels stop improving. No compiler "
+                 "changes were needed\nfor any variant — the machine "
+                 "description is the only input.\n";
+    return 0;
+}

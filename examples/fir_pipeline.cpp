@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Domain example: software-pipeline the 56-tap FIR filter (Table 1)
+ * onto all four register-file architectures, execute each schedule on
+ * the datapath simulator, and verify the filtered samples against the
+ * scalar reference. Shows the paper's central observation in one
+ * kernel: the distributed machine matches the central file's II while
+ * the clustered machines pay for copies.
+ *
+ * Build and run:  ./build/examples/fir_pipeline
+ */
+
+#include <iostream>
+
+#include "machine/builders.hpp"
+#include "sim/harness.hpp"
+#include "support/logging.hpp"
+#include "support/table.hpp"
+
+using namespace cs;
+
+int
+main()
+{
+    setVerboseLogging(false);
+    const KernelSpec &fir = kernelByName("FIR-FP");
+
+    std::vector<std::pair<std::string, Machine>> machines;
+    machines.emplace_back("central", makeCentral());
+    machines.emplace_back("clustered(2)", makeClustered({}, 2));
+    machines.emplace_back("clustered(4)", makeClustered({}, 4));
+    machines.emplace_back("distributed", makeDistributed());
+
+    printBanner(std::cout, "56-tap FIR, software-pipelined");
+    TextTable table({"Machine", "II", "speedup vs central", "copies",
+                     "bit-exact vs reference"});
+    int central_ii = 0;
+    for (auto &[name, machine] : machines) {
+        KernelRunResult run = runKernel(fir, machine, true);
+        if (!run.scheduled)
+            CS_FATAL("FIR failed to schedule on ", name);
+        if (central_ii == 0)
+            central_ii = run.cyclesPerIteration;
+        table.addRow({name, std::to_string(run.cyclesPerIteration),
+                      TextTable::num(static_cast<double>(central_ii) /
+                                         run.cyclesPerIteration,
+                                     2),
+                      std::to_string(run.copies),
+                      run.matches ? "yes" : "NO"});
+        if (!run.matches)
+            CS_FATAL("simulation mismatch on ", name, ": ",
+                     run.problems.empty() ? "?" : run.problems[0]);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe FIR's 55 delay-line values are loop-carried "
+                 "operands with distances 1..55;\nthe modulo scheduler "
+                 "routes every one of them through the shared "
+                 "interconnect\neach iteration.\n";
+    return 0;
+}

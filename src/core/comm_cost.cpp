@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The communication-cost heuristic used to rank functional units for
+ * an operation (paper Section 4.6, Equation 1):
+ *
+ *     cost = sum over affected open communications of
+ *            requiredCopies / (1 + copyRange)
+ *
+ * requiredCopies is estimated from the copy-distance matrix between
+ * the register files the producer can write and the files the
+ * consumer's slot can read; copyRange assumes unscheduled operations
+ * land on their earliest possible cycle.
+ */
+
+#include <algorithm>
+
+#include "core/comm_scheduler.hpp"
+
+namespace cs {
+
+namespace {
+
+/** Fewest copies to get a value from any of @p from to any of @p to. */
+int
+minCopies(const Machine &machine, const std::vector<RegFileId> &from,
+          const std::vector<RegFileId> &to)
+{
+    int best = Machine::kUnreachable;
+    for (RegFileId w : from) {
+        for (RegFileId r : to)
+            best = std::min(best, machine.copyDistance(w, r));
+    }
+    return best;
+}
+
+} // namespace
+
+double
+BlockScheduler::commCost(OperationId op, FuncUnitId fu, int cycle) const
+{
+    const Operation &operation = kernel_.operation(op);
+    double cost = 0.0;
+
+    // Communications *to* this operation: the producer's reachable
+    // files versus what this unit's operand slot can read.
+    for (std::size_t s = 0; s < operation.operands.size(); ++s) {
+        const Operand &operand = operation.operands[s];
+        if (!operand.isValue())
+            continue;
+        OperationId def = kernel_.value(operand.value).def;
+        const Operation &producer = kernel_.operation(def);
+        if (producer.block != block_ ||
+            (ii_ == 0 && operand.distance > 0)) {
+            continue; // live-in: no copies by construction
+        }
+        if (!isScheduled(def))
+            continue;
+        const Placement &wp = schedule_.placement(def);
+        const auto &readable =
+            operation.isCopy()
+                ? machine_.readableAnySlot(fu)
+                : machine_.readableRegFiles(fu, static_cast<int>(s));
+        int copies = minCopies(machine_,
+                               machine_.writableRegFiles(wp.fu),
+                               readable);
+        if (copies <= 0 || copies >= Machine::kUnreachable)
+            continue;
+        int range = cycle + operand.distance * ii_ -
+                    (issueCycleOf(def) + latencyOf(def));
+        range = std::max(range, 0);
+        cost += static_cast<double>(copies) / (1.0 + range);
+    }
+
+    // Communications *from* this operation.
+    if (operation.hasResult()) {
+        int done = cycle + latencyOf(op);
+        for (auto [reader, slot] : kernel_.value(operation.result).uses) {
+            const Operation &consumer = kernel_.operation(reader);
+            if (consumer.block != block_)
+                continue;
+            int distance = consumer.operands[slot].distance;
+            if (ii_ == 0 && distance > 0)
+                continue;
+            int copies;
+            int range;
+            auto readable_of = [&](FuncUnitId g) -> const auto & {
+                return consumer.isCopy()
+                           ? machine_.readableAnySlot(g)
+                           : machine_.readableRegFiles(g, slot);
+            };
+            if (isScheduled(reader)) {
+                const Placement &rp = schedule_.placement(reader);
+                copies = minCopies(machine_,
+                                   machine_.writableRegFiles(fu),
+                                   readable_of(rp.fu));
+                range = issueCycleOf(reader) + distance * ii_ - done;
+            } else {
+                // Best case over the units that could run the reader.
+                copies = Machine::kUnreachable;
+                for (FuncUnitId g :
+                     machine_.unitsForOpcode(consumer.opcode)) {
+                    copies = std::min(
+                        copies,
+                        minCopies(machine_,
+                                  machine_.writableRegFiles(fu),
+                                  readable_of(g)));
+                }
+                // Assume the reader lands on its earliest cycle.
+                int reader_asap = consumer.isCopy()
+                                      ? done
+                                      : ddg_.asap(ddg_.indexOf(reader));
+                range = reader_asap + distance * ii_ - done;
+            }
+            if (copies <= 0 || copies >= Machine::kUnreachable)
+                continue;
+            range = std::max(range, 0);
+            cost += static_cast<double>(copies) / (1.0 + range);
+        }
+    }
+
+    return cost;
+}
+
+} // namespace cs

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * BlockScheduler: a UAS-style operation-order list scheduler (paper
+ * Figure 11, loosely based on [13]) with communication scheduling
+ * (Section 4) deciding whether each (cycle, functional unit) placement
+ * is accepted. One engine covers plain block schedules (ii == 0) and
+ * modulo schedules (ii > 0, resources folded every ii cycles).
+ *
+ * The five implementation steps of Section 4.3 map to:
+ *   1. candidate stubs      -> readCandidatesFor / writeCandidatesFor
+ *   2. read permutation     -> permuteReadStubs
+ *   3. write permutation    -> permuteWriteStubs
+ *   4. route assignment     -> closeRoutes (with write/read-side
+ *                              retargeting when the tentative stub of
+ *                              the already-scheduled endpoint can move)
+ *   5. copy insertion       -> insertAndScheduleCopy (recursive)
+ */
+
+#ifndef CS_CORE_COMM_SCHEDULER_HPP
+#define CS_CORE_COMM_SCHEDULER_HPP
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/communication.hpp"
+#include "core/reservation.hpp"
+#include "core/schedule.hpp"
+#include "core/undo_log.hpp"
+#include "ir/ddg.hpp"
+#include "ir/kernel.hpp"
+#include "machine/machine.hpp"
+#include "support/stats.hpp"
+
+namespace cs {
+
+/** Tunables and ablation switches for the scheduler. */
+struct SchedulerOptions
+{
+    /**
+     * Schedule in operation order along the critical path (paper
+     * Section 4.6). When false, schedule in cycle order (ASAP first):
+     * the ablation baseline.
+     */
+    bool operationOrder = true;
+    /** Use the communication-cost unit heuristic (Equation 1). */
+    bool commCostHeuristic = true;
+    /** Horizon for plain schedules (cycles past the earliest start). */
+    int maxDelay = 2048;
+    /**
+     * Placement window for modulo schedules, in multiples of the
+     * initiation interval (>= 1; 2 gives copy ranges room to grow).
+     */
+    int moduloWindowFactor = 2;
+    /** Partial permutations examined before a stub search gives up. */
+    int permutationBudget = 4000;
+    /** Maximum copy-insertion recursion depth per communication. */
+    int maxCopyDepth = 8;
+    /**
+     * Placement attempts allowed per top-level operation (including
+     * all nested copy scheduling). Exhausting it fails the operation,
+     * which for modulo scheduling simply advances to the next II
+     * instead of exploring an exponential retry tree.
+     */
+    std::uint64_t perOpAttemptBudget = 50000;
+    /**
+     * Placement attempts one inserted copy may consume (including its
+     * own recursion). Keeps a hard-to-place copy from starving the
+     * outer operation's search for a later, friendlier cycle.
+     */
+    std::uint64_t copyAttemptBudget = 600;
+    /**
+     * Let the modulo scheduler retry each II with a wider window and
+     * the flipped scheduling order before conceding it (a lightweight
+     * stand-in for operation ejection). Disable to measure a single
+     * configuration in isolation (ablation studies).
+     */
+    bool retryVariants = true;
+};
+
+/** Outcome of scheduling one block. */
+struct ScheduleResult
+{
+    bool success = false;
+    std::string failure; ///< why, when !success
+    Kernel kernel{"unset"}; ///< the kernel including inserted copies
+    BlockSchedule schedule{BlockId(), 0};
+    CounterSet stats;
+};
+
+/**
+ * Scheduling engine for one block of one kernel on one machine. Use
+ * the free functions in list_scheduler.hpp / modulo_scheduler.hpp
+ * rather than this class directly unless you need fine control.
+ */
+class BlockScheduler
+{
+  public:
+    /**
+     * @param kernel   scheduled by value: copy operations are inserted
+     *                 into the engine's private copy
+     * @param ii       0 for a plain schedule, else the initiation
+     *                 interval (resources repeat every ii cycles)
+     */
+    BlockScheduler(Kernel kernel, BlockId block, const Machine &machine,
+                   const SchedulerOptions &options, int ii);
+
+    /** Run to completion; the result owns the kernel and schedule. */
+    ScheduleResult run();
+
+  private:
+    /** @name Driver (Figure 11) */
+    /// @{
+    std::vector<OperationId> buildScheduleOrder() const;
+    bool scheduleOp(OperationId op, int rangeLo, int rangeHi,
+                    int copyDepth);
+    bool tryPlace(OperationId op, int cycle, FuncUnitId fu,
+                  int copyDepth);
+    int earliestCycle(OperationId op) const;
+    /** Latest legal issue cycle (carried readers bound it); INT_MAX
+     *  when unbounded. */
+    int latestCycle(OperationId op) const;
+    std::vector<FuncUnitId> unitChoices(OperationId op, int cycle) const;
+    /// @}
+
+    /** @name Communication scheduling (Section 4.3) */
+    /// @{
+    bool commSchedule(OperationId op, int cycle, FuncUnitId fu,
+                      int copyDepth);
+    void createCommsFor(OperationId op);
+
+    /** Active, unclosed communications reading on norm(cycle). */
+    std::vector<CommId> commsReadingAt(int cycle) const;
+    /** Active, unclosed communications writing on norm(cycle). */
+    std::vector<CommId> commsWritingAt(int cycle) const;
+
+    std::vector<ReadStub> readCandidatesFor(const Communication &comm)
+        const;
+    std::vector<WriteStub> writeCandidatesFor(const Communication &comm)
+        const;
+
+    bool permuteReadStubs(int cycle);
+    bool permuteWriteStubs(int cycle);
+
+    /**
+     * Shared implementation: find a non-conflicting permutation over
+     * the unclosed communications on the cycle, optionally forcing one
+     * communication's stub into a particular register file (used by
+     * the retargeting of step 4). On failure the previous assignments
+     * are restored and false is returned.
+     */
+    bool permuteReadStubsImpl(int cycle, CommId constrain,
+                              RegFileId wantRf);
+    bool permuteWriteStubsImpl(int cycle, CommId constrain,
+                               RegFileId wantRf);
+
+    /**
+     * Step 4: try to close every closing communication of @p op,
+     * retargeting the far side's tentative stub when that forms a
+     * route; step 5: otherwise insert copies.
+     */
+    bool closeRoutes(OperationId op, int copyDepth);
+    bool tryRetargetWriteSide(Communication &comm, RegFileId wantRf);
+    bool tryRetargetReadSide(Communication &comm, RegFileId wantRf);
+    bool insertAndScheduleCopy(CommId commId, int copyDepth);
+    /// @}
+
+    /** Communication-cost heuristic, Equation 1. */
+    double commCost(OperationId op, FuncUnitId fu, int cycle) const;
+
+    /**
+     * Register files the value currently lands in: the targets of the
+     * assigned write stubs of its communications.
+     */
+    std::vector<RegFileId> valueResidences(ValueId value) const;
+
+    /** @name Cycle bookkeeping */
+    /// @{
+    int issueCycleOf(OperationId op) const;
+    /** Cycle on which the op's write stubs live (completion - 1). */
+    int writeStubCycleOf(OperationId op) const;
+    int latencyOf(OperationId op) const;
+    bool isScheduled(OperationId op) const;
+    /// @}
+
+    /**
+     * @name Journaled mutations
+     * Every state change goes through one of these so a failed
+     * placement attempt can roll back exactly with undoTo().
+     */
+    /// @{
+    void undoTo(UndoLog::Mark mark);
+    void doPlace(OperationId op, int cycle, FuncUnitId fu);
+    void doAcquireRead(const ReadStub &stub, OperationId reader,
+                       int slot, int cycle);
+    void doReleaseRead(const ReadStub &stub, OperationId reader,
+                       int slot, int cycle);
+    void doAcquireWrite(const WriteStub &stub, ValueId value, int cycle);
+    void doReleaseWrite(const WriteStub &stub, ValueId value, int cycle);
+    void setReadStub(CommId id, std::optional<ReadStub> stub);
+    void setWriteStub(CommId id, std::optional<WriteStub> stub);
+    void setClosed(CommId id);
+    CommId doCreateComm(OperationId writer, ValueId value,
+                        OperationId reader, int slot, int distance);
+    void doDeactivate(CommId id);
+    OperationId doInsertCopy(ValueId value, OperationId reader, int slot);
+    void doRetargetUse(OperationId user, int slot, ValueId to);
+
+    /**
+     * Copy reuse: if a scheduled copy of the communication's value
+     * already deposits (or can deposit) into the reader's register
+     * file in time, reroute the communication through it instead of
+     * inserting another copy of the same value.
+     */
+    bool tryReuseExistingCopy(CommId commId);
+    /// @}
+
+    /**
+     * Set when the last rejection was cycle-level (the write-side
+     * permutation failed): every unit of the same class completes on
+     * the same cycle, so trying the remaining units is pointless.
+     */
+    bool lastFailureCycleLevel_ = false;
+    /** Attempts spent on the current top-level operation. */
+    std::uint64_t attemptsThisOp_ = 0;
+    /**
+     * Issue-slot pressure per operation class (uses / units), from the
+     * original operation mix. Copies prefer low-pressure units so they
+     * do not steal slots from saturated classes.
+     */
+    std::array<double, kNumOpClasses> classPressure_{};
+    /** Current cap on attemptsThisOp_ (tightened inside copies). */
+    std::uint64_t attemptCap_ = 0;
+
+    Kernel kernel_;
+    BlockId block_;
+    const Machine &machine_;
+    SchedulerOptions options_;
+    int ii_;
+    Ddg ddg_;
+    BlockSchedule schedule_;
+    ReservationTable reservations_;
+    CommTable comms_;
+    UndoLog log_;
+    CounterSet stats_;
+    std::string failure_;
+};
+
+} // namespace cs
+
+#endif // CS_CORE_COMM_SCHEDULER_HPP

@@ -1,0 +1,100 @@
+#include "core/communication.hpp"
+
+#include "support/logging.hpp"
+
+namespace cs {
+
+CommId
+CommTable::find(OperationId reader, int slot) const
+{
+    auto it = byReaderSlot_.find({reader.index(), slot});
+    return it == byReaderSlot_.end() ? CommId() : it->second;
+}
+
+CommId
+CommTable::create(OperationId writer, ValueId value, OperationId reader,
+                  int slot, int distance)
+{
+    CS_ASSERT(!find(reader, slot).valid(),
+              "communication already exists for this operand");
+    CommId id(static_cast<std::uint32_t>(comms_.size()));
+    Communication comm;
+    comm.id = id;
+    comm.writer = writer;
+    comm.value = value;
+    comm.reader = reader;
+    comm.slot = slot;
+    comm.distance = distance;
+    comms_.push_back(comm);
+    byReaderSlot_[{reader.index(), slot}] = id;
+    return id;
+}
+
+void
+CommTable::deactivate(CommId id)
+{
+    Communication &comm = get(id);
+    CS_ASSERT(comm.active, "communication already inactive");
+    comm.active = false;
+    byReaderSlot_.erase({comm.reader.index(), comm.slot});
+}
+
+void
+CommTable::removeLast(CommId id)
+{
+    CS_ASSERT(!comms_.empty() && comms_.back().id == id,
+              "removeLast must pop the newest communication");
+    const Communication &comm = comms_.back();
+    if (comm.active)
+        byReaderSlot_.erase({comm.reader.index(), comm.slot});
+    comms_.pop_back();
+}
+
+void
+CommTable::reactivate(CommId id)
+{
+    Communication &comm = get(id);
+    CS_ASSERT(!comm.active, "communication already active");
+    comm.active = true;
+    byReaderSlot_[{comm.reader.index(), comm.slot}] = id;
+}
+
+Communication &
+CommTable::get(CommId id)
+{
+    CS_ASSERT(id.valid() && id.index() < comms_.size(), "bad comm id ",
+              id);
+    return comms_[id.index()];
+}
+
+const Communication &
+CommTable::get(CommId id) const
+{
+    CS_ASSERT(id.valid() && id.index() < comms_.size(), "bad comm id ",
+              id);
+    return comms_[id.index()];
+}
+
+std::vector<CommId>
+CommTable::fromWriter(OperationId op) const
+{
+    std::vector<CommId> out;
+    for (const Communication &comm : comms_) {
+        if (comm.active && comm.writer == op)
+            out.push_back(comm.id);
+    }
+    return out;
+}
+
+std::vector<CommId>
+CommTable::toReader(OperationId op) const
+{
+    std::vector<CommId> out;
+    for (const Communication &comm : comms_) {
+        if (comm.active && comm.reader == op)
+            out.push_back(comm.id);
+    }
+    return out;
+}
+
+} // namespace cs

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The communication abstraction (paper Section 3): one producer ->
+ * consumer-operand value transfer, with the incremental open/closed
+ * lifecycle of Section 4.2 / Figure 14. A communication is *open* when
+ * only one of its endpoints is scheduled (its single stub is tentative
+ * and may be re-permuted); it is *closed* once both stubs are pinned
+ * and form a route through one register file.
+ *
+ * Live-in communications (the value enters the block from a preamble
+ * or a prior iteration in a non-pipelined schedule) have no writer and
+ * close with a read stub alone.
+ */
+
+#ifndef CS_CORE_COMMUNICATION_HPP
+#define CS_CORE_COMMUNICATION_HPP
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "machine/stub.hpp"
+#include "support/ids.hpp"
+
+namespace cs {
+
+/** One communication and its (partially) assigned route endpoints. */
+struct Communication
+{
+    CommId id;
+    /** Producing operation; invalid for live-ins. */
+    OperationId writer;
+    /** The communicated value. */
+    ValueId value;
+    /** Consuming operation and operand slot. */
+    OperationId reader;
+    int slot = 0;
+    /** Iteration distance of the reader's operand. */
+    int distance = 0;
+
+    bool closed = false;
+    bool active = true; ///< false once split by a copy insertion
+
+    std::optional<WriteStub> writeStub;
+    std::optional<ReadStub> readStub;
+
+    bool isLiveIn() const { return !writer.valid(); }
+};
+
+/**
+ * All communications of one block scheduling session. Communications
+ * are created lazily as the endpoints get scheduled; the table is
+ * copyable so the scheduler can snapshot and roll back failed
+ * placements.
+ */
+class CommTable
+{
+  public:
+    /** Find the communication feeding (reader, slot), if created. */
+    CommId find(OperationId reader, int slot) const;
+
+    /** Create a communication; returns its id. */
+    CommId create(OperationId writer, ValueId value, OperationId reader,
+                  int slot, int distance);
+
+    /** Deactivate a communication (it was split by a copy). */
+    void deactivate(CommId id);
+
+    /** Undo helpers (LIFO discipline enforced). */
+    void removeLast(CommId id);
+    void reactivate(CommId id);
+
+    Communication &get(CommId id);
+    const Communication &get(CommId id) const;
+
+    /** All active communications written by @p op. */
+    std::vector<CommId> fromWriter(OperationId op) const;
+
+    /** All active communications read by @p op. */
+    std::vector<CommId> toReader(OperationId op) const;
+
+    std::size_t size() const { return comms_.size(); }
+    const std::vector<Communication> &all() const { return comms_; }
+
+  private:
+    std::vector<Communication> comms_;
+    /** (reader op index, slot) -> comm, active entries only. */
+    std::map<std::pair<std::uint32_t, int>, CommId> byReaderSlot_;
+};
+
+} // namespace cs
+
+#endif // CS_CORE_COMMUNICATION_HPP

@@ -1,0 +1,164 @@
+#include "core/conventional_scheduler.hpp"
+
+#include <algorithm>
+
+#include "core/reservation.hpp"
+#include "ir/ddg.hpp"
+#include "support/logging.hpp"
+
+namespace cs {
+
+ConventionalResult
+scheduleConventional(const Kernel &kernel, BlockId block,
+                     const Machine &machine)
+{
+    ConventionalResult result{BlockSchedule(block, 0), 0, {}};
+    Ddg ddg(kernel, block, machine);
+
+    // Phase 1: classic list scheduling on unit occupancy only.
+    // Priority: height (critical path first), as in the paper's
+    // scheduler, but with no awareness of buses or ports.
+    std::vector<int> order(ddg.numOps());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int>(i);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        if (ddg.height(a) != ddg.height(b))
+            return ddg.height(a) > ddg.height(b);
+        return ddg.asap(a) < ddg.asap(b);
+    });
+
+    ReservationTable units(machine, 0);
+    for (int index : order) {
+        OperationId op_id = ddg.opAt(index);
+        const Operation &op = kernel.operation(op_id);
+        int earliest = 0;
+        for (const Operand &operand : op.operands) {
+            if (!operand.isValue() || operand.distance > 0)
+                continue;
+            OperationId def = kernel.value(operand.value).def;
+            if (kernel.operation(def).block != block ||
+                !result.schedule.isScheduled(def)) {
+                continue;
+            }
+            earliest = std::max(
+                earliest,
+                result.schedule.placement(def).cycle +
+                    machine.latency(kernel.operation(def).opcode));
+        }
+        for (int e : ddg.predEdgesOf(index)) {
+            const DepEdge &edge = ddg.edge(e);
+            if (edge.kind != DepEdge::Kind::Memory ||
+                edge.distance != 0 ||
+                !result.schedule.isScheduled(edge.from)) {
+                continue;
+            }
+            earliest = std::max(
+                earliest,
+                result.schedule.placement(edge.from).cycle +
+                    edge.latency);
+        }
+
+        bool placed = false;
+        for (int cycle = earliest; !placed; ++cycle) {
+            for (FuncUnitId fu : machine.unitsForOpcode(op.opcode)) {
+                if (!units.fuFree(fu, cycle))
+                    continue;
+                units.acquireFu(fu, cycle, op_id);
+                result.schedule.place(op_id, cycle, fu);
+                placed = true;
+                break;
+            }
+        }
+    }
+
+    // Phase 2: greedy interconnect allocation, first-fit per
+    // communication in program order; no re-permutation, no copies.
+    ReservationTable wires(machine, 0);
+    for (OperationId op_id : kernel.block(block).operations) {
+        const Operation &op = kernel.operation(op_id);
+        const Placement &rp = result.schedule.placement(op_id);
+        for (std::size_t s = 0; s < op.operands.size(); ++s) {
+            const Operand &operand = op.operands[s];
+            if (!operand.isValue())
+                continue;
+            OperationId def = kernel.value(operand.value).def;
+            const Operation &producer = kernel.operation(def);
+            bool live_in =
+                producer.block != block || operand.distance > 0;
+            int slot = static_cast<int>(s);
+
+            if (live_in) {
+                bool routed = false;
+                for (const ReadStub &stub :
+                     machine.readStubs(rp.fu, slot)) {
+                    if (wires.canAcquireRead(stub, op_id, slot,
+                                             rp.cycle)) {
+                        wires.acquireRead(stub, op_id, slot, rp.cycle);
+                        RouteRecord route;
+                        route.value = operand.value;
+                        route.reader = op_id;
+                        route.slot = slot;
+                        route.distance = operand.distance;
+                        route.readStub = stub;
+                        result.schedule.addRoute(route);
+                        routed = true;
+                        break;
+                    }
+                }
+                if (!routed) {
+                    ++result.unroutable;
+                    result.failures.push_back(
+                        "no read stub for live-in operand of " +
+                        op.name);
+                }
+                continue;
+            }
+
+            const Placement &wp = result.schedule.placement(def);
+            int write_cycle =
+                wp.cycle + machine.latency(producer.opcode) - 1;
+            bool routed = false;
+            for (const WriteStub &ws : machine.writeStubs(wp.fu)) {
+                if (routed)
+                    break;
+                if (!wires.canAcquireWrite(ws, operand.value,
+                                           write_cycle)) {
+                    continue;
+                }
+                RegFileId rf = machine.writePortRegFile(ws.writePort);
+                for (const ReadStub &rs :
+                     machine.readStubs(rp.fu, slot)) {
+                    if (machine.readPortRegFile(rs.readPort) != rf)
+                        continue;
+                    if (!wires.canAcquireRead(rs, op_id, slot,
+                                              rp.cycle)) {
+                        continue;
+                    }
+                    wires.acquireWrite(ws, operand.value, write_cycle);
+                    wires.acquireRead(rs, op_id, slot, rp.cycle);
+                    RouteRecord route;
+                    route.writer = def;
+                    route.value = operand.value;
+                    route.reader = op_id;
+                    route.slot = slot;
+                    route.distance = 0;
+                    route.writeStub = ws;
+                    route.readStub = rs;
+                    result.schedule.addRoute(route);
+                    routed = true;
+                    break;
+                }
+            }
+            if (!routed) {
+                ++result.unroutable;
+                result.failures.push_back(
+                    "cannot route " + producer.name + " -> " + op.name +
+                    " without copies or stub re-permutation");
+            }
+        }
+    }
+
+    return result;
+}
+
+} // namespace cs

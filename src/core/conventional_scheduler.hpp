@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The baseline the paper argues against (Section 2, Figure 6): a
+ * conventional VLIW list scheduler that assigns cycles and functional
+ * units using unit occupancy alone, without allocating shared
+ * interconnect. A post-pass then tries to route every communication
+ * greedily (no re-permutation, no copies). On architectures with
+ * dedicated interconnect this succeeds; on shared-interconnect
+ * machines it produces incomplete/incorrect schedules, which is the
+ * motivating observation for communication scheduling.
+ */
+
+#ifndef CS_CORE_CONVENTIONAL_SCHEDULER_HPP
+#define CS_CORE_CONVENTIONAL_SCHEDULER_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "ir/kernel.hpp"
+#include "machine/machine.hpp"
+
+namespace cs {
+
+/** Outcome of conventional scheduling plus the greedy routing pass. */
+struct ConventionalResult
+{
+    /** Placement always succeeds (units only); routing may not. */
+    BlockSchedule schedule;
+    /** Communications the greedy post-pass could not route. */
+    int unroutable = 0;
+    /** One message per routing failure. */
+    std::vector<std::string> failures;
+
+    bool fullyRouted() const { return unroutable == 0; }
+};
+
+/**
+ * Schedule @p block with unit occupancy only, then greedily allocate
+ * interconnect. Routed communications are recorded on the schedule;
+ * unroutable ones are reported.
+ */
+ConventionalResult scheduleConventional(const Kernel &kernel,
+                                        BlockId block,
+                                        const Machine &machine);
+
+} // namespace cs
+
+#endif // CS_CORE_CONVENTIONAL_SCHEDULER_HPP

@@ -1,0 +1,159 @@
+#include "core/export.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace cs {
+
+namespace {
+
+std::string
+operandText(const Kernel &kernel, const Operand &operand)
+{
+    switch (operand.kind) {
+      case Operand::Kind::Value: {
+        std::string text = kernel.value(operand.value).name;
+        if (operand.distance > 0)
+            text += "@" + std::to_string(operand.distance);
+        return text;
+      }
+      case Operand::Kind::ImmInt:
+        return "#" + std::to_string(operand.immInt);
+      case Operand::Kind::ImmFloat: {
+        std::ostringstream os;
+        os << "#" << operand.immFloat;
+        return os.str();
+      }
+      default:
+        return "_";
+    }
+}
+
+} // namespace
+
+std::string
+exportListing(const Kernel &kernel, const Machine &machine,
+              const BlockSchedule &schedule)
+{
+    const Block &blk = kernel.block(schedule.block());
+
+    // Route lookup per operand and per writer.
+    std::map<std::pair<std::uint32_t, int>, const RouteRecord *>
+        read_route;
+    std::multimap<std::uint32_t, const RouteRecord *> write_routes;
+    for (const RouteRecord &route : schedule.routes()) {
+        read_route[{route.reader.index(), route.slot}] = &route;
+        if (route.writer.valid())
+            write_routes.emplace(route.writer.index(), &route);
+    }
+
+    std::map<int, std::vector<OperationId>> by_cycle;
+    for (OperationId op : blk.operations) {
+        const Placement &p = schedule.placement(op);
+        if (p.scheduled)
+            by_cycle[p.cycle].push_back(op);
+    }
+
+    std::ostringstream os;
+    os << "; kernel " << kernel.name() << " on " << machine.name();
+    if (schedule.ii() > 0)
+        os << "  (software pipelined, II=" << schedule.ii() << ")";
+    os << "\n";
+    for (const auto &[cycle, ops] : by_cycle) {
+        os << "cycle " << cycle << ":\n";
+        for (OperationId op_id : ops) {
+            const Operation &op = kernel.operation(op_id);
+            const Placement &p = schedule.placement(op_id);
+            os << "  " << machine.funcUnit(p.fu).name << ": ";
+            if (op.hasResult())
+                os << kernel.value(op.result).name << " = ";
+            os << opcodeName(op.opcode);
+            for (std::size_t s = 0; s < op.operands.size(); ++s) {
+                os << " " << operandText(kernel, op.operands[s]);
+                auto it = read_route.find(
+                    {op_id.index(), static_cast<int>(s)});
+                if (it != read_route.end()) {
+                    RegFileId rf = machine.readPortRegFile(
+                        it->second->readStub.readPort);
+                    os << "<" << machine.regFile(rf).name << ">";
+                }
+            }
+            auto [lo, hi] = write_routes.equal_range(op_id.index());
+            bool first = true;
+            for (auto it = lo; it != hi; ++it) {
+                if (!it->second->writeStub)
+                    continue;
+                RegFileId rf = machine.writePortRegFile(
+                    it->second->writeStub->writePort);
+                os << (first ? "  -> " : ", ")
+                   << machine.bus(it->second->writeStub->bus).name
+                   << ":" << machine.regFile(rf).name;
+                first = false;
+            }
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+exportRoutesDot(const Kernel &kernel, const Machine &machine,
+                const BlockSchedule &schedule)
+{
+    std::ostringstream os;
+    os << "digraph routes {\n  rankdir=LR;\n"
+       << "  node [fontname=monospace];\n";
+
+    const Block &blk = kernel.block(schedule.block());
+    for (OperationId op_id : blk.operations) {
+        const Operation &op = kernel.operation(op_id);
+        const Placement &p = schedule.placement(op_id);
+        if (!p.scheduled)
+            continue;
+        os << "  op" << op_id.index() << " [shape=box, label=\""
+           << (op.hasResult() ? kernel.value(op.result).name
+                              : std::string(opcodeName(op.opcode)))
+           << "\\n" << machine.funcUnit(p.fu).name << " @"
+           << p.cycle << "\"];\n";
+    }
+
+    // Register files actually used by routes.
+    std::map<std::uint32_t, bool> used_files;
+    for (const RouteRecord &route : schedule.routes()) {
+        used_files[machine.readPortRegFile(route.readStub.readPort)
+                       .index()] = true;
+        if (route.writeStub) {
+            used_files[machine
+                           .writePortRegFile(route.writeStub->writePort)
+                           .index()] = true;
+        }
+    }
+    for (const auto &[rf, _] : used_files) {
+        os << "  rf" << rf << " [shape=cylinder, label=\""
+           << machine.regFile(RegFileId(rf)).name << "\"];\n";
+    }
+
+    for (const RouteRecord &route : schedule.routes()) {
+        RegFileId read_rf =
+            machine.readPortRegFile(route.readStub.readPort);
+        if (route.writer.valid() && route.writeStub) {
+            os << "  op" << route.writer.index() << " -> rf"
+               << machine.writePortRegFile(route.writeStub->writePort)
+                      .index()
+               << " [label=\""
+               << machine.bus(route.writeStub->bus).name << "\"];\n";
+        }
+        os << "  rf" << read_rf.index() << " -> op"
+           << route.reader.index() << " [label=\""
+           << machine.bus(route.readStub.bus).name;
+        if (route.distance > 0)
+            os << " d=" << route.distance;
+        os << "\"];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace cs

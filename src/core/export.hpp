@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Schedule exporters: a VLIW-style instruction listing (one row per
+ * cycle, one column per functional unit, with the bus/port each
+ * operand and result uses) and a Graphviz dot rendering of the routed
+ * communication graph — handy when exploring novel architectures.
+ */
+
+#ifndef CS_CORE_EXPORT_HPP
+#define CS_CORE_EXPORT_HPP
+
+#include <string>
+
+#include "core/schedule.hpp"
+#include "ir/kernel.hpp"
+#include "machine/machine.hpp"
+
+namespace cs {
+
+/**
+ * Render the schedule as a VLIW listing: for every cycle a line per
+ * issuing operation with its unit, operands (and the read stub each
+ * arrives through), and result (and its write stubs).
+ */
+std::string exportListing(const Kernel &kernel, const Machine &machine,
+                          const BlockSchedule &schedule);
+
+/**
+ * Render the routed communication graph as Graphviz dot: operation
+ * nodes (labeled with unit and cycle), register-file nodes, and
+ * write-stub/read-stub edges labeled with their buses. Paste into
+ * `dot -Tsvg` to see Figure-10-style route diagrams for any kernel.
+ */
+std::string exportRoutesDot(const Kernel &kernel,
+                            const Machine &machine,
+                            const BlockSchedule &schedule);
+
+} // namespace cs
+
+#endif // CS_CORE_EXPORT_HPP

@@ -1,0 +1,13 @@
+#include "core/list_scheduler.hpp"
+
+namespace cs {
+
+ScheduleResult
+scheduleBlock(const Kernel &kernel, BlockId block, const Machine &machine,
+              const SchedulerOptions &options)
+{
+    BlockScheduler scheduler(kernel, block, machine, options, 0);
+    return scheduler.run();
+}
+
+} // namespace cs

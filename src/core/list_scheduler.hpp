@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Public entry point for plain (non-pipelined) block scheduling with
+ * communication scheduling: the paper's Figure 11 flow.
+ */
+
+#ifndef CS_CORE_LIST_SCHEDULER_HPP
+#define CS_CORE_LIST_SCHEDULER_HPP
+
+#include "core/comm_scheduler.hpp"
+
+namespace cs {
+
+/**
+ * Schedule one block of @p kernel onto @p machine. The result carries
+ * a private copy of the kernel with any inserted copy operations, the
+ * placements and routes, and the scheduler statistics.
+ */
+ScheduleResult scheduleBlock(const Kernel &kernel, BlockId block,
+                             const Machine &machine,
+                             const SchedulerOptions &options = {});
+
+} // namespace cs
+
+#endif // CS_CORE_LIST_SCHEDULER_HPP

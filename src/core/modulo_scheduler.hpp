@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Software pipelining (Lam [9]) on top of communication scheduling:
+ * modulo scheduling of a loop block. Resource reservations — including
+ * every stub — repeat each initiation interval, so the same engine
+ * that schedules plain blocks schedules pipelined loops with folded
+ * reservation tables.
+ *
+ * The paper's performance metric for each kernel is the inverse of
+ * the schedule length of its single software-pipelined loop; that is
+ * the achieved II reported here.
+ */
+
+#ifndef CS_CORE_MODULO_SCHEDULER_HPP
+#define CS_CORE_MODULO_SCHEDULER_HPP
+
+#include "core/comm_scheduler.hpp"
+
+namespace cs {
+
+/** Result of pipelining one loop. */
+struct PipelineResult
+{
+    bool success = false;
+    /** Achieved initiation interval (cycles per iteration). */
+    int ii = 0;
+    /** Lower bounds that were computed before searching. */
+    int resMii = 0;
+    int recMii = 0;
+    /** Number of II values attempted. */
+    int attempts = 0;
+    ScheduleResult inner;
+};
+
+/**
+ * Find the smallest initiation interval at which the loop block
+ * schedules, searching upward from max(ResMII, RecMII). @p maxIiSlack
+ * bounds the search: the search stops after MII + maxIiSlack.
+ */
+PipelineResult schedulePipelined(const Kernel &kernel, BlockId block,
+                                 const Machine &machine,
+                                 const SchedulerOptions &options = {},
+                                 int maxIiSlack = 64);
+
+} // namespace cs
+
+#endif // CS_CORE_MODULO_SCHEDULER_HPP

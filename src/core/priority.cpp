@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Scheduling order (paper Section 4.6). Operation order: sort by
+ * descending height so chains along the critical path are scheduled
+ * back to back, giving their communications preferential interconnect
+ * allocation. Because height strictly decreases along same-iteration
+ * dependence edges, this order is also topological. Cycle order (the
+ * ablation baseline) sorts by ASAP first, filling each cycle before
+ * moving to the next.
+ */
+
+#include <algorithm>
+
+#include "core/comm_scheduler.hpp"
+
+namespace cs {
+
+std::vector<OperationId>
+BlockScheduler::buildScheduleOrder() const
+{
+    std::vector<int> indices(ddg_.numOps());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        indices[i] = static_cast<int>(i);
+
+    if (options_.operationOrder) {
+        std::stable_sort(indices.begin(), indices.end(),
+                         [&](int a, int b) {
+                             if (ddg_.height(a) != ddg_.height(b))
+                                 return ddg_.height(a) > ddg_.height(b);
+                             return ddg_.asap(a) < ddg_.asap(b);
+                         });
+    } else {
+        std::stable_sort(indices.begin(), indices.end(),
+                         [&](int a, int b) {
+                             if (ddg_.asap(a) != ddg_.asap(b))
+                                 return ddg_.asap(a) < ddg_.asap(b);
+                             return ddg_.height(a) > ddg_.height(b);
+                         });
+    }
+
+    std::vector<OperationId> order;
+    order.reserve(indices.size());
+    for (int i : indices)
+        order.push_back(ddg_.opAt(i));
+    return order;
+}
+
+} // namespace cs

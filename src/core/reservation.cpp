@@ -1,0 +1,248 @@
+#include "core/reservation.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace cs {
+
+int
+ReservationTable::norm(int cycle) const
+{
+    if (ii_ <= 0)
+        return cycle;
+    int m = cycle % ii_;
+    return m < 0 ? m + ii_ : m;
+}
+
+const ReservationTable::CycleState *
+ReservationTable::stateAt(int cycle) const
+{
+    auto it = cycles_.find(norm(cycle));
+    return it == cycles_.end() ? nullptr : &it->second;
+}
+
+ReservationTable::CycleState &
+ReservationTable::mutableStateAt(int cycle)
+{
+    return cycles_[norm(cycle)];
+}
+
+bool
+ReservationTable::fuFree(FuncUnitId fu, int cycle) const
+{
+    const CycleState *state = stateAt(cycle);
+    if (!state)
+        return true;
+    for (const auto &[busy_fu, op] : state->fuBusy) {
+        if (busy_fu == fu)
+            return false;
+    }
+    return true;
+}
+
+void
+ReservationTable::acquireFu(FuncUnitId fu, int cycle, OperationId op)
+{
+    CS_ASSERT(fuFree(fu, cycle), "unit already busy");
+    mutableStateAt(cycle).fuBusy.emplace_back(fu, op);
+}
+
+void
+ReservationTable::releaseFu(FuncUnitId fu, int cycle, OperationId op)
+{
+    CycleState &state = mutableStateAt(cycle);
+    auto it = std::find(state.fuBusy.begin(), state.fuBusy.end(),
+                        std::make_pair(fu, op));
+    CS_ASSERT(it != state.fuBusy.end(), "releasing unheld unit");
+    state.fuBusy.erase(it);
+}
+
+bool
+ReservationTable::canAcquireWrite(const WriteStub &stub, ValueId value,
+                                  int cycle) const
+{
+    const CycleState *state = stateAt(cycle);
+    if (!state)
+        return true;
+    for (const WriteUse &use : state->writes) {
+        if (use.value == value) {
+            if (use.stub == stub)
+                continue; // identical stub: shared, refcounted
+            if (sameResultWriteStubsConflict(*machine_, use.stub, stub))
+                return false;
+            // Same value, different file: broadcast, but the output
+            // port must agree (one physical driver).
+            if (use.stub.output != stub.output)
+                return false;
+        } else if (writeStubsShareResource(use.stub, stub)) {
+            return false;
+        }
+    }
+    // A bus carries one value per cycle regardless of role.
+    for (const ReadUse &use : state->reads) {
+        if (use.stub.bus == stub.bus)
+            return false;
+    }
+    return true;
+}
+
+void
+ReservationTable::acquireWrite(const WriteStub &stub, ValueId value,
+                               int cycle)
+{
+    CS_ASSERT(canAcquireWrite(stub, value, cycle),
+              "conflicting write stub acquisition");
+    CycleState &state = mutableStateAt(cycle);
+    for (WriteUse &use : state.writes) {
+        if (use.stub == stub && use.value == value) {
+            ++use.refs;
+            return;
+        }
+    }
+    state.writes.push_back(WriteUse{stub, value, 1});
+}
+
+void
+ReservationTable::releaseWrite(const WriteStub &stub, ValueId value,
+                               int cycle)
+{
+    CycleState &state = mutableStateAt(cycle);
+    for (std::size_t i = 0; i < state.writes.size(); ++i) {
+        WriteUse &use = state.writes[i];
+        if (use.stub == stub && use.value == value) {
+            if (--use.refs == 0)
+                state.writes.erase(state.writes.begin() + i);
+            return;
+        }
+    }
+    CS_PANIC("releasing unheld write stub");
+}
+
+bool
+ReservationTable::hasIdenticalWrite(const WriteStub &stub, ValueId value,
+                                    int cycle) const
+{
+    const CycleState *state = stateAt(cycle);
+    if (!state)
+        return false;
+    for (const WriteUse &use : state->writes) {
+        if (use.stub == stub && use.value == value)
+            return true;
+    }
+    return false;
+}
+
+int
+ReservationTable::busesOccupied(int cycle) const
+{
+    const CycleState *state = stateAt(cycle);
+    if (!state)
+        return 0;
+    std::vector<BusId> seen;
+    for (const WriteUse &use : state->writes) {
+        if (std::find(seen.begin(), seen.end(), use.stub.bus) ==
+            seen.end()) {
+            seen.push_back(use.stub.bus);
+        }
+    }
+    for (const ReadUse &use : state->reads) {
+        if (std::find(seen.begin(), seen.end(), use.stub.bus) ==
+            seen.end()) {
+            seen.push_back(use.stub.bus);
+        }
+    }
+    return static_cast<int>(seen.size());
+}
+
+bool
+ReservationTable::busCarriesValue(BusId bus, ValueId value,
+                                  int cycle) const
+{
+    const CycleState *state = stateAt(cycle);
+    if (!state)
+        return false;
+    for (const WriteUse &use : state->writes) {
+        if (use.stub.bus == bus && use.value == value)
+            return true;
+    }
+    return false;
+}
+
+bool
+ReservationTable::busAvailableForValue(BusId bus, ValueId value,
+                                       int cycle) const
+{
+    const CycleState *state = stateAt(cycle);
+    if (!state)
+        return true;
+    for (const WriteUse &use : state->writes) {
+        if (use.stub.bus == bus && use.value != value)
+            return false;
+    }
+    for (const ReadUse &use : state->reads) {
+        if (use.stub.bus == bus)
+            return false;
+    }
+    return true;
+}
+
+bool
+ReservationTable::canAcquireRead(const ReadStub &stub,
+                                 OperationId reader, int slot,
+                                 int cycle) const
+{
+    const CycleState *state = stateAt(cycle);
+    if (!state)
+        return true;
+    for (const ReadUse &use : state->reads) {
+        if (use.reader == reader && use.slot == slot) {
+            // Same operand: stubs must be identical (then shared).
+            if (use.stub != stub)
+                return false;
+        } else if (readStubsShareResource(use.stub, stub)) {
+            return false;
+        }
+    }
+    for (const WriteUse &use : state->writes) {
+        if (use.stub.bus == stub.bus)
+            return false;
+    }
+    return true;
+}
+
+void
+ReservationTable::acquireRead(const ReadStub &stub, OperationId reader,
+                              int slot, int cycle)
+{
+    CS_ASSERT(canAcquireRead(stub, reader, slot, cycle),
+              "conflicting read stub acquisition");
+    CycleState &state = mutableStateAt(cycle);
+    for (ReadUse &use : state.reads) {
+        if (use.reader == reader && use.slot == slot &&
+            use.stub == stub) {
+            ++use.refs;
+            return;
+        }
+    }
+    state.reads.push_back(ReadUse{stub, reader, slot, 1});
+}
+
+void
+ReservationTable::releaseRead(const ReadStub &stub, OperationId reader,
+                              int slot, int cycle)
+{
+    CycleState &state = mutableStateAt(cycle);
+    for (std::size_t i = 0; i < state.reads.size(); ++i) {
+        ReadUse &use = state.reads[i];
+        if (use.stub == stub && use.reader == reader &&
+            use.slot == slot) {
+            if (--use.refs == 0)
+                state.reads.erase(state.reads.begin() + i);
+            return;
+        }
+    }
+    CS_PANIC("releasing unheld read stub");
+}
+
+} // namespace cs

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Per-cycle resource reservation: functional-unit issue slots, buses,
+ * register-file ports, and functional-unit inputs. Implements the
+ * paper's stub sharing rules: a result may be broadcast (several write
+ * stubs of the same value may share one bus), identical write stubs of
+ * one value are reference-counted, and identical read stubs for the
+ * same operand are shared. Everything else conflicts.
+ *
+ * For modulo schedules pass ii > 0: all cycles are folded into
+ * [0, ii) so a reservation repeats every initiation interval.
+ *
+ * The table is a value type (copyable) so schedulers can snapshot it
+ * before a tentative placement and restore on failure.
+ */
+
+#ifndef CS_CORE_RESERVATION_HPP
+#define CS_CORE_RESERVATION_HPP
+
+#include <map>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "machine/stub.hpp"
+#include "support/ids.hpp"
+
+namespace cs {
+
+/** Reservation table over normalized cycles. */
+class ReservationTable
+{
+  public:
+    explicit ReservationTable(const Machine &machine, int ii = 0)
+        : machine_(&machine), ii_(ii)
+    {}
+
+    int ii() const { return ii_; }
+    int norm(int cycle) const;
+
+    /** @name Functional-unit issue slots */
+    /// @{
+    bool fuFree(FuncUnitId fu, int cycle) const;
+    void acquireFu(FuncUnitId fu, int cycle, OperationId op);
+    void releaseFu(FuncUnitId fu, int cycle, OperationId op);
+    /// @}
+
+    /** @name Write stubs */
+    /// @{
+    bool canAcquireWrite(const WriteStub &stub, ValueId value,
+                         int cycle) const;
+    void acquireWrite(const WriteStub &stub, ValueId value, int cycle);
+    void releaseWrite(const WriteStub &stub, ValueId value, int cycle);
+
+    /**
+     * True when an identical (stub, value) reservation already exists
+     * this cycle: acquiring it again shares hardware for free (the
+     * same result broadcast through the same path).
+     */
+    bool hasIdenticalWrite(const WriteStub &stub, ValueId value,
+                           int cycle) const;
+
+    /** Number of distinct buses carrying anything this cycle. */
+    int busesOccupied(int cycle) const;
+
+    /**
+     * True when @p bus already carries @p value in write role this
+     * cycle: adding another write stub of the same value on this bus
+     * (into another file) costs no extra bus.
+     */
+    bool busCarriesValue(BusId bus, ValueId value, int cycle) const;
+
+    /**
+     * Whether @p bus could carry @p value this cycle: it is either
+     * idle or already carrying exactly that value in write role.
+     */
+    bool busAvailableForValue(BusId bus, ValueId value, int cycle) const;
+    /// @}
+
+    /** @name Read stubs */
+    /// @{
+    bool canAcquireRead(const ReadStub &stub, OperationId reader,
+                        int slot, int cycle) const;
+    void acquireRead(const ReadStub &stub, OperationId reader, int slot,
+                     int cycle);
+    void releaseRead(const ReadStub &stub, OperationId reader, int slot,
+                     int cycle);
+    /// @}
+
+  private:
+    struct WriteUse
+    {
+        WriteStub stub;
+        ValueId value;
+        int refs = 0;
+    };
+
+    struct ReadUse
+    {
+        ReadStub stub;
+        OperationId reader;
+        int slot = 0;
+        int refs = 0;
+    };
+
+    struct CycleState
+    {
+        /** (fu, op) pairs issued this cycle. */
+        std::vector<std::pair<FuncUnitId, OperationId>> fuBusy;
+        std::vector<WriteUse> writes;
+        std::vector<ReadUse> reads;
+    };
+
+    const CycleState *stateAt(int cycle) const;
+    CycleState &mutableStateAt(int cycle);
+
+    const Machine *machine_;
+    int ii_ = 0;
+    std::map<int, CycleState> cycles_;
+};
+
+} // namespace cs
+
+#endif // CS_CORE_RESERVATION_HPP

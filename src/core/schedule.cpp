@@ -1,0 +1,362 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace cs {
+
+namespace {
+
+int
+normCycle(int cycle, int ii)
+{
+    if (ii <= 0)
+        return cycle;
+    int m = cycle % ii;
+    return m < 0 ? m + ii : m;
+}
+
+} // namespace
+
+void
+BlockSchedule::place(OperationId op, int cycle, FuncUnitId fu)
+{
+    CS_ASSERT(op.valid(), "placing invalid op");
+    if (op.index() >= placements_.size())
+        placements_.resize(op.index() + 1);
+    Placement &p = placements_[op.index()];
+    CS_ASSERT(!p.scheduled, "operation placed twice");
+    p.scheduled = true;
+    p.cycle = cycle;
+    p.fu = fu;
+}
+
+void
+BlockSchedule::unplace(OperationId op)
+{
+    CS_ASSERT(op.valid() && op.index() < placements_.size() &&
+                  placements_[op.index()].scheduled,
+              "unplacing an unscheduled operation");
+    placements_[op.index()] = Placement{};
+}
+
+const Placement &
+BlockSchedule::placement(OperationId op) const
+{
+    static const Placement kUnscheduled{};
+    if (!op.valid() || op.index() >= placements_.size())
+        return kUnscheduled;
+    return placements_[op.index()];
+}
+
+bool
+BlockSchedule::isScheduled(OperationId op) const
+{
+    return placement(op).scheduled;
+}
+
+int
+BlockSchedule::length(const Kernel &kernel, const Machine &machine) const
+{
+    int end = 0;
+    for (OperationId op_id : kernel.block(block_).operations) {
+        const Placement &p = placement(op_id);
+        if (!p.scheduled)
+            continue;
+        int lat = machine.latency(kernel.operation(op_id).opcode);
+        end = std::max(end, p.cycle + lat);
+    }
+    return end;
+}
+
+std::string
+BlockSchedule::toString(const Kernel &kernel,
+                        const Machine &machine) const
+{
+    std::ostringstream os;
+    std::map<int, std::vector<OperationId>> by_cycle;
+    for (OperationId op_id : kernel.block(block_).operations) {
+        const Placement &p = placement(op_id);
+        if (p.scheduled)
+            by_cycle[p.cycle].push_back(op_id);
+    }
+    os << "schedule of block " << kernel.block(block_).name;
+    if (ii_ > 0)
+        os << " (II=" << ii_ << ")";
+    os << ":\n";
+    for (const auto &[cycle, ops] : by_cycle) {
+        os << "  cycle " << cycle << ":";
+        for (OperationId op_id : ops) {
+            const Operation &op = kernel.operation(op_id);
+            const Placement &p = placement(op_id);
+            os << "  " << machine.funcUnit(p.fu).name << ":"
+               << (op.hasResult() ? kernel.value(op.result).name
+                                  : std::string(opcodeName(op.opcode)));
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+/** Collected stub usage at one normalized cycle, for conflict checks. */
+struct StubUseW
+{
+    WriteStub stub;
+    ValueId value;
+};
+
+struct StubUseR
+{
+    ReadStub stub;
+    OperationId reader;
+    int slot;
+};
+
+void
+checkCycleConflicts(const Machine &machine, int cycle,
+                    const std::vector<StubUseW> &writes,
+                    const std::vector<StubUseR> &reads,
+                    std::vector<std::string> &problems)
+{
+    auto complain = [&](const std::string &what) {
+        problems.push_back("cycle " + std::to_string(cycle) + ": " +
+                           what);
+    };
+
+    for (std::size_t i = 0; i < writes.size(); ++i) {
+        for (std::size_t j = i + 1; j < writes.size(); ++j) {
+            const StubUseW &a = writes[i];
+            const StubUseW &b = writes[j];
+            if (a.value == b.value) {
+                if (sameResultWriteStubsConflict(machine, a.stub,
+                                                 b.stub)) {
+                    complain("same result written twice into " +
+                             describe(machine, a.stub));
+                }
+            } else if (writeStubsShareResource(a.stub, b.stub)) {
+                complain("write stubs share a resource: " +
+                         describe(machine, a.stub) + " vs " +
+                         describe(machine, b.stub));
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+        for (std::size_t j = i + 1; j < reads.size(); ++j) {
+            const StubUseR &a = reads[i];
+            const StubUseR &b = reads[j];
+            bool same_operand =
+                a.reader == b.reader && a.slot == b.slot;
+            if (same_operand) {
+                if (a.stub != b.stub)
+                    complain("same operand read through two stubs");
+            } else if (readStubsShareResource(a.stub, b.stub)) {
+                complain("read stubs share a resource: " +
+                         describe(machine, a.stub) + " vs " +
+                         describe(machine, b.stub));
+            }
+        }
+    }
+
+    // A bus carries one value per cycle regardless of role.
+    for (const StubUseW &w : writes) {
+        for (const StubUseR &r : reads) {
+            if (w.stub.bus == r.stub.bus) {
+                complain("bus " + machine.bus(w.stub.bus).name +
+                         " used for a write and a read in one cycle");
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+validateSchedule(const Kernel &kernel, const Machine &machine,
+                 const BlockSchedule &schedule)
+{
+    std::vector<std::string> problems;
+    const Block &blk = kernel.block(schedule.block());
+    const int ii = schedule.ii();
+
+    auto complain = [&](const std::string &what) {
+        problems.push_back(what);
+    };
+
+    // 1. Placement sanity + exclusive FU occupancy per modulo cycle.
+    std::map<std::pair<int, std::uint32_t>, OperationId> fu_busy;
+    for (OperationId op_id : blk.operations) {
+        const Operation &op = kernel.operation(op_id);
+        const Placement &p = schedule.placement(op_id);
+        if (!p.scheduled) {
+            complain("operation " + op.name + " unscheduled");
+            continue;
+        }
+        if (p.cycle < 0)
+            complain("operation " + op.name + " at negative cycle");
+        const FuncUnit &fu = machine.funcUnit(p.fu);
+        if (!fu.supports(opcodeClass(op.opcode))) {
+            complain("operation " + op.name + " on incapable unit " +
+                     fu.name);
+        }
+        auto key = std::make_pair(normCycle(p.cycle, ii), p.fu.index());
+        auto [it, inserted] = fu_busy.emplace(key, op_id);
+        if (!inserted) {
+            complain("unit " + fu.name + " double-booked at cycle " +
+                     std::to_string(key.first));
+        }
+    }
+
+    // 2. Dependences.
+    for (OperationId op_id : blk.operations) {
+        const Operation &op = kernel.operation(op_id);
+        const Placement &p = schedule.placement(op_id);
+        if (!p.scheduled)
+            continue;
+        for (const Operand &operand : op.operands) {
+            if (!operand.isValue())
+                continue;
+            OperationId def = kernel.value(operand.value).def;
+            const Operation &producer = kernel.operation(def);
+            if (producer.block != op.block)
+                continue; // cross-block live-in: preamble provides it
+            if (operand.distance > 0 && ii == 0)
+                continue; // plain schedule: prior iteration assumed done
+            const Placement &dp = schedule.placement(def);
+            if (!dp.scheduled) {
+                complain("producer of " + op.name + " unscheduled");
+                continue;
+            }
+            int lat = machine.latency(producer.opcode);
+            if (p.cycle + operand.distance * ii < dp.cycle + lat) {
+                complain("dependence violated: " + producer.name +
+                         " -> " + op.name);
+            }
+        }
+    }
+
+    // 3. Route coverage: every same-block value operand needs a route.
+    std::map<std::pair<std::uint32_t, int>, const RouteRecord *>
+        route_for;
+    for (const RouteRecord &route : schedule.routes()) {
+        auto key =
+            std::make_pair(route.reader.index(), route.slot);
+        if (route_for.count(key))
+            complain("two routes for one operand");
+        route_for[key] = &route;
+    }
+
+    for (OperationId op_id : blk.operations) {
+        const Operation &op = kernel.operation(op_id);
+        for (std::size_t s = 0; s < op.operands.size(); ++s) {
+            const Operand &operand = op.operands[s];
+            if (!operand.isValue())
+                continue;
+            auto key = std::make_pair(op_id.index(),
+                                      static_cast<int>(s));
+            auto it = route_for.find(key);
+            if (it == route_for.end()) {
+                complain("no route for operand " + std::to_string(s) +
+                         " of " + op.name);
+                continue;
+            }
+            const RouteRecord &route = *it->second;
+            if (route.value != operand.value)
+                complain("route value mismatch at " + op.name);
+            OperationId def = kernel.value(operand.value).def;
+            const Operation &producer = kernel.operation(def);
+            bool live_in = producer.block != op.block ||
+                           (operand.distance > 0 && ii == 0);
+            if (live_in) {
+                if (route.writer.valid())
+                    complain("live-in route has a writer at " + op.name);
+            } else if (route.writer != def) {
+                complain("route writer mismatch at " + op.name);
+            }
+        }
+    }
+
+    // 4. Stub endpoints + same-register-file requirement.
+    for (const RouteRecord &route : schedule.routes()) {
+        const Placement &rp = schedule.placement(route.reader);
+        if (!rp.scheduled)
+            continue;
+        const FuncUnit &rfu = machine.funcUnit(rp.fu);
+        if (kernel.operation(route.reader).isCopy()) {
+            // A copy may fetch its operand through any of its unit's
+            // inputs.
+            if (std::find(rfu.inputs.begin(), rfu.inputs.end(),
+                          route.readStub.input) == rfu.inputs.end()) {
+                complain("copy read stub outside its unit's inputs");
+            }
+        } else if (route.slot >= static_cast<int>(rfu.inputs.size()) ||
+                   rfu.inputs[route.slot] != route.readStub.input) {
+            complain("read stub does not feed the reader's slot");
+        }
+        RegFileId read_rf =
+            machine.readPortRegFile(route.readStub.readPort);
+        if (route.writeStub) {
+            if (!route.writer.valid()) {
+                complain("write stub on live-in route");
+                continue;
+            }
+            const Placement &wp = schedule.placement(route.writer);
+            if (!wp.scheduled)
+                continue;
+            const FuncUnit &wfu = machine.funcUnit(wp.fu);
+            if (wfu.output != route.writeStub->output)
+                complain("write stub not on the writer's output");
+            RegFileId write_rf =
+                machine.writePortRegFile(route.writeStub->writePort);
+            if (write_rf != read_rf) {
+                complain("route stubs access different register "
+                         "files for reader " +
+                         kernel.operation(route.reader).name);
+            }
+        } else if (route.writer.valid()) {
+            complain("routed communication missing its write stub");
+        }
+    }
+
+    // 5. Per-cycle stub conflicts.
+    std::map<int, std::vector<StubUseW>> writes_at;
+    std::map<int, std::vector<StubUseR>> reads_at;
+    for (const RouteRecord &route : schedule.routes()) {
+        const Placement &rp = schedule.placement(route.reader);
+        if (rp.scheduled) {
+            reads_at[normCycle(rp.cycle, ii)].push_back(
+                StubUseR{route.readStub, route.reader, route.slot});
+        }
+        if (route.writeStub && route.writer.valid()) {
+            const Placement &wp = schedule.placement(route.writer);
+            if (wp.scheduled) {
+                int lat = machine.latency(
+                    kernel.operation(route.writer).opcode);
+                writes_at[normCycle(wp.cycle + lat - 1, ii)].push_back(
+                    StubUseW{*route.writeStub, route.value});
+            }
+        }
+    }
+    for (const auto &[cycle, writes] : writes_at) {
+        auto rit = reads_at.find(cycle);
+        static const std::vector<StubUseR> kNoReads;
+        checkCycleConflicts(machine, cycle, writes,
+                            rit == reads_at.end() ? kNoReads
+                                                  : rit->second,
+                            problems);
+    }
+    // Cycles with reads but no writes still need read-read checks.
+    for (const auto &[cycle, reads] : reads_at) {
+        if (!writes_at.count(cycle))
+            checkCycleConflicts(machine, cycle, {}, reads, problems);
+    }
+
+    return problems;
+}
+
+} // namespace cs

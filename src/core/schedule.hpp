@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Schedule container and the independent legality validator.
+ *
+ * A Schedule maps every operation of a kernel block to an issue cycle
+ * and a functional unit, and every communication to its route (write
+ * stub, copies, read stub). Cycles are flat (monotone) times; for
+ * software-pipelined loops the initiation interval @c ii is recorded
+ * and all resource usage repeats every @c ii cycles.
+ */
+
+#ifndef CS_CORE_SCHEDULE_HPP
+#define CS_CORE_SCHEDULE_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "machine/machine.hpp"
+#include "machine/stub.hpp"
+
+namespace cs {
+
+/** Where one operation landed. */
+struct Placement
+{
+    bool scheduled = false;
+    int cycle = -1; ///< issue cycle (flat time)
+    FuncUnitId fu;
+};
+
+/**
+ * A route assignment for one producer->consumer communication, as
+ * recorded in the final schedule. Copies appear as ordinary scheduled
+ * operations; a routed communication's endpoints are the stubs below.
+ */
+struct RouteRecord
+{
+    OperationId writer; ///< invalid for block live-ins
+    ValueId value;
+    OperationId reader;
+    int slot = 0;
+    int distance = 0;
+    /** Valid unless the communication is a live-in (read stub only). */
+    std::optional<WriteStub> writeStub;
+    ReadStub readStub;
+};
+
+/**
+ * The result of scheduling one block. Owns no IR; the kernel (with any
+ * copies that scheduling inserted) lives alongside it.
+ */
+class BlockSchedule
+{
+  public:
+    BlockSchedule(BlockId block, int ii) : block_(block), ii_(ii) {}
+
+    BlockId block() const { return block_; }
+
+    /** Initiation interval; 0 for a plain (non-pipelined) schedule. */
+    int ii() const { return ii_; }
+
+    void place(OperationId op, int cycle, FuncUnitId fu);
+    /** Reverse a place() (scheduler rollback). */
+    void unplace(OperationId op);
+    const Placement &placement(OperationId op) const;
+    bool isScheduled(OperationId op) const;
+
+    void addRoute(RouteRecord route) { routes_.push_back(route); }
+    const std::vector<RouteRecord> &routes() const { return routes_; }
+
+    /**
+     * Schedule length: one past the last completion cycle, i.e. the
+     * number of cycles the block occupies (the paper's performance
+     * metric is the inverse of this for the loop).
+     */
+    int length(const Kernel &kernel, const Machine &machine) const;
+
+    /** Human-readable cycle table (examples, debugging). */
+    std::string toString(const Kernel &kernel,
+                         const Machine &machine) const;
+
+  private:
+    BlockId block_;
+    int ii_ = 0;
+    std::vector<Placement> placements_;
+    std::vector<RouteRecord> routes_;
+};
+
+/**
+ * Independent legality check of a finished schedule, written against
+ * the paper's rules rather than the scheduler's internals:
+ *
+ *  1. every operation of the block is placed on a capable, exclusively
+ *     owned functional unit;
+ *  2. dependences hold: reader.issue + distance*ii >= writer.issue +
+ *     latency (memory ordering edges included);
+ *  3. every value-operand consumption is covered by a routed
+ *     communication whose read stub feeds exactly that operand slot;
+ *  4. a route's write stub and read stub access the same register
+ *     file, the write stub belongs to the writer's unit and the read
+ *     stub to the reader's;
+ *  5. no two stubs conflict on any (modulo) cycle under the paper's
+ *     sharing rules (same-result broadcasts allowed, identical
+ *     same-operand read stubs allowed).
+ *
+ * Returns the list of violations (empty = legal).
+ */
+std::vector<std::string> validateSchedule(const Kernel &kernel,
+                                          const Machine &machine,
+                                          const BlockSchedule &schedule);
+
+} // namespace cs
+
+#endif // CS_CORE_SCHEDULE_HPP

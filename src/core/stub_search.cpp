@@ -1,0 +1,559 @@
+/**
+ * @file
+ * Steps 1-3 of communication scheduling: candidate stub enumeration
+ * and the bounded backtracking permutation search of Section 4.4, plus
+ * the step-4 retargeting entry points.
+ *
+ * The search satisfies the paper's two sufficiency requirements: a
+ * lone communication always finds a stub (candidates are never empty
+ * on a copy-connected machine), and the search is repeatable (it is
+ * deterministic, and previous assignments are restored verbatim on
+ * failure). Closing communications are ordered before open ones,
+ * smallest copy range first.
+ */
+
+#include <algorithm>
+#include <climits>
+
+#include "core/comm_scheduler.hpp"
+#include "support/logging.hpp"
+
+namespace cs {
+
+namespace {
+
+/** Ordering key: closing communications first, tightest range first. */
+struct CommOrderKey
+{
+    bool open;
+    int copyRange;
+    std::uint32_t id;
+
+    bool
+    operator<(const CommOrderKey &other) const
+    {
+        if (open != other.open)
+            return !open;
+        if (copyRange != other.copyRange)
+            return copyRange < other.copyRange;
+        return id < other.id;
+    }
+};
+
+} // namespace
+
+std::vector<ReadStub>
+BlockScheduler::readCandidatesFor(const Communication &comm) const
+{
+    const Placement &rp = schedule_.placement(comm.reader);
+    CS_ASSERT(rp.scheduled, "read candidates need a placed reader");
+    // A copy fetches its operand through any input of its unit.
+    const std::vector<ReadStub> &all =
+        kernel_.operation(comm.reader).isCopy()
+            ? machine_.readStubsAnySlot(rp.fu)
+            : machine_.readStubs(rp.fu, comm.slot);
+
+    bool closing = comm.isLiveIn() ||
+                   (comm.writer.valid() && isScheduled(comm.writer));
+    if (!closing || comm.isLiveIn()) {
+        // Open or live-in: keep machine order, but prefer the current
+        // assignment for stability across re-permutations.
+        std::vector<ReadStub> out;
+        if (comm.readStub)
+            out.push_back(*comm.readStub);
+        for (const ReadStub &stub : all) {
+            if (!comm.readStub || stub != *comm.readStub)
+                out.push_back(stub);
+        }
+        return out;
+    }
+
+    // Closing: prefer stubs that form a route with the writer's
+    // tentative write stub, then files the writer could retarget to,
+    // then by copy distance.
+    const Placement &wp = schedule_.placement(comm.writer);
+    RegFileId current_write_rf;
+    if (comm.writeStub)
+        current_write_rf =
+            machine_.writePortRegFile(comm.writeStub->writePort);
+    const std::vector<RegFileId> &writable =
+        machine_.writableRegFiles(wp.fu);
+
+    auto rank = [&](const ReadStub &stub) {
+        RegFileId rf = machine_.readPortRegFile(stub.readPort);
+        if (rf == current_write_rf)
+            return 0;
+        if (std::find(writable.begin(), writable.end(), rf) !=
+            writable.end()) {
+            return 1;
+        }
+        int best = Machine::kUnreachable;
+        for (RegFileId w : writable)
+            best = std::min(best, machine_.copyDistance(w, rf));
+        return 2 + best;
+    };
+
+    std::vector<std::pair<int, ReadStub>> ranked;
+    ranked.reserve(all.size());
+    for (const ReadStub &stub : all)
+        ranked.emplace_back(rank(stub), stub);
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    std::vector<ReadStub> out;
+    out.reserve(ranked.size());
+    for (auto &[r, stub] : ranked)
+        out.push_back(stub);
+    return out;
+}
+
+std::vector<WriteStub>
+BlockScheduler::writeCandidatesFor(const Communication &comm) const
+{
+    CS_ASSERT(comm.writer.valid(), "write candidates need a writer");
+    const Placement &wp = schedule_.placement(comm.writer);
+    CS_ASSERT(wp.scheduled, "write candidates need a placed writer");
+    const std::vector<WriteStub> &all = machine_.writeStubs(wp.fu);
+    int cycle = writeStubCycleOf(comm.writer);
+
+    // Deterministic per-value bus rotation: every stub of one value
+    // tries buses in the same order (so broadcasts converge on one
+    // bus), while different values start from different buses (so
+    // they spread out instead of all contending for bus zero).
+    auto rotated_bus = [&](BusId bus) {
+        auto n = static_cast<std::uint32_t>(machine_.numBuses());
+        return (bus.index() + n - comm.value.index() % n) % n;
+    };
+
+    bool closing = isScheduled(comm.reader) && comm.readStub.has_value();
+    std::vector<std::pair<std::pair<int, int>, WriteStub>> ranked;
+    ranked.reserve(all.size());
+
+    if (closing) {
+        RegFileId read_rf =
+            machine_.readPortRegFile(comm.readStub->readPort);
+        auto rank = [&](const WriteStub &stub) {
+            RegFileId rf = machine_.writePortRegFile(stub.writePort);
+            if (rf == read_rf) {
+                // Prefer riding a bus that already broadcasts this
+                // value: the write costs no extra bus.
+                return reservations_.busCarriesValue(stub.bus,
+                                                     comm.value, cycle)
+                           ? 0
+                           : 1;
+            }
+            return 2 + machine_.copyDistance(rf, read_rf);
+        };
+        for (const WriteStub &stub : all) {
+            ranked.push_back(
+                {{rank(stub), static_cast<int>(rotated_bus(stub.bus))},
+                 stub});
+        }
+    } else {
+        // Open: the reader is not placed yet, but the set of register
+        // files any capable unit could read the operand from is known.
+        // Preferring those files surfaces port contention *now*, while
+        // the scheduler can still delay this producer; a stub into an
+        // unreadable file is guaranteed to need fixing at close time.
+        std::vector<RegFileId> reader_files;
+        if (isScheduled(comm.reader)) {
+            const Placement &rp = schedule_.placement(comm.reader);
+            reader_files =
+                kernel_.operation(comm.reader).isCopy()
+                    ? machine_.readableAnySlot(rp.fu)
+                    : machine_.readableRegFiles(rp.fu, comm.slot);
+        } else {
+            const Operation &consumer = kernel_.operation(comm.reader);
+            for (FuncUnitId g : machine_.unitsForOpcode(
+                     consumer.opcode)) {
+                const auto &readable =
+                    consumer.isCopy()
+                        ? machine_.readableAnySlot(g)
+                        : machine_.readableRegFiles(g, comm.slot);
+                for (RegFileId rf : readable) {
+                    if (std::find(reader_files.begin(),
+                                  reader_files.end(),
+                                  rf) == reader_files.end()) {
+                        reader_files.push_back(rf);
+                    }
+                }
+            }
+        }
+
+        auto rank = [&](const WriteStub &stub) {
+            RegFileId rf = machine_.writePortRegFile(stub.writePort);
+            bool reachable =
+                std::find(reader_files.begin(), reader_files.end(),
+                          rf) != reader_files.end();
+            if (comm.writeStub && stub == *comm.writeStub)
+                return reachable ? 0 : 4;
+            if (reservations_.hasIdenticalWrite(stub, comm.value,
+                                                cycle)) {
+                return reachable ? 1 : 5;
+            }
+            if (reservations_.busCarriesValue(stub.bus, comm.value,
+                                              cycle)) {
+                return reachable ? 2 : 6;
+            }
+            return reachable ? 3 : 7;
+        };
+        for (const WriteStub &stub : all) {
+            // A stub into a file that cannot reach the reader even
+            // through copies can never serve this communication:
+            // accepting one tentatively strands the value (the
+            // Section 4.5 trap). Rejecting it here makes the
+            // *producer's* placement fail instead, so the producer
+            // slides to a cycle where a useful port is free.
+            RegFileId rf = machine_.writePortRegFile(stub.writePort);
+            bool serviceable = false;
+            for (RegFileId target : reader_files) {
+                if (machine_.copyDistance(rf, target) <
+                    Machine::kUnreachable) {
+                    serviceable = true;
+                    break;
+                }
+            }
+            if (!serviceable)
+                continue;
+            ranked.push_back(
+                {{rank(stub), static_cast<int>(rotated_bus(stub.bus))},
+                 stub});
+        }
+    }
+
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    std::vector<WriteStub> out;
+    out.reserve(ranked.size());
+    for (auto &[r, stub] : ranked)
+        out.push_back(stub);
+    return out;
+}
+
+bool
+BlockScheduler::permuteReadStubs(int cycle)
+{
+    return permuteReadStubsImpl(cycle, CommId(), RegFileId());
+}
+
+bool
+BlockScheduler::permuteWriteStubs(int cycle)
+{
+    return permuteWriteStubsImpl(cycle, CommId(), RegFileId());
+}
+
+bool
+BlockScheduler::permuteReadStubsImpl(int cycle, CommId constrain,
+                                     RegFileId wantRf)
+{
+    std::vector<CommId> ids = commsReadingAt(cycle);
+    if (constrain.valid() &&
+        std::find(ids.begin(), ids.end(), constrain) == ids.end()) {
+        return false;
+    }
+    if (ids.empty())
+        return true;
+
+    // Order: closing before open, smallest copy range first.
+    auto key = [&](CommId id) {
+        const Communication &comm = comms_.get(id);
+        bool closing = comm.isLiveIn() ||
+                       (comm.writer.valid() && isScheduled(comm.writer));
+        int range = INT_MAX;
+        if (closing && !comm.isLiveIn()) {
+            range = issueCycleOf(comm.reader) + comm.distance * ii_ -
+                    (issueCycleOf(comm.writer) +
+                     latencyOf(comm.writer));
+        }
+        return CommOrderKey{!closing, range, id.index()};
+    };
+    std::stable_sort(ids.begin(), ids.end(), [&](CommId a, CommId b) {
+        return key(a) < key(b);
+    });
+
+    // Release current assignments; remember them for rollback.
+    std::vector<std::optional<ReadStub>> previous(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        Communication &comm = comms_.get(ids[i]);
+        previous[i] = comm.readStub;
+        if (comm.readStub) {
+            doReleaseRead(*comm.readStub, comm.reader, comm.slot,
+                          issueCycleOf(comm.reader));
+        }
+    }
+
+    // Candidate lists (post-release so sharing probes see the truth).
+    std::vector<std::vector<ReadStub>> candidates(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const Communication &comm = comms_.get(ids[i]);
+        candidates[i] = readCandidatesFor(comm);
+        if (ids[i] == constrain) {
+            std::erase_if(candidates[i], [&](const ReadStub &stub) {
+                return machine_.readPortRegFile(stub.readPort) != wantRf;
+            });
+        }
+    }
+
+    // Bounded depth-first search.
+    int budget = options_.permutationBudget;
+    std::vector<int> choice(ids.size(), -1);
+    std::size_t level = 0;
+    bool success = false;
+    while (true) {
+        if (level == ids.size()) {
+            success = true;
+            break;
+        }
+        Communication &comm = comms_.get(ids[level]);
+        int reader_cycle = issueCycleOf(comm.reader);
+        bool advanced = false;
+        for (int next = choice[level] + 1;
+             next < static_cast<int>(candidates[level].size()); ++next) {
+            if (--budget <= 0)
+                break;
+            const ReadStub &stub = candidates[level][next];
+            if (reservations_.canAcquireRead(stub, comm.reader,
+                                             comm.slot, reader_cycle)) {
+                doAcquireRead(stub, comm.reader, comm.slot,
+                              reader_cycle);
+                choice[level] = next;
+                ++level;
+                advanced = true;
+                break;
+            }
+        }
+        if (advanced)
+            continue;
+        if (budget <= 0) {
+            stats_.bump("perm_budget_exhausted");
+        }
+        if (level == 0 || budget <= 0) {
+            // Roll back anything acquired, restore previous stubs.
+            while (level > 0) {
+                --level;
+                Communication &held = comms_.get(ids[level]);
+                doReleaseRead(candidates[level][choice[level]],
+                              held.reader, held.slot,
+                              issueCycleOf(held.reader));
+                choice[level] = -1;
+            }
+            for (std::size_t i = 0; i < ids.size(); ++i) {
+                Communication &held = comms_.get(ids[i]);
+                if (previous[i]) {
+                    doAcquireRead(*previous[i], held.reader, held.slot,
+                                  issueCycleOf(held.reader));
+                }
+            }
+            return false;
+        }
+        choice[level] = -1;
+        --level;
+        Communication &held = comms_.get(ids[level]);
+        doReleaseRead(candidates[level][choice[level]], held.reader,
+                      held.slot, issueCycleOf(held.reader));
+        stats_.bump("perm_backtracks");
+    }
+
+    CS_ASSERT(success, "unreachable");
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        setReadStub(ids[i], candidates[i][choice[i]]);
+    stats_.bump("read_perms_found");
+    return true;
+}
+
+bool
+BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
+                                      RegFileId wantRf)
+{
+    std::vector<CommId> ids = commsWritingAt(cycle);
+    if (constrain.valid() &&
+        std::find(ids.begin(), ids.end(), constrain) == ids.end()) {
+        return false;
+    }
+    if (ids.empty())
+        return true;
+
+    auto key = [&](CommId id) {
+        const Communication &comm = comms_.get(id);
+        bool closing =
+            isScheduled(comm.reader) && comm.readStub.has_value();
+        int range = INT_MAX;
+        if (closing) {
+            range = issueCycleOf(comm.reader) + comm.distance * ii_ -
+                    (issueCycleOf(comm.writer) +
+                     latencyOf(comm.writer));
+        }
+        return CommOrderKey{!closing, range, id.index()};
+    };
+    std::stable_sort(ids.begin(), ids.end(), [&](CommId a, CommId b) {
+        return key(a) < key(b);
+    });
+
+    std::vector<std::optional<WriteStub>> previous(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        Communication &comm = comms_.get(ids[i]);
+        previous[i] = comm.writeStub;
+        if (comm.writeStub) {
+            doReleaseWrite(*comm.writeStub, comm.value,
+                           writeStubCycleOf(comm.writer));
+        }
+    }
+
+    std::vector<std::vector<WriteStub>> candidates(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const Communication &comm = comms_.get(ids[i]);
+        candidates[i] = writeCandidatesFor(comm);
+        if (ids[i] == constrain) {
+            std::erase_if(candidates[i], [&](const WriteStub &stub) {
+                return machine_.writePortRegFile(stub.writePort) !=
+                       wantRf;
+            });
+        }
+    }
+
+    // Fast infeasibility check: different values never share a bus,
+    // so the distinct values here need at least as many usable buses
+    // (idle, or already carrying one of these values in write role)
+    // among the candidate stubs.
+    {
+        std::vector<ValueId> distinct;
+        for (CommId id : ids) {
+            ValueId v = comms_.get(id).value;
+            if (std::find(distinct.begin(), distinct.end(), v) ==
+                distinct.end()) {
+                distinct.push_back(v);
+            }
+        }
+        std::vector<BusId> usable;
+        for (const auto &list : candidates) {
+            for (const WriteStub &stub : list) {
+                if (std::find(usable.begin(), usable.end(), stub.bus) !=
+                    usable.end()) {
+                    continue;
+                }
+                for (ValueId v : distinct) {
+                    if (reservations_.busAvailableForValue(stub.bus, v,
+                                                           cycle)) {
+                        usable.push_back(stub.bus);
+                        break;
+                    }
+                }
+            }
+        }
+        if (distinct.size() > usable.size()) {
+            stats_.bump("write_perm_bus_prechecks");
+            for (std::size_t i = 0; i < ids.size(); ++i) {
+                const Communication &held = comms_.get(ids[i]);
+                if (previous[i]) {
+                    doAcquireWrite(*previous[i], held.value,
+                                   writeStubCycleOf(held.writer));
+                }
+            }
+            return false;
+        }
+    }
+
+    int budget = options_.permutationBudget;
+    std::vector<int> choice(ids.size(), -1);
+    std::size_t level = 0;
+    bool success = false;
+    while (true) {
+        if (level == ids.size()) {
+            success = true;
+            break;
+        }
+        Communication &comm = comms_.get(ids[level]);
+        int write_cycle = writeStubCycleOf(comm.writer);
+        bool advanced = false;
+        for (int next = choice[level] + 1;
+             next < static_cast<int>(candidates[level].size()); ++next) {
+            if (--budget <= 0)
+                break;
+            const WriteStub &stub = candidates[level][next];
+            if (reservations_.canAcquireWrite(stub, comm.value,
+                                              write_cycle)) {
+                doAcquireWrite(stub, comm.value, write_cycle);
+                choice[level] = next;
+                ++level;
+                advanced = true;
+                break;
+            }
+        }
+        if (advanced)
+            continue;
+        if (budget <= 0) {
+            stats_.bump("perm_budget_exhausted");
+        }
+        if (level == 0 || budget <= 0) {
+            while (level > 0) {
+                --level;
+                Communication &held = comms_.get(ids[level]);
+                doReleaseWrite(candidates[level][choice[level]],
+                               held.value,
+                               writeStubCycleOf(held.writer));
+                choice[level] = -1;
+            }
+            for (std::size_t i = 0; i < ids.size(); ++i) {
+                Communication &held = comms_.get(ids[i]);
+                if (previous[i]) {
+                    doAcquireWrite(*previous[i], held.value,
+                                   writeStubCycleOf(held.writer));
+                }
+            }
+            return false;
+        }
+        choice[level] = -1;
+        --level;
+        Communication &held = comms_.get(ids[level]);
+        doReleaseWrite(candidates[level][choice[level]], held.value,
+                       writeStubCycleOf(held.writer));
+        stats_.bump("perm_backtracks");
+    }
+
+    CS_ASSERT(success, "unreachable");
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        setWriteStub(ids[i], candidates[i][choice[i]]);
+    stats_.bump("write_perms_found");
+    return true;
+}
+
+bool
+BlockScheduler::tryRetargetWriteSide(Communication &comm,
+                                     RegFileId wantRf)
+{
+    if (!comm.writer.valid() || !isScheduled(comm.writer))
+        return false;
+    // Fast reject: can the writer's unit reach that file at all?
+    const Placement &wp = schedule_.placement(comm.writer);
+    const auto &writable = machine_.writableRegFiles(wp.fu);
+    if (std::find(writable.begin(), writable.end(), wantRf) ==
+        writable.end()) {
+        return false;
+    }
+    return permuteWriteStubsImpl(writeStubCycleOf(comm.writer), comm.id,
+                                 wantRf);
+}
+
+bool
+BlockScheduler::tryRetargetReadSide(Communication &comm,
+                                    RegFileId wantRf)
+{
+    if (!isScheduled(comm.reader))
+        return false;
+    const Placement &rp = schedule_.placement(comm.reader);
+    const auto &readable =
+        kernel_.operation(comm.reader).isCopy()
+            ? machine_.readableAnySlot(rp.fu)
+            : machine_.readableRegFiles(rp.fu, comm.slot);
+    if (std::find(readable.begin(), readable.end(), wantRf) ==
+        readable.end()) {
+        return false;
+    }
+    return permuteReadStubsImpl(issueCycleOf(comm.reader), comm.id,
+                                wantRf);
+}
+
+} // namespace cs

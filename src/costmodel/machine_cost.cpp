@@ -1,0 +1,53 @@
+#include "costmodel/machine_cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace cs {
+
+MachineCost
+machineCost(const Machine &machine, const CostParams &params)
+{
+    MachineCost cost;
+
+    double worst_access = 0.0;
+    for (std::size_t r = 0; r < machine.numRegFiles(); ++r) {
+        const RegFile &rf = machine.regFile(
+            RegFileId(static_cast<std::uint32_t>(r)));
+        RegFileCost one = regFileCost(
+            rf.capacity, static_cast<int>(rf.readPorts.size()),
+            static_cast<int>(rf.writePorts.size()), params);
+        cost.regFileArea += one.area;
+        cost.regFileEnergy += one.energy;
+        worst_access = std::max(worst_access, one.delay);
+    }
+
+    double worst_bus = 0.0;
+    for (std::size_t bi = 0; bi < machine.numBuses(); ++bi) {
+        BusId bus(static_cast<std::uint32_t>(bi));
+        int endpoints = machine.busEndpointCount(bus);
+        double length = params.busPitchPerEndpoint * endpoints;
+        cost.busArea += params.busAreaWeight * params.bits * length;
+        cost.busEnergy += params.busEnergyWeight * length;
+        // Dedicated wires (two endpoints) are short local routes and
+        // do not bound the access path.
+        if (endpoints > 2)
+            worst_bus = std::max(worst_bus, length);
+    }
+
+    cost.delay = worst_access + params.wireDelay * worst_bus;
+    return cost;
+}
+
+CostRatios
+costRatios(const MachineCost &a, const MachineCost &b)
+{
+    CS_ASSERT(b.area() > 0 && b.power() > 0 && b.delay > 0,
+              "degenerate baseline cost");
+    return CostRatios{a.area() / b.area(), a.power() / b.power(),
+                      a.delay / b.delay};
+}
+
+} // namespace cs

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Whole-machine register-file organization costs: aggregates the
+ * per-file grid model over a Machine description and adds shared-bus
+ * wire costs. Reproduces the paper's Figures 25-27 bars and the
+ * headline area/power/delay ratios between the central, clustered,
+ * and distributed organizations.
+ *
+ * Dedicated point-to-point wires (single driver, single sink) are
+ * costed as short fixed connections; only shared buses (more than two
+ * endpoints) pay length proportional to the datapath span.
+ */
+
+#ifndef CS_COSTMODEL_MACHINE_COST_HPP
+#define CS_COSTMODEL_MACHINE_COST_HPP
+
+#include <string>
+
+#include "costmodel/regfile_model.hpp"
+#include "machine/machine.hpp"
+
+namespace cs {
+
+/** Aggregate costs for one machine's register-file organization. */
+struct MachineCost
+{
+    double regFileArea = 0.0;
+    double busArea = 0.0;
+    double regFileEnergy = 0.0;
+    double busEnergy = 0.0;
+    /** Worst-case register access delay incl. bus traversal. */
+    double delay = 0.0;
+
+    double area() const { return regFileArea + busArea; }
+    double power() const { return regFileEnergy + busEnergy; }
+};
+
+/** Compute the organization cost of @p machine. */
+MachineCost machineCost(const Machine &machine,
+                        const CostParams &params = {});
+
+/** Ratios of @p a relative to @p b (a/b), for headline claims. */
+struct CostRatios
+{
+    double area = 0.0;
+    double power = 0.0;
+    double delay = 0.0;
+};
+
+CostRatios costRatios(const MachineCost &a, const MachineCost &b);
+
+} // namespace cs
+
+#endif // CS_COSTMODEL_MACHINE_COST_HPP

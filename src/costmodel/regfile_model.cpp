@@ -1,0 +1,38 @@
+#include "costmodel/regfile_model.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace cs {
+
+RegFileCost
+regFileCost(int registers, int readPorts, int writePorts,
+            const CostParams &params)
+{
+    CS_ASSERT(registers > 0 && readPorts >= 0 && writePorts >= 0,
+              "bad register file shape");
+    int ports = readPorts + writePorts;
+    double cell_w = params.cellBaseW + params.trackPerPort * ports;
+    double cell_h = params.cellBaseH + params.trackPerPort * ports;
+
+    RegFileCost cost;
+    cost.area = static_cast<double>(registers) * params.bits * cell_w *
+                cell_h;
+
+    // Per access, a port switches one wordline (bits * cellW tracks)
+    // and one bitline per bit (registers * cellH tracks).
+    double wordline = params.bits * cell_w;
+    double bitline = registers * cell_h;
+    cost.energy =
+        params.portActivity * ports * (wordline + bitline);
+
+    // Access delay follows the array's linear dimension (RC of the
+    // longer of the wordline/bitline, plus decode ~ log R, which the
+    // linear term dominates at these sizes). External bus traversal
+    // is added at the machine level with its own delay weight.
+    cost.delay = std::sqrt(std::max(1.0, cost.area));
+    return cost;
+}
+
+} // namespace cs

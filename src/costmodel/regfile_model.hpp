@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Analytic register-file and interconnect cost model after Rixner et
+ * al., "Register Organization for Media Processing" (HPCA 2000) — the
+ * paper's reference [15] and the source of its Figures 25-27 bars.
+ *
+ * A register cell is a grid of wire tracks: each port adds one wordline
+ * track to the cell height and one bitline track to the cell width, so
+ * a file with R registers of b bits and p ports occupies
+ *
+ *     area = R * b * (w0 + p) * (h0 + p)            [track^2]
+ *
+ * Access energy is proportional to the switched wire capacitance
+ * (wordline + bitline length) per active port; access delay to the
+ * wordline/bitline RC, i.e. the cell-array linear dimension. Shared
+ * buses add wire area/energy proportional to their length, which grows
+ * with the number of endpoints they span.
+ *
+ * With a central file, ports grow with the unit count N, giving the
+ * published asymptotics: area and power ~ N^3, delay ~ N^1.5. A
+ * distributed organization has O(N) two-port files plus O(N)-long
+ * global buses: area and power ~ N^2, delay ~ N.
+ */
+
+#ifndef CS_COSTMODEL_REGFILE_MODEL_HPP
+#define CS_COSTMODEL_REGFILE_MODEL_HPP
+
+namespace cs {
+
+/** Technology-ish constants, in wire-track units. */
+struct CostParams
+{
+    /** Word width in bits. */
+    int bits = 32;
+    /**
+     * Base cell width/height in tracks (single-port storage cell).
+     * The defaults below are calibrated so the standard 16-unit
+     * machines reproduce the paper's published ratios (distributed at
+     * 9% area / 6% power / 37% delay of central; 56% area / 50% power
+     * of four-cluster clustered).
+     */
+    double cellBaseW = 5.3;
+    double cellBaseH = 5.3;
+    /** Track pitch added per port in each dimension. */
+    double trackPerPort = 1.0;
+    /** Datapath pitch a bus crosses per endpoint it connects. */
+    double busPitchPerEndpoint = 11.3;
+    /** Relative weight of bus wire area vs register cell area. */
+    double busAreaWeight = 8.1;
+    /** Energy weight of bus wire capacitance vs cell capacitance. */
+    double busEnergyWeight = 5.0;
+    /** Activity factor for ports (fraction busy per cycle). */
+    double portActivity = 1.0;
+    /** Delay per unit of RC-equivalent wire length. */
+    double wireDelay = 3.1;
+};
+
+/** Costs for one register file. */
+struct RegFileCost
+{
+    double area = 0.0;   ///< track^2
+    double energy = 0.0; ///< per-cycle switched capacitance proxy
+    double delay = 0.0;  ///< access delay proxy
+};
+
+/**
+ * Cost of a register file with @p registers words and the given port
+ * counts, per the grid model above.
+ */
+RegFileCost regFileCost(int registers, int readPorts, int writePorts,
+                        const CostParams &params = {});
+
+} // namespace cs
+
+#endif // CS_COSTMODEL_REGFILE_MODEL_HPP

@@ -1,0 +1,115 @@
+#include "ir/builder.hpp"
+
+#include "support/logging.hpp"
+
+namespace cs {
+
+BlockId
+KernelBuilder::block(const std::string &name, bool isLoop)
+{
+    current_ = kernel_.addBlock(name, isLoop);
+    return current_;
+}
+
+Val
+KernelBuilder::emitOp(Opcode opcode, std::vector<Operand> operands,
+                      const std::string &name, std::int64_t memBase,
+                      int iterStride)
+{
+    CS_ASSERT(current_.valid(),
+              "open a block before emitting operations");
+    (void)memBase;
+    OperationId op_id =
+        kernel_.addOperation(current_, opcode, std::move(operands), name);
+    if (iterStride != 0) {
+        const_cast<Operation &>(kernel_.operation(op_id)).iterStride =
+            iterStride;
+    }
+    ValueId result = kernel_.operation(op_id).result;
+    return result.valid() ? Val(result) : Val();
+}
+
+#define CS_BINOP(method, opcode)                                            \
+    Val KernelBuilder::method(Arg a, Arg b, const std::string &name)        \
+    {                                                                       \
+        return emitOp(Opcode::opcode, {a.operand, b.operand}, name);        \
+    }
+
+CS_BINOP(iadd, IAdd)
+CS_BINOP(isub, ISub)
+CS_BINOP(imin, IMin)
+CS_BINOP(imax, IMax)
+CS_BINOP(iand, IAnd)
+CS_BINOP(ior, IOr)
+CS_BINOP(ixor, IXor)
+CS_BINOP(ishl, IShl)
+CS_BINOP(ishr, IShr)
+CS_BINOP(imul, IMul)
+CS_BINOP(imulfix, IMulFix)
+CS_BINOP(idiv, IDiv)
+CS_BINOP(fadd, FAdd)
+CS_BINOP(fsub, FSub)
+CS_BINOP(fmul, FMul)
+CS_BINOP(fdiv, FDiv)
+CS_BINOP(shuffle, Shuffle)
+
+#undef CS_BINOP
+
+Val
+KernelBuilder::load(std::int64_t base, int iterStride,
+                    const std::string &name)
+{
+    return emitOp(Opcode::Load, {Operand::fromInt(base)}, name, base,
+                  iterStride);
+}
+
+void
+KernelBuilder::store(std::int64_t base, Arg value, int iterStride)
+{
+    emitOp(Opcode::Store, {Operand::fromInt(base), value.operand}, "",
+           base, iterStride);
+}
+
+Val
+KernelBuilder::spread(Arg index, const std::string &name)
+{
+    return emitOp(Opcode::SpRead, {index.operand}, name);
+}
+
+void
+KernelBuilder::spwrite(Arg index, Arg value)
+{
+    emitOp(Opcode::SpWrite, {index.operand, value.operand}, "");
+}
+
+Val
+KernelBuilder::emit(Opcode opcode, std::vector<Arg> args,
+                    const std::string &name)
+{
+    std::vector<Operand> operands;
+    operands.reserve(args.size());
+    for (const Arg &arg : args)
+        operands.push_back(arg.operand);
+    return emitOp(opcode, std::move(operands), name);
+}
+
+void
+KernelBuilder::alias(OperationId a, OperationId b, int aliasClass)
+{
+    const_cast<Operation &>(kernel_.operation(a)).aliasClass = aliasClass;
+    const_cast<Operation &>(kernel_.operation(b)).aliasClass = aliasClass;
+}
+
+OperationId
+KernelBuilder::defOf(Val v) const
+{
+    return kernel_.value(v.id()).def;
+}
+
+Kernel
+KernelBuilder::take()
+{
+    return std::move(kernel_);
+}
+
+} // namespace cs

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Fluent construction API for kernels. The paper's kernels were written
+ * in "a limited subset of C"; KernelBuilder plays the role of that
+ * frontend, producing SSA dataflow directly.
+ *
+ * Memory is accessed in stream style, as on Imagine: a load/store names
+ * a base address plus a per-iteration stride, so the loop body contains
+ * no address arithmetic (stream access is part of the load/store unit).
+ */
+
+#ifndef CS_IR_BUILDER_HPP
+#define CS_IR_BUILDER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace cs {
+
+/**
+ * A value handle returned by builder methods; implicitly convertible
+ * into an operand. Use at(distance) for loop-carried references.
+ */
+class Val
+{
+  public:
+    Val() = default;
+    explicit Val(ValueId id) : id_(id) {}
+
+    ValueId id() const { return id_; }
+    bool valid() const { return id_.valid(); }
+
+    /** Reference this value from @p distance iterations ago. */
+    Operand
+    at(int distance) const
+    {
+        return Operand::fromValue(id_, distance);
+    }
+
+    operator Operand() const { return Operand::fromValue(id_); }
+
+  private:
+    ValueId id_;
+};
+
+/** Builder argument: a value handle or an immediate. */
+struct Arg
+{
+    Operand operand;
+
+    Arg(Val v) : operand(Operand::fromValue(v.id())) {}
+    Arg(Operand o) : operand(o) {}
+    Arg(int v) : operand(Operand::fromInt(v)) {}
+    Arg(std::int64_t v) : operand(Operand::fromInt(v)) {}
+    Arg(double v) : operand(Operand::fromFloat(v)) {}
+};
+
+/**
+ * Builds a Kernel one block at a time. Create blocks with block(); all
+ * operation methods append to the current block.
+ */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name) : kernel_(std::move(name)) {}
+
+    /** Open a new block and make it current. */
+    BlockId block(const std::string &name, bool isLoop = false);
+
+    /** @name Arithmetic */
+    /// @{
+    Val iadd(Arg a, Arg b, const std::string &name = "");
+    Val isub(Arg a, Arg b, const std::string &name = "");
+    Val imin(Arg a, Arg b, const std::string &name = "");
+    Val imax(Arg a, Arg b, const std::string &name = "");
+    Val iand(Arg a, Arg b, const std::string &name = "");
+    Val ior(Arg a, Arg b, const std::string &name = "");
+    Val ixor(Arg a, Arg b, const std::string &name = "");
+    Val ishl(Arg a, Arg b, const std::string &name = "");
+    Val ishr(Arg a, Arg b, const std::string &name = "");
+    Val imul(Arg a, Arg b, const std::string &name = "");
+    Val imulfix(Arg a, Arg b, const std::string &name = "");
+    Val idiv(Arg a, Arg b, const std::string &name = "");
+    Val fadd(Arg a, Arg b, const std::string &name = "");
+    Val fsub(Arg a, Arg b, const std::string &name = "");
+    Val fmul(Arg a, Arg b, const std::string &name = "");
+    Val fdiv(Arg a, Arg b, const std::string &name = "");
+    Val shuffle(Arg a, Arg b, const std::string &name = "");
+    /// @}
+
+    /** @name Memory (stream style) */
+    /// @{
+    /**
+     * Load from address @p base; each loop iteration advances the
+     * effective address by @p iterStride elements.
+     */
+    Val load(std::int64_t base, int iterStride = 0,
+             const std::string &name = "");
+
+    /** Store @p value to @p base (+ iteration * @p iterStride). */
+    void store(std::int64_t base, Arg value, int iterStride = 0);
+
+    /** Scratchpad access (indexed small memory on the sp unit). */
+    Val spread(Arg index, const std::string &name = "");
+    void spwrite(Arg index, Arg value);
+    /// @}
+
+    /** Generic escape hatch. */
+    Val emit(Opcode opcode, std::vector<Arg> args,
+             const std::string &name = "");
+
+    /**
+     * Put the two most recent memory operations in one alias class so
+     * the dependence graph orders them. Rarely needed: stream accesses
+     * to distinct regions don't alias.
+     */
+    void alias(OperationId a, OperationId b, int aliasClass);
+
+    /** The operation that defined a value (for alias annotations). */
+    OperationId defOf(Val v) const;
+
+    /** Finish and return the kernel. */
+    Kernel take();
+
+  private:
+    Val emitOp(Opcode opcode, std::vector<Operand> operands,
+               const std::string &name, std::int64_t memBase = 0,
+               int iterStride = 0);
+
+    Kernel kernel_;
+    BlockId current_;
+};
+
+} // namespace cs
+
+#endif // CS_IR_BUILDER_HPP

@@ -1,0 +1,211 @@
+#include "ir/ddg.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.hpp"
+
+namespace cs {
+
+Ddg::Ddg(const Kernel &kernel, BlockId block, const Machine &machine)
+    : kernel_(kernel), machine_(machine)
+{
+    const Block &blk = kernel.block(block);
+    ops_ = blk.operations;
+
+    indexOf_.assign(kernel.numOperations(), -1);
+    for (std::size_t i = 0; i < ops_.size(); ++i)
+        indexOf_[ops_[i].index()] = static_cast<int>(i);
+
+    succs_.assign(ops_.size(), {});
+    preds_.assign(ops_.size(), {});
+    succEdges_.assign(ops_.size(), {});
+    predEdges_.assign(ops_.size(), {});
+
+    // Data edges from operand references.
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+        const Operation &op = kernel.operation(ops_[i]);
+        for (const Operand &operand : op.operands) {
+            if (!operand.isValue())
+                continue;
+            OperationId def = kernel.value(operand.value).def;
+            if (def.index() >= indexOf_.size() ||
+                indexOf_[def.index()] < 0) {
+                continue; // defined in another block: a live-in
+            }
+            const Operation &producer = kernel.operation(def);
+            addEdge(DepEdge{def, op.id, machine.latency(producer.opcode),
+                            operand.distance, DepEdge::Kind::Data});
+        }
+    }
+
+    // Memory ordering within alias classes (program order).
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+        const Operation &a = kernel.operation(ops_[i]);
+        if (!a.isMemory() || a.aliasClass < 0)
+            continue;
+        for (std::size_t j = i + 1; j < ops_.size(); ++j) {
+            const Operation &b = kernel.operation(ops_[j]);
+            if (!b.isMemory() || b.aliasClass != a.aliasClass)
+                continue;
+            bool a_store = a.opcode == Opcode::Store;
+            bool b_store = b.opcode == Opcode::Store;
+            if (!a_store && !b_store)
+                continue; // load-load: no ordering
+            int lat = a_store ? machine.latency(a.opcode) : 0;
+            addEdge(DepEdge{a.id, b.id, lat, 0, DepEdge::Kind::Memory});
+        }
+    }
+
+    // Topological order over distance-0 edges (Kahn's algorithm).
+    std::vector<int> in_degree(ops_.size(), 0);
+    for (const DepEdge &edge : edges_) {
+        if (edge.distance == 0)
+            ++in_degree[indexOf_[edge.to.index()]];
+    }
+    std::vector<int> ready;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+        if (in_degree[i] == 0)
+            ready.push_back(static_cast<int>(i));
+    }
+    // Stable: lowest index first for determinism.
+    std::size_t head = 0;
+    topo_.clear();
+    while (head < ready.size()) {
+        std::sort(ready.begin() + head, ready.end());
+        int n = ready[head++];
+        topo_.push_back(n);
+        for (int e : succEdges_[n]) {
+            if (edges_[e].distance != 0)
+                continue;
+            int m = indexOf_[edges_[e].to.index()];
+            if (--in_degree[m] == 0)
+                ready.push_back(m);
+        }
+    }
+    CS_ASSERT(topo_.size() == ops_.size(),
+              "same-iteration dependence cycle in block ", blk.name,
+              " of kernel ", kernel.name());
+
+    // ASAP over distance-0 edges.
+    asap_.assign(ops_.size(), 0);
+    for (int n : topo_) {
+        for (int e : predEdgesOf(n)) {
+            if (edges_[e].distance != 0)
+                continue;
+            int p = indexOf_[edges_[e].from.index()];
+            asap_[n] = std::max(asap_[n], asap_[p] + edges_[e].latency);
+        }
+    }
+
+    // Heights over distance-0 edges, traversed in reverse topo order.
+    height_.assign(ops_.size(), 0);
+    criticalPath_ = 0;
+    for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+        int n = *it;
+        int lat = machine.latency(kernel.operation(ops_[n]).opcode);
+        int best = 0;
+        for (int e : succEdgesOf(n)) {
+            if (edges_[e].distance != 0)
+                continue;
+            int s = indexOf_[edges_[e].to.index()];
+            best = std::max(best, height_[s]);
+        }
+        // Use the edge latency outwards rather than the raw opcode
+        // latency so heights agree with ASAP arithmetic.
+        height_[n] = lat + best;
+        criticalPath_ = std::max(criticalPath_, asap_[n] + lat);
+    }
+}
+
+void
+Ddg::addEdge(DepEdge edge)
+{
+    int from = indexOf_[edge.from.index()];
+    int to = indexOf_[edge.to.index()];
+    CS_ASSERT(from >= 0 && to >= 0, "edge endpoints outside block");
+    int e = static_cast<int>(edges_.size());
+    edges_.push_back(edge);
+    succs_[from].push_back(to);
+    preds_[to].push_back(from);
+    succEdges_[from].push_back(e);
+    predEdges_[to].push_back(e);
+    if (edge.distance > 0)
+        hasCarried_ = true;
+}
+
+int
+Ddg::indexOf(OperationId op) const
+{
+    CS_ASSERT(op.valid() && op.index() < indexOf_.size() &&
+                  indexOf_[op.index()] >= 0,
+              "operation not in this DDG");
+    return indexOf_[op.index()];
+}
+
+int
+Ddg::resMii() const
+{
+    std::vector<int> uses(kNumOpClasses, 0);
+    for (OperationId op_id : ops_) {
+        OpClass cls = opcodeClass(kernel_.operation(op_id).opcode);
+        ++uses[static_cast<std::size_t>(cls)];
+    }
+    int mii = 1;
+    for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+        if (uses[c] == 0)
+            continue;
+        auto units = machine_.unitsForClass(static_cast<OpClass>(c))
+                         .size();
+        CS_ASSERT(units > 0, "no unit executes class ",
+                  opClassName(static_cast<OpClass>(c)));
+        int need = (uses[c] + static_cast<int>(units) - 1) /
+                   static_cast<int>(units);
+        mii = std::max(mii, need);
+    }
+    return mii;
+}
+
+bool
+Ddg::feasibleII(int ii) const
+{
+    // Bellman-Ford longest-path: a positive-weight cycle with weights
+    // latency - distance*ii means the recurrence cannot close in ii.
+    const std::size_t n = ops_.size();
+    std::vector<long> dist(n, 0);
+    for (std::size_t round = 0; round <= n; ++round) {
+        bool changed = false;
+        for (const DepEdge &edge : edges_) {
+            int from = indexOf_[edge.from.index()];
+            int to = indexOf_[edge.to.index()];
+            long w = edge.latency - static_cast<long>(edge.distance) * ii;
+            if (dist[from] + w > dist[to]) {
+                dist[to] = dist[from] + w;
+                changed = true;
+            }
+        }
+        if (!changed)
+            return true;
+    }
+    return false;
+}
+
+int
+Ddg::recMii() const
+{
+    if (!hasCarried_)
+        return 1;
+    int lo = 1, hi = 1;
+    for (const DepEdge &edge : edges_)
+        hi += std::max(edge.latency, 0);
+    while (lo < hi) {
+        int mid = lo + (hi - lo) / 2;
+        if (feasibleII(mid))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+} // namespace cs

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Data-dependence graph over one block of a kernel. Edges carry a
+ * latency (cycles the consumer must wait after the producer issues)
+ * and an iteration distance (0 = same iteration, >0 = loop-carried).
+ * Provides the analyses the schedulers need: topological order on the
+ * same-iteration subgraph, ASAP times, heights (critical path to the
+ * sink, the paper's scheduling priority), and the resource-constrained
+ * and recurrence-constrained lower bounds on the initiation interval.
+ */
+
+#ifndef CS_IR_DDG_HPP
+#define CS_IR_DDG_HPP
+
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "machine/machine.hpp"
+
+namespace cs {
+
+/** One dependence edge. */
+struct DepEdge
+{
+    enum class Kind : std::uint8_t { Data, Memory };
+
+    OperationId from;
+    OperationId to;
+    int latency = 0;
+    int distance = 0;
+    Kind kind = Kind::Data;
+};
+
+/**
+ * Dependence graph for one block, with latencies taken from a machine
+ * description. Indexing is by position within the block's operation
+ * list (dense), with mapping back to OperationId.
+ */
+class Ddg
+{
+  public:
+    Ddg(const Kernel &kernel, BlockId block, const Machine &machine);
+
+    std::size_t numOps() const { return ops_.size(); }
+    OperationId opAt(std::size_t index) const { return ops_[index]; }
+    int indexOf(OperationId op) const;
+
+    const std::vector<DepEdge> &edges() const { return edges_; }
+    const std::vector<int> &succsOf(int index) const
+    {
+        return succs_[index];
+    }
+    const std::vector<int> &predsOf(int index) const
+    {
+        return preds_[index];
+    }
+    /** Edge list index for succ/pred adjacency entries. */
+    const DepEdge &edge(int edgeIndex) const { return edges_[edgeIndex]; }
+    const std::vector<int> &succEdgesOf(int index) const
+    {
+        return succEdges_[index];
+    }
+    const std::vector<int> &predEdgesOf(int index) const
+    {
+        return predEdges_[index];
+    }
+
+    /** Topological order over distance-0 edges. */
+    const std::vector<int> &topoOrder() const { return topo_; }
+
+    /** Earliest issue cycle ignoring resources (distance-0 edges). */
+    int asap(int index) const { return asap_[index]; }
+
+    /**
+     * Height: the longest latency path from this operation to the end
+     * of the block (inclusive of its own latency); the list scheduler's
+     * critical-path priority.
+     */
+    int height(int index) const { return height_[index]; }
+
+    /** Length of the critical path (max asap + latency). */
+    int criticalPathLength() const { return criticalPath_; }
+
+    /**
+     * Resource-constrained minimum initiation interval: for each
+     * operation class, ceil(uses / units available).
+     */
+    int resMii() const;
+
+    /**
+     * Recurrence-constrained minimum II: the smallest II for which no
+     * dependence cycle has positive slack deficit (checked with
+     * Bellman-Ford over edge weights latency - distance * II).
+     */
+    int recMii() const;
+
+  private:
+    void addEdge(DepEdge edge);
+    bool feasibleII(int ii) const;
+
+    const Kernel &kernel_;
+    const Machine &machine_;
+    std::vector<OperationId> ops_;
+    std::vector<int> indexOf_;
+    std::vector<DepEdge> edges_;
+    std::vector<std::vector<int>> succs_, preds_;
+    std::vector<std::vector<int>> succEdges_, predEdges_;
+    std::vector<int> topo_;
+    std::vector<int> asap_;
+    std::vector<int> height_;
+    int criticalPath_ = 0;
+    bool hasCarried_ = false;
+};
+
+} // namespace cs
+
+#endif // CS_IR_DDG_HPP

@@ -1,0 +1,265 @@
+#include "ir/kernel.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace cs {
+
+BlockId
+Kernel::addBlock(const std::string &name, bool isLoop)
+{
+    BlockId id(static_cast<std::uint32_t>(blocks_.size()));
+    blocks_.push_back(Block{id, name, isLoop, {}});
+    return id;
+}
+
+OperationId
+Kernel::addOperation(BlockId block, Opcode opcode,
+                     std::vector<Operand> operands,
+                     const std::string &name)
+{
+    CS_ASSERT(block.valid() && block.index() < blocks_.size(),
+              "bad block id ", block);
+    CS_ASSERT(static_cast<int>(operands.size()) == opcodeArity(opcode),
+              opcodeName(opcode), " expects ", opcodeArity(opcode),
+              " operands, got ", operands.size());
+
+    OperationId op_id(static_cast<std::uint32_t>(operations_.size()));
+    Operation op;
+    op.id = op_id;
+    op.opcode = opcode;
+    op.block = block;
+    op.operands = std::move(operands);
+    op.name = name.empty() ? "op" + std::to_string(op_id.index()) : name;
+
+    if (opcodeHasResult(opcode)) {
+        ValueId val_id(static_cast<std::uint32_t>(values_.size()));
+        values_.push_back(Value{val_id, op_id, op.name, {}});
+        op.result = val_id;
+    }
+
+    for (std::size_t s = 0; s < op.operands.size(); ++s) {
+        const Operand &operand = op.operands[s];
+        if (!operand.isValue())
+            continue;
+        CS_ASSERT(operand.value.index() < values_.size(),
+                  "operand references unknown value");
+        values_[operand.value.index()].uses.emplace_back(
+            op_id, static_cast<int>(s));
+    }
+
+    operations_.push_back(std::move(op));
+    blocks_[block.index()].operations.push_back(op_id);
+    return op_id;
+}
+
+OperationId
+Kernel::insertCopy(BlockId block, ValueId value,
+                   const std::vector<std::pair<OperationId, int>>
+                       &retarget)
+{
+    CS_ASSERT(value.valid() && value.index() < values_.size(),
+              "bad value id ", value);
+    OperationId copy_id =
+        addOperation(block, Opcode::Copy, {Operand::fromValue(value)},
+                     "copy." + values_[value.index()].name);
+    ValueId copy_val = operations_[copy_id.index()].result;
+
+    // Keep block order consistent with dataflow: the copy precedes
+    // the earliest operation it feeds. (addOperation appended it.)
+    auto &block_ops = blocks_[block.index()].operations;
+    std::size_t insert_at = block_ops.size() - 1;
+    for (auto [user, slot] : retarget) {
+        for (std::size_t i = 0; i < block_ops.size(); ++i) {
+            if (block_ops[i] == user) {
+                insert_at = std::min(insert_at, i);
+                break;
+            }
+        }
+    }
+    block_ops.pop_back();
+    block_ops.insert(block_ops.begin() + insert_at, copy_id);
+
+    for (auto [user, slot] : retarget) {
+        Operation &consumer = mutableOperation(user);
+        Operand &operand = consumer.operands[slot];
+        CS_ASSERT(operand.isValue() && operand.value == value,
+                  "retarget slot does not consume the copied value");
+        // Move the use from the original value to the copy's value.
+        auto &old_uses = values_[value.index()].uses;
+        auto it = std::find(old_uses.begin(), old_uses.end(),
+                            std::make_pair(user, slot));
+        CS_ASSERT(it != old_uses.end(), "use list out of sync");
+        old_uses.erase(it);
+        operand.value = copy_val;
+        values_[copy_val.index()].uses.emplace_back(user, slot);
+    }
+    return copy_id;
+}
+
+void
+Kernel::removeLastCopy(OperationId copyOp)
+{
+    CS_ASSERT(!operations_.empty() &&
+                  operations_.back().id == copyOp &&
+                  operations_.back().isCopy(),
+              "removeLastCopy must unwind the most recent copy");
+    Operation &copy = operations_.back();
+    ValueId copy_val = copy.result;
+    ValueId orig_val = copy.operands[0].value;
+
+    // Restore the retargeted uses.
+    for (auto [user, slot] : values_[copy_val.index()].uses) {
+        Operand &operand = mutableOperation(user).operands[slot];
+        CS_ASSERT(operand.isValue() && operand.value == copy_val,
+                  "use list out of sync during copy removal");
+        operand.value = orig_val;
+        values_[orig_val.index()].uses.emplace_back(user, slot);
+    }
+
+    // Drop the copy's own use of the original value.
+    auto &orig_uses = values_[orig_val.index()].uses;
+    auto it = std::find(orig_uses.begin(), orig_uses.end(),
+                        std::make_pair(copy.id, 0));
+    CS_ASSERT(it != orig_uses.end(), "copy's use missing");
+    orig_uses.erase(it);
+
+    // The copy's value must be the last one allocated.
+    CS_ASSERT(copy_val.index() == values_.size() - 1,
+              "copy value is not the most recent value");
+    auto &block_ops = blocks_[copy.block.index()].operations;
+    auto it2 =
+        std::find(block_ops.begin(), block_ops.end(), copy.id);
+    CS_ASSERT(it2 != block_ops.end(),
+              "copy missing from its block's operation list");
+    block_ops.erase(it2);
+    values_.pop_back();
+    operations_.pop_back();
+}
+
+void
+Kernel::retargetUse(OperationId user, int slot, ValueId to)
+{
+    Operation &consumer = mutableOperation(user);
+    CS_ASSERT(slot >= 0 &&
+                  static_cast<std::size_t>(slot) <
+                      consumer.operands.size(),
+              "bad slot");
+    Operand &operand = consumer.operands[slot];
+    CS_ASSERT(operand.isValue(), "slot does not hold a value");
+    ValueId from = operand.value;
+    CS_ASSERT(to.valid() && to.index() < values_.size(), "bad value");
+
+    auto &old_uses = values_[from.index()].uses;
+    auto it = std::find(old_uses.begin(), old_uses.end(),
+                        std::make_pair(user, slot));
+    CS_ASSERT(it != old_uses.end(), "use list out of sync");
+    old_uses.erase(it);
+    operand.value = to;
+    values_[to.index()].uses.emplace_back(user, slot);
+}
+
+const Block &
+Kernel::block(BlockId id) const
+{
+    CS_ASSERT(id.valid() && id.index() < blocks_.size(), "bad block ",
+              id);
+    return blocks_[id.index()];
+}
+
+const Operation &
+Kernel::operation(OperationId id) const
+{
+    CS_ASSERT(id.valid() && id.index() < operations_.size(), "bad op ",
+              id);
+    return operations_[id.index()];
+}
+
+const Value &
+Kernel::value(ValueId id) const
+{
+    CS_ASSERT(id.valid() && id.index() < values_.size(), "bad value ",
+              id);
+    return values_[id.index()];
+}
+
+Block &
+Kernel::mutableBlock(BlockId id)
+{
+    return const_cast<Block &>(block(id));
+}
+
+Operation &
+Kernel::mutableOperation(OperationId id)
+{
+    return const_cast<Operation &>(operation(id));
+}
+
+Value &
+Kernel::mutableValue(ValueId id)
+{
+    return const_cast<Value &>(value(id));
+}
+
+std::size_t
+Kernel::numOriginalOperations() const
+{
+    std::size_t n = 0;
+    for (const Operation &op : operations_) {
+        if (!op.isCopy())
+            ++n;
+    }
+    return n;
+}
+
+std::vector<std::size_t>
+Kernel::opcodeClassHistogram() const
+{
+    std::vector<std::size_t> histogram(kNumOpClasses, 0);
+    for (const Operation &op : operations_)
+        ++histogram[static_cast<std::size_t>(opcodeClass(op.opcode))];
+    return histogram;
+}
+
+std::string
+Kernel::toString() const
+{
+    std::ostringstream os;
+    os << "kernel " << name_ << "\n";
+    for (const Block &blk : blocks_) {
+        os << " block " << blk.name << (blk.isLoop ? " (loop)" : "")
+           << ":\n";
+        for (OperationId op_id : blk.operations) {
+            const Operation &op = operations_[op_id.index()];
+            os << "  ";
+            if (op.hasResult())
+                os << values_[op.result.index()].name << " = ";
+            os << opcodeName(op.opcode);
+            for (const Operand &operand : op.operands) {
+                os << " ";
+                switch (operand.kind) {
+                  case Operand::Kind::Value:
+                    os << values_[operand.value.index()].name;
+                    if (operand.distance > 0)
+                        os << "@" << operand.distance;
+                    break;
+                  case Operand::Kind::ImmInt:
+                    os << "#" << operand.immInt;
+                    break;
+                  case Operand::Kind::ImmFloat:
+                    os << "#" << operand.immFloat;
+                    break;
+                  case Operand::Kind::None:
+                    os << "_";
+                    break;
+                }
+            }
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace cs

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Kernel container: basic blocks of operations plus the SSA value
+ * table. The paper's evaluation kernels are "a short preamble followed
+ * by a single software-pipelined loop"; a Kernel here is a list of
+ * blocks, each optionally marked as a loop body.
+ */
+
+#ifndef CS_IR_KERNEL_HPP
+#define CS_IR_KERNEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "ir/operation.hpp"
+
+namespace cs {
+
+/** A straight-line block of operations, optionally a loop body. */
+struct Block
+{
+    BlockId id;
+    std::string name;
+    bool isLoop = false;
+    /** Operations in program order. */
+    std::vector<OperationId> operations;
+};
+
+/**
+ * A kernel: the unit of scheduling. Owns blocks, operations, and
+ * values. Operations are only appended (the scheduler inserts copy
+ * operations during communication scheduling), never removed.
+ */
+class Kernel
+{
+  public:
+    explicit Kernel(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** @name Construction (used by KernelBuilder and copy insertion) */
+    /// @{
+    BlockId addBlock(const std::string &name, bool isLoop);
+
+    /**
+     * Append an operation to a block. Registers result and use lists.
+     * Returns the new operation's id.
+     */
+    OperationId addOperation(BlockId block, Opcode opcode,
+                             std::vector<Operand> operands,
+                             const std::string &name = "");
+
+    /**
+     * Insert a copy of @p value; the copy joins @p block (appended to
+     * its operation list). The uses listed in @p retarget (pairs of
+     * consumer op and slot) are rewritten to consume the copy's result.
+     * Implements the paper's Figure 21 code transformation.
+     */
+    OperationId insertCopy(BlockId block, ValueId value,
+                           const std::vector<std::pair<OperationId, int>>
+                               &retarget);
+
+    /**
+     * Undo insertCopy: restore retargeted uses to the original value
+     * and drop the copy (must be the most recently added operation —
+     * copy insertion unwinds in LIFO order when scheduling fails).
+     */
+    void removeLastCopy(OperationId copyOp);
+
+    /**
+     * Point one operand slot of @p user at a different value (both
+     * values must carry the same data, e.g. a copy's result). Use
+     * lists are maintained; the inverse call undoes it.
+     */
+    void retargetUse(OperationId user, int slot, ValueId to);
+    /// @}
+
+    /** @name Access */
+    /// @{
+    std::size_t numBlocks() const { return blocks_.size(); }
+    std::size_t numOperations() const { return operations_.size(); }
+    std::size_t numValues() const { return values_.size(); }
+
+    const Block &block(BlockId id) const;
+    const Operation &operation(OperationId id) const;
+    const Value &value(ValueId id) const;
+
+    const std::vector<Block> &blocks() const { return blocks_; }
+    const std::vector<Operation> &operations() const
+    {
+        return operations_;
+    }
+    /// @}
+
+    /** Number of operations excluding inserted copies. */
+    std::size_t numOriginalOperations() const;
+
+    /** Count of operations by opcode class (Table 1 style stats). */
+    std::vector<std::size_t> opcodeClassHistogram() const;
+
+    /** Pretty-print (debugging, examples). */
+    std::string toString() const;
+
+  private:
+    friend class KernelBuilder;
+
+    Block &mutableBlock(BlockId id);
+    Operation &mutableOperation(OperationId id);
+    Value &mutableValue(ValueId id);
+
+    std::string name_;
+    std::vector<Block> blocks_;
+    std::vector<Operation> operations_;
+    std::vector<Value> values_;
+};
+
+} // namespace cs
+
+#endif // CS_IR_KERNEL_HPP

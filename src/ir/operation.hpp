@@ -1,0 +1,118 @@
+/**
+ * @file
+ * IR operations and operands. Kernels are expressed as SSA dataflow:
+ * each operation consumes operands (SSA values or immediates) and
+ * produces at most one value. An operand that names a value defined in
+ * the same loop block may carry an iteration @c distance, making the
+ * dependence loop-carried (used by the modulo scheduler).
+ */
+
+#ifndef CS_IR_OPERATION_HPP
+#define CS_IR_OPERATION_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/opclass.hpp"
+#include "support/ids.hpp"
+
+namespace cs {
+
+/** One operand slot of an operation. */
+struct Operand
+{
+    enum class Kind : std::uint8_t {
+        None,     ///< unused slot
+        Value,    ///< SSA value reference
+        ImmInt,   ///< integer immediate
+        ImmFloat, ///< floating-point immediate
+    };
+
+    Kind kind = Kind::None;
+    ValueId value;
+    /** Loop-carried iteration distance (0 = same iteration). */
+    int distance = 0;
+    std::int64_t immInt = 0;
+    double immFloat = 0.0;
+
+    bool isValue() const { return kind == Kind::Value; }
+    bool isImmediate() const
+    {
+        return kind == Kind::ImmInt || kind == Kind::ImmFloat;
+    }
+
+    static Operand
+    fromValue(ValueId v, int distance = 0)
+    {
+        Operand o;
+        o.kind = Kind::Value;
+        o.value = v;
+        o.distance = distance;
+        return o;
+    }
+
+    static Operand
+    fromInt(std::int64_t v)
+    {
+        Operand o;
+        o.kind = Kind::ImmInt;
+        o.immInt = v;
+        return o;
+    }
+
+    static Operand
+    fromFloat(double v)
+    {
+        Operand o;
+        o.kind = Kind::ImmFloat;
+        o.immFloat = v;
+        return o;
+    }
+};
+
+/** A single IR operation. */
+struct Operation
+{
+    OperationId id;
+    Opcode opcode = Opcode::IAdd;
+    BlockId block;
+    std::vector<Operand> operands;
+    /** Result value; invalid for result-less opcodes (stores). */
+    ValueId result;
+    /** Debug name, e.g. "t12" or "copy.a". */
+    std::string name;
+    /**
+     * Memory alias class for loads/stores: operations in the same
+     * class are ordered by the dependence graph; different classes are
+     * independent. Negative = private (no ordering against anything).
+     */
+    int aliasClass = -1;
+    /**
+     * Stream stride for memory operations: the effective address is
+     * the address operand plus iteration * iterStride (stream-style
+     * access, resolved by the load/store unit as on Imagine).
+     */
+    int iterStride = 0;
+
+    bool isCopy() const { return opcode == Opcode::Copy; }
+    bool isMemory() const
+    {
+        return opcode == Opcode::Load || opcode == Opcode::Store;
+    }
+    bool hasResult() const { return result.valid(); }
+};
+
+/** An SSA value: its defining operation and its uses. */
+struct Value
+{
+    ValueId id;
+    OperationId def;
+    std::string name;
+    /** (consumer operation, operand slot) pairs. */
+    std::vector<std::pair<OperationId, int>> uses;
+};
+
+} // namespace cs
+
+#endif // CS_IR_OPERATION_HPP

@@ -1,0 +1,133 @@
+#include "ir/verifier.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cs {
+
+namespace {
+
+void
+issue(std::vector<VerifyIssue> &issues, OperationId op,
+      const std::string &message)
+{
+    issues.push_back(VerifyIssue{op, message});
+}
+
+} // namespace
+
+std::vector<VerifyIssue>
+verifyKernel(const Kernel &kernel)
+{
+    std::vector<VerifyIssue> issues;
+
+    // Position of each operation within its block, for ordering checks.
+    std::vector<int> position(kernel.numOperations(), -1);
+    std::vector<int> block_index(kernel.numOperations(), -1);
+    for (const Block &blk : kernel.blocks()) {
+        for (std::size_t i = 0; i < blk.operations.size(); ++i) {
+            position[blk.operations[i].index()] = static_cast<int>(i);
+            block_index[blk.operations[i].index()] =
+                static_cast<int>(blk.id.index());
+        }
+    }
+
+    for (const Operation &op : kernel.operations()) {
+        if (position[op.id.index()] < 0) {
+            issue(issues, op.id, "operation not listed in any block");
+            continue;
+        }
+        if (static_cast<int>(op.operands.size()) !=
+            opcodeArity(op.opcode)) {
+            issue(issues, op.id, "operand count mismatch");
+        }
+        if (op.hasResult() != opcodeHasResult(op.opcode)) {
+            issue(issues, op.id, "result presence mismatch");
+        }
+        if (op.hasResult()) {
+            const Value &val = kernel.value(op.result);
+            if (val.def != op.id)
+                issue(issues, op.id, "result value def mismatch");
+        }
+
+        const Block &blk = kernel.block(op.block);
+        for (std::size_t s = 0; s < op.operands.size(); ++s) {
+            const Operand &operand = op.operands[s];
+            if (!operand.isValue()) {
+                if (operand.kind == Operand::Kind::None)
+                    issue(issues, op.id, "unset operand slot");
+                continue;
+            }
+            const Value &val = kernel.value(operand.value);
+            // The use list must record this consumption.
+            auto use = std::make_pair(op.id, static_cast<int>(s));
+            if (std::find(val.uses.begin(), val.uses.end(), use) ==
+                val.uses.end()) {
+                issue(issues, op.id, "use not recorded on value");
+            }
+            const Operation &producer = kernel.operation(val.def);
+            if (operand.distance > 0) {
+                if (!blk.isLoop) {
+                    issue(issues, op.id,
+                          "loop-carried operand outside loop block");
+                }
+                if (producer.block != op.block) {
+                    issue(issues, op.id,
+                          "loop-carried operand crosses blocks");
+                }
+            } else if (producer.block == op.block) {
+                if (position[val.def.index()] >=
+                    position[op.id.index()]) {
+                    issue(issues, op.id, "use before def");
+                }
+            } else if (block_index[val.def.index()] >
+                       block_index[op.id.index()]) {
+                issue(issues, op.id,
+                      "operand defined in a later block");
+            }
+        }
+
+        if (op.isMemory()) {
+            if (op.operands.empty() ||
+                (op.operands[0].kind != Operand::Kind::ImmInt &&
+                 !op.operands[0].isValue())) {
+                issue(issues, op.id, "memory address must be an "
+                                     "integer immediate or value");
+            }
+        }
+    }
+
+    // Every value must be defined by a real operation.
+    for (std::size_t v = 0; v < kernel.numValues(); ++v) {
+        ValueId id(static_cast<std::uint32_t>(v));
+        const Value &val = kernel.value(id);
+        if (!val.def.valid() ||
+            val.def.index() >= kernel.numOperations()) {
+            issue(issues, OperationId(), "value with no defining op");
+        }
+    }
+
+    return issues;
+}
+
+bool
+kernelExecutableOn(const Kernel &kernel, const Machine &machine,
+                   std::string *whyNot)
+{
+    for (const Operation &op : kernel.operations()) {
+        OpClass cls = opcodeClass(op.opcode);
+        if (machine.unitsForClass(cls).empty()) {
+            if (whyNot) {
+                std::ostringstream os;
+                os << "no unit of class " << opClassName(cls)
+                   << " on machine " << machine.name() << " for "
+                   << opcodeName(op.opcode);
+                *whyNot = os.str();
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace cs

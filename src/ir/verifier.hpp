@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Structural validation of kernels: SSA consistency, operand arity,
+ * def-before-use for same-iteration references, loop-carried
+ * references confined to loop blocks, and executability of a kernel on
+ * a particular machine (every opcode has a capable unit).
+ */
+
+#ifndef CS_IR_VERIFIER_HPP
+#define CS_IR_VERIFIER_HPP
+
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "machine/machine.hpp"
+
+namespace cs {
+
+/** One verification finding. */
+struct VerifyIssue
+{
+    OperationId op;
+    std::string message;
+};
+
+/** All structural problems found in @p kernel (empty = valid). */
+std::vector<VerifyIssue> verifyKernel(const Kernel &kernel);
+
+/**
+ * True when every operation class used by @p kernel is executable by
+ * some unit of @p machine; otherwise false with @p whyNot filled in.
+ */
+bool kernelExecutableOn(const Kernel &kernel, const Machine &machine,
+                        std::string *whyNot = nullptr);
+
+} // namespace cs
+
+#endif // CS_IR_VERIFIER_HPP

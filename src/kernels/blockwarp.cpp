@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Block Warp (Table 1): the 3-D perspective transformation used for
+ * point-sample rendering [8]. One iteration transforms one point
+ * (x, y, z) by a fixed 4x4 matrix (rows for x', y', and w) and
+ * projects with two divides. The U2 variant unrolls twice.
+ */
+
+#include "kernels/kernels.hpp"
+
+#include "kernels/detail.hpp"
+
+namespace cs {
+
+namespace {
+
+using namespace kern;
+
+/** Fixed view-projection matrix rows (x', y', w). */
+constexpr double kM[3][4] = {
+    {0.80, -0.36, 0.12, 0.50},
+    {0.25, 0.91, -0.18, -0.20},
+    {0.05, 0.02, 1.00, 2.00}, // w = small tilt + z + 2 (never zero)
+};
+
+void
+emitWarpPoint(KernelBuilder &b, int r, int u)
+{
+    Val x = b.load(kRegionA + r, u, "x");
+    Val y = b.load(kRegionB + r, u, "y");
+    Val z = b.load(kRegionC + r, u, "z");
+
+    auto row = [&](int i) {
+        Val s = b.fadd(b.fmul(x, kM[i][0]), b.fmul(y, kM[i][1]));
+        return b.fadd(b.fadd(s, b.fmul(z, kM[i][2])), kM[i][3]);
+    };
+    Val xp = row(0);
+    Val yp = row(1);
+    Val w = row(2);
+
+    b.store(kRegionOut + r, b.fdiv(xp, w), u);
+    b.store(kRegionOut2 + r, b.fdiv(yp, w), u);
+}
+
+Kernel
+buildWarp(int unroll)
+{
+    KernelBuilder b(unroll == 1 ? "Block Warp" : "Block Warp-U2");
+    b.block("loop", true);
+    for (int r = 0; r < unroll; ++r)
+        emitWarpPoint(b, r, unroll);
+    return b.take();
+}
+
+void
+initWarp(MemoryImage &mem, Rng &rng)
+{
+    for (int i = 0; i < 2 * kMaxIterations; ++i) {
+        mem.storeFloat(kRegionA + i, rng.uniformDouble(-1.0, 1.0));
+        mem.storeFloat(kRegionB + i, rng.uniformDouble(-1.0, 1.0));
+        mem.storeFloat(kRegionC + i, rng.uniformDouble(0.5, 2.0));
+    }
+}
+
+void
+referenceWarp(MemoryImage &mem, int iterations, int unroll)
+{
+    for (int i = 0; i < iterations; ++i) {
+        for (int r = 0; r < unroll; ++r) {
+            std::int64_t idx = i * unroll + r;
+            double x = mem.loadFloat(kRegionA + idx);
+            double y = mem.loadFloat(kRegionB + idx);
+            double z = mem.loadFloat(kRegionC + idx);
+            auto row = [&](int k) {
+                return ((x * kM[k][0] + y * kM[k][1]) + z * kM[k][2]) +
+                       kM[k][3];
+            };
+            double w = row(2);
+            mem.storeFloat(kRegionOut + idx, row(0) / w);
+            mem.storeFloat(kRegionOut2 + idx, row(1) / w);
+        }
+    }
+}
+
+} // namespace
+
+KernelSpec
+makeBlockWarpSpec()
+{
+    return KernelSpec{
+        "Block Warp",
+        "3-D perspective transformation for point-sample rendering",
+        [] { return buildWarp(1); }, initWarp,
+        [](MemoryImage &m, int n) { referenceWarp(m, n, 1); }, 16};
+}
+
+KernelSpec
+makeBlockWarpU2Spec()
+{
+    return KernelSpec{
+        "Block Warp-U2",
+        "Block Warp with the inner loop unrolled twice",
+        [] { return buildWarp(2); }, initWarp,
+        [](MemoryImage &m, int n) { referenceWarp(m, n, 2); }, 12};
+}
+
+} // namespace cs

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * DCT (Table 1): an 8-point one-dimensional DCT-II over rows of 8x8
+ * blocks of 16-bit fixed-point numbers, using the classic even/odd
+ * butterfly decomposition (8 adds of stage one, a 4-point even part,
+ * and a 4x4 odd part). Coefficients are Q8.8 immediates. The scalar
+ * reference mirrors the dataflow exactly; a separate accuracy test
+ * compares against the analytic DCT formula.
+ */
+
+#include "kernels/kernels.hpp"
+
+#include "kernels/detail.hpp"
+#include "support/fixed_point.hpp"
+
+namespace cs {
+
+namespace {
+
+using namespace kern;
+
+std::int64_t
+coeff(int k)
+{
+    return toFixed(dctCosTable()[k]);
+}
+
+Kernel
+buildDct()
+{
+    KernelBuilder b("DCT");
+    b.block("loop", true);
+
+    std::vector<Val> s(8);
+    for (int n = 0; n < 8; ++n)
+        s[n] = b.load(kRegionA + n, 8, "s" + std::to_string(n));
+
+    // Stage 1 butterflies.
+    std::vector<Val> a(4), d(4);
+    for (int n = 0; n < 4; ++n) {
+        a[n] = b.iadd(s[n], s[7 - n]);
+        d[n] = b.isub(s[n], s[7 - n]);
+    }
+
+    // Even part.
+    Val c0 = b.iadd(a[0], a[3]);
+    Val c1 = b.iadd(a[1], a[2]);
+    Val c2 = b.isub(a[0], a[3]);
+    Val c3 = b.isub(a[1], a[2]);
+    Val x0 = b.imulfix(b.iadd(c0, c1), coeff(4));
+    Val x4 = b.imulfix(b.isub(c0, c1), coeff(4));
+    Val x2 = b.iadd(b.imulfix(c2, coeff(2)), b.imulfix(c3, coeff(6)));
+    Val x6 = b.isub(b.imulfix(c2, coeff(6)), b.imulfix(c3, coeff(2)));
+
+    // Odd part: four rotations over d0..d3.
+    auto odd = [&](int ka, int kb, int kc, int kd, bool sb, bool sc,
+                   bool sd) {
+        Val t0 = b.imulfix(d[0], coeff(ka));
+        Val t1 = b.imulfix(d[1], coeff(kb));
+        Val t2 = b.imulfix(d[2], coeff(kc));
+        Val t3 = b.imulfix(d[3], coeff(kd));
+        Val u = sb ? b.iadd(t0, t1) : b.isub(t0, t1);
+        Val v = sc ? b.iadd(u, t2) : b.isub(u, t2);
+        return sd ? b.iadd(v, t3) : b.isub(v, t3);
+    };
+    Val x1 = odd(1, 3, 5, 7, true, true, true);
+    Val x3 = odd(3, 7, 1, 5, false, false, false);
+    Val x5 = odd(5, 1, 7, 3, false, true, true);
+    Val x7 = odd(7, 5, 3, 1, false, true, false);
+
+    Val out[8] = {x0, x1, x2, x3, x4, x5, x6, x7};
+    for (int k = 0; k < 8; ++k)
+        b.store(kRegionOut + k, out[k], 8);
+    return b.take();
+}
+
+void
+initDct(MemoryImage &mem, Rng &rng)
+{
+    for (int i = 0; i < 8 * kMaxIterations; ++i) {
+        mem.storeInt(kRegionA + i,
+                     rng.uniformInt(-(1 << 12), (1 << 12)));
+    }
+}
+
+void
+referenceDct(MemoryImage &mem, int iterations)
+{
+    auto mul = [](std::int64_t a, int k) {
+        return static_cast<std::int64_t>(
+            fixMul(static_cast<std::int32_t>(a),
+                   static_cast<std::int32_t>(
+                       toFixed(dctCosTable()[k]))));
+    };
+    for (int i = 0; i < iterations; ++i) {
+        std::int64_t s[8];
+        for (int n = 0; n < 8; ++n)
+            s[n] = mem.loadInt(kRegionA + 8 * i + n);
+        std::int64_t a[4], d[4];
+        for (int n = 0; n < 4; ++n) {
+            a[n] = s[n] + s[7 - n];
+            d[n] = s[n] - s[7 - n];
+        }
+        std::int64_t c0 = a[0] + a[3], c1 = a[1] + a[2];
+        std::int64_t c2 = a[0] - a[3], c3 = a[1] - a[2];
+        std::int64_t x[8];
+        x[0] = mul(c0 + c1, 4);
+        x[4] = mul(c0 - c1, 4);
+        x[2] = mul(c2, 2) + mul(c3, 6);
+        x[6] = mul(c2, 6) - mul(c3, 2);
+        auto odd = [&](int ka, int kb, int kc, int kd, int sb, int sc,
+                       int sd) {
+            return ((mul(d[0], ka) + sb * mul(d[1], kb)) +
+                    sc * mul(d[2], kc)) +
+                   sd * mul(d[3], kd);
+        };
+        x[1] = odd(1, 3, 5, 7, 1, 1, 1);
+        x[3] = odd(3, 7, 1, 5, -1, -1, -1);
+        x[5] = odd(5, 1, 7, 3, -1, 1, 1);
+        x[7] = odd(7, 5, 3, 1, -1, 1, -1);
+        for (int k = 0; k < 8; ++k)
+            mem.storeInt(kRegionOut + 8 * i + k, x[k]);
+    }
+}
+
+} // namespace
+
+KernelSpec
+makeDctSpec()
+{
+    return KernelSpec{
+        "DCT",
+        "8-point DCT rows over 8x8 blocks of 16-bit fixed point",
+        buildDct, initDct, referenceDct, 16};
+}
+
+} // namespace cs

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the kernel suite: balanced reduction trees (built
+ * identically in IR and in the scalar references so floating-point
+ * association matches bit-for-bit), coefficient tables, and the memory
+ * region convention.
+ */
+
+#ifndef CS_KERNELS_DETAIL_HPP
+#define CS_KERNELS_DETAIL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/builder.hpp"
+
+namespace cs {
+namespace kern {
+
+/** Stream region bases; each region is 1 MiW apart. */
+constexpr std::int64_t kRegionA = 1 << 20;     ///< input stream A
+constexpr std::int64_t kRegionB = 2 << 20;     ///< input stream B
+constexpr std::int64_t kRegionC = 3 << 20;     ///< input stream C
+constexpr std::int64_t kRegionOut = 8 << 20;   ///< output stream
+constexpr std::int64_t kRegionOut2 = 9 << 20;  ///< second output stream
+
+/** Iterations of input data the init functions provide. */
+constexpr int kMaxIterations = 64;
+
+/** Balanced floating add tree over IR values. */
+Val treeAddF(KernelBuilder &b, std::vector<Val> terms);
+
+/** Balanced integer add tree over IR values. */
+Val treeAddI(KernelBuilder &b, std::vector<Val> terms);
+
+/** Scalar mirror of treeAddF: same association order. */
+double treeSumF(std::vector<double> terms);
+
+/** Scalar mirror of treeAddI. */
+std::int64_t treeSumI(std::vector<std::int64_t> terms);
+
+/** The 56 FIR filter coefficients (deterministic low-pass-ish). */
+const std::vector<double> &firCoefficients();
+
+/** cos(k*pi/16) for k = 1..7, the 8-point DCT twiddles. */
+const std::vector<double> &dctCosTable();
+
+/** Compare-exchange pair list of Batcher's odd-even merge sort. */
+std::vector<std::pair<int, int>> oddEvenMergeSortPairs(int n);
+
+/** Compare-exchange pair list of a bitonic merge (ascending). */
+std::vector<std::pair<int, int>> bitonicMergePairs(int n);
+
+} // namespace kern
+} // namespace cs
+
+#endif // CS_KERNELS_DETAIL_HPP

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * FFT butterfly kernels (Table 1): the inner loop of a 1024-point
+ * floating-point radix-2 FFT. One iteration performs one butterfly:
+ * complex twiddle multiply plus a complex add/subtract pair. Stream
+ * layout: interleaved (re, im) records in regions A (top wing),
+ * B (bottom wing), C (twiddles), outputs to Out/Out2.
+ */
+
+#include "kernels/kernels.hpp"
+
+#include "kernels/detail.hpp"
+
+namespace cs {
+
+namespace {
+
+using namespace kern;
+
+/** Emit one butterfly at record offset @p r with stream stride @p u. */
+void
+emitButterfly(KernelBuilder &b, int r, int u)
+{
+    int stride = 2 * u;
+    std::int64_t off = 2 * r;
+    Val ar = b.load(kRegionA + off, stride, "ar");
+    Val ai = b.load(kRegionA + off + 1, stride, "ai");
+    Val br = b.load(kRegionB + off, stride, "br");
+    Val bi = b.load(kRegionB + off + 1, stride, "bi");
+    Val wr = b.load(kRegionC + off, stride, "wr");
+    Val wi = b.load(kRegionC + off + 1, stride, "wi");
+
+    // t = b * w (complex)
+    Val tr = b.fsub(b.fmul(br, wr), b.fmul(bi, wi), "tr");
+    Val ti = b.fadd(b.fmul(br, wi), b.fmul(bi, wr), "ti");
+
+    // out = a + t, out2 = a - t
+    b.store(kRegionOut + off, b.fadd(ar, tr), stride);
+    b.store(kRegionOut + off + 1, b.fadd(ai, ti), stride);
+    b.store(kRegionOut2 + off, b.fsub(ar, tr), stride);
+    b.store(kRegionOut2 + off + 1, b.fsub(ai, ti), stride);
+}
+
+Kernel
+buildFft(int unroll)
+{
+    KernelBuilder b(unroll == 1 ? "FFT" : "FFT-U4");
+    b.block("loop", true);
+    for (int r = 0; r < unroll; ++r)
+        emitButterfly(b, r, unroll);
+    return b.take();
+}
+
+void
+initFft(MemoryImage &mem, Rng &rng)
+{
+    // Room for kMaxIterations records even in the 4x-unrolled variant.
+    for (int i = 0; i < 2 * 4 * kMaxIterations; ++i) {
+        mem.storeFloat(kRegionA + i, rng.uniformDouble(-1.0, 1.0));
+        mem.storeFloat(kRegionB + i, rng.uniformDouble(-1.0, 1.0));
+        mem.storeFloat(kRegionC + i, rng.uniformDouble(-1.0, 1.0));
+    }
+}
+
+void
+referenceFft(MemoryImage &mem, int iterations, int unroll)
+{
+    for (int i = 0; i < iterations; ++i) {
+        for (int r = 0; r < unroll; ++r) {
+            std::int64_t off = 2 * (i * unroll + r);
+            double ar = mem.loadFloat(kRegionA + off);
+            double ai = mem.loadFloat(kRegionA + off + 1);
+            double br = mem.loadFloat(kRegionB + off);
+            double bi = mem.loadFloat(kRegionB + off + 1);
+            double wr = mem.loadFloat(kRegionC + off);
+            double wi = mem.loadFloat(kRegionC + off + 1);
+            double tr = br * wr - bi * wi;
+            double ti = br * wi + bi * wr;
+            mem.storeFloat(kRegionOut + off, ar + tr);
+            mem.storeFloat(kRegionOut + off + 1, ai + ti);
+            mem.storeFloat(kRegionOut2 + off, ar - tr);
+            mem.storeFloat(kRegionOut2 + off + 1, ai - ti);
+        }
+    }
+}
+
+} // namespace
+
+KernelSpec
+makeFftSpec()
+{
+    return KernelSpec{
+        "FFT",
+        "1024-point floating-point FFT (radix-2 butterfly loop)",
+        [] { return buildFft(1); }, initFft,
+        [](MemoryImage &m, int n) { referenceFft(m, n, 1); }, 16};
+}
+
+KernelSpec
+makeFftU4Spec()
+{
+    return KernelSpec{
+        "FFT-U4",
+        "FFT with the inner loop unrolled four times",
+        [] { return buildFft(4); }, initFft,
+        [](MemoryImage &m, int n) { referenceFft(m, n, 4); }, 8};
+}
+
+} // namespace cs

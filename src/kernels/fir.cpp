@@ -1,0 +1,123 @@
+/**
+ * @file
+ * FIR filters (Table 1): a 56-tap floating-point filter and its 16-bit
+ * fixed-point variant. One loop iteration loads one new sample and
+ * produces one output; the 55 older samples are loop-carried values
+ * (distances 1..55), exactly the register-resident delay line a stream
+ * processor would keep.
+ */
+
+#include "kernels/kernels.hpp"
+
+#include "kernels/detail.hpp"
+#include "support/fixed_point.hpp"
+
+namespace cs {
+
+namespace {
+
+using namespace kern;
+
+constexpr int kTaps = 56;
+
+Kernel
+buildFirFp()
+{
+    KernelBuilder b("FIR-FP");
+    b.block("loop", true);
+    Val x = b.load(kRegionA, 1, "x");
+    const auto &coeffs = firCoefficients();
+    std::vector<Val> products;
+    products.reserve(kTaps);
+    for (int k = 0; k < kTaps; ++k) {
+        products.push_back(
+            b.fmul(k == 0 ? Arg(x) : Arg(x.at(k)), coeffs[k]));
+    }
+    Val y = treeAddF(b, std::move(products));
+    b.store(kRegionOut, y, 1);
+    return b.take();
+}
+
+void
+initFir(MemoryImage &mem, Rng &rng)
+{
+    for (int i = 0; i < kMaxIterations; ++i) {
+        double v = rng.uniformDouble(-1.0, 1.0);
+        // One word with both views: FIR-FP reads the float view,
+        // FIR-INT the Q8.8 integer view.
+        mem.store(kRegionA + i, Word{toFixed(v), v});
+    }
+}
+
+void
+referenceFirFp(MemoryImage &mem, int iterations)
+{
+    const auto &coeffs = firCoefficients();
+    for (int i = 0; i < iterations; ++i) {
+        std::vector<double> products(kTaps);
+        for (int k = 0; k < kTaps; ++k) {
+            // Carried values from before iteration 0 read as zero.
+            double x = i - k < 0 ? 0.0 : mem.loadFloat(kRegionA + i - k);
+            products[k] = x * coeffs[k];
+        }
+        mem.storeFloat(kRegionOut + i, treeSumF(std::move(products)));
+    }
+}
+
+Kernel
+buildFirInt()
+{
+    KernelBuilder b("FIR-INT");
+    b.block("loop", true);
+    Val x = b.load(kRegionA, 1, "x");
+    const auto &coeffs = firCoefficients();
+    std::vector<Val> products;
+    products.reserve(kTaps);
+    for (int k = 0; k < kTaps; ++k) {
+        std::int64_t c = toFixed(coeffs[k]);
+        products.push_back(
+            b.imulfix(k == 0 ? Arg(x) : Arg(x.at(k)), c));
+    }
+    Val y = treeAddI(b, std::move(products));
+    b.store(kRegionOut, y, 1);
+    return b.take();
+}
+
+void
+referenceFirInt(MemoryImage &mem, int iterations)
+{
+    const auto &coeffs = firCoefficients();
+    for (int i = 0; i < iterations; ++i) {
+        std::vector<std::int64_t> products(kTaps);
+        for (int k = 0; k < kTaps; ++k) {
+            std::int64_t x =
+                i - k < 0 ? 0 : mem.loadInt(kRegionA + i - k);
+            products[k] = fixMul(static_cast<std::int32_t>(x),
+                                 static_cast<std::int32_t>(
+                                     toFixed(coeffs[k])));
+        }
+        mem.storeInt(kRegionOut + i, treeSumI(std::move(products)));
+    }
+}
+
+} // namespace
+
+KernelSpec
+makeFirFpSpec()
+{
+    return KernelSpec{
+        "FIR-FP",
+        "56-tap floating-point finite-impulse-response filter",
+        buildFirFp, initFir, referenceFirFp, 16};
+}
+
+KernelSpec
+makeFirIntSpec()
+{
+    return KernelSpec{
+        "FIR-INT",
+        "FIR with 16-bit integer coefficients and data",
+        buildFirInt, initFir, referenceFirInt, 16};
+}
+
+} // namespace cs

@@ -1,0 +1,29 @@
+#include "kernels/kernels.hpp"
+
+#include "support/logging.hpp"
+
+namespace cs {
+
+const std::vector<KernelSpec> &
+allKernels()
+{
+    static const std::vector<KernelSpec> kKernels = {
+        makeDctSpec(),       makeFftSpec(),     makeFftU4Spec(),
+        makeFirFpSpec(),     makeFirIntSpec(),  makeBlockWarpSpec(),
+        makeBlockWarpU2Spec(), makeTriangleSpec(), makeSortSpec(),
+        makeMergeSpec(),
+    };
+    return kKernels;
+}
+
+const KernelSpec &
+kernelByName(const std::string &name)
+{
+    for (const KernelSpec &spec : allKernels()) {
+        if (spec.name == name)
+            return spec;
+    }
+    CS_FATAL("unknown kernel '", name, "'");
+}
+
+} // namespace cs

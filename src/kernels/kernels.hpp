@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The paper's evaluation suite (Table 1): graphics, image processing,
+ * signal processing, and sorting kernels, each built as IR dataflow
+ * plus a scalar reference implementation over the same MemoryImage so
+ * that simulated execution can be checked bit-for-bit.
+ *
+ * Memory layout convention: each kernel uses well-separated stream
+ * regions (see the kAddr* constants in the individual kernels); a
+ * loop iteration consumes/produces consecutive stream records via the
+ * load/store iterStride mechanism.
+ */
+
+#ifndef CS_KERNELS_KERNELS_HPP
+#define CS_KERNELS_KERNELS_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "support/memory_image.hpp"
+#include "support/random.hpp"
+
+namespace cs {
+
+/** One evaluation kernel: builder, reference, input generator. */
+struct KernelSpec
+{
+    std::string name;        ///< e.g. "FIR-FP"
+    std::string description; ///< Table 1 wording
+    /** Build the loop kernel (single loop block). */
+    std::function<Kernel()> build;
+    /** Fill the input stream regions with deterministic data. */
+    std::function<void(MemoryImage &, Rng &)> init;
+    /**
+     * Scalar reference: run @p iterations loop iterations over the
+     * image, mirroring the kernel's dataflow exactly.
+     */
+    std::function<void(MemoryImage &, int iterations)> reference;
+    /** Iterations used by integration tests and benches. */
+    int testIterations = 8;
+};
+
+/** All ten Table 1 kernels, in the paper's order. */
+const std::vector<KernelSpec> &allKernels();
+
+/** Lookup by name; fatal if unknown. */
+const KernelSpec &kernelByName(const std::string &name);
+
+/** @name Individual kernel factories */
+/// @{
+KernelSpec makeDctSpec();
+KernelSpec makeFftSpec();
+KernelSpec makeFftU4Spec();
+KernelSpec makeFirFpSpec();
+KernelSpec makeFirIntSpec();
+KernelSpec makeBlockWarpSpec();
+KernelSpec makeBlockWarpU2Spec();
+KernelSpec makeTriangleSpec();
+KernelSpec makeSortSpec();
+KernelSpec makeMergeSpec();
+/// @}
+
+} // namespace cs
+
+#endif // CS_KERNELS_KERNELS_HPP

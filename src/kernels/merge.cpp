@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Merge (Table 1): merges two streams of sorted elements into a
+ * single sorted stream. One iteration merges a 16-element record from
+ * each stream with a bitonic merge network (stream B is consumed in
+ * reverse so the concatenation is bitonic). Reference: std::merge.
+ */
+
+#include "kernels/kernels.hpp"
+
+#include <algorithm>
+
+#include "kernels/detail.hpp"
+
+namespace cs {
+
+namespace {
+
+using namespace kern;
+
+constexpr int kHalf = 16;
+constexpr int kN = 2 * kHalf;
+
+Kernel
+buildMerge()
+{
+    KernelBuilder b("Merge");
+    b.block("loop", true);
+    std::vector<Val> v(kN);
+    for (int n = 0; n < kHalf; ++n)
+        v[n] = b.load(kRegionA + n, kHalf, "a" + std::to_string(n));
+    // Reverse the second stream to form a bitonic sequence.
+    for (int n = 0; n < kHalf; ++n) {
+        v[kHalf + n] = b.load(kRegionB + (kHalf - 1 - n), kHalf,
+                              "b" + std::to_string(kHalf - 1 - n));
+    }
+    for (auto [i, j] : bitonicMergePairs(kN)) {
+        Val lo = b.imin(v[i], v[j]);
+        Val hi = b.imax(v[i], v[j]);
+        v[i] = lo;
+        v[j] = hi;
+    }
+    for (int n = 0; n < kN; ++n)
+        b.store(kRegionOut + n, v[n], kN);
+    return b.take();
+}
+
+void
+initMerge(MemoryImage &mem, Rng &rng)
+{
+    for (int i = 0; i < kMaxIterations; ++i) {
+        std::vector<std::int64_t> a(kHalf), b(kHalf);
+        for (int n = 0; n < kHalf; ++n) {
+            a[n] = rng.uniformInt(-10000, 10000);
+            b[n] = rng.uniformInt(-10000, 10000);
+        }
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        for (int n = 0; n < kHalf; ++n) {
+            mem.storeInt(kRegionA + kHalf * i + n, a[n]);
+            mem.storeInt(kRegionB + kHalf * i + n, b[n]);
+        }
+    }
+}
+
+void
+referenceMerge(MemoryImage &mem, int iterations)
+{
+    for (int i = 0; i < iterations; ++i) {
+        std::vector<std::int64_t> a(kHalf), b(kHalf), out;
+        for (int n = 0; n < kHalf; ++n) {
+            a[n] = mem.loadInt(kRegionA + kHalf * i + n);
+            b[n] = mem.loadInt(kRegionB + kHalf * i + n);
+        }
+        out.resize(kN);
+        std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin());
+        for (int n = 0; n < kN; ++n)
+            mem.storeInt(kRegionOut + kN * i + n, out[n]);
+    }
+}
+
+} // namespace
+
+KernelSpec
+makeMergeSpec()
+{
+    return KernelSpec{
+        "Merge",
+        "Merges two sorted streams into a single sorted stream",
+        buildMerge, initMerge, referenceMerge, 6};
+}
+
+} // namespace cs

@@ -1,0 +1,137 @@
+#include "kernels/detail.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace cs {
+namespace kern {
+
+Val
+treeAddF(KernelBuilder &b, std::vector<Val> terms)
+{
+    CS_ASSERT(!terms.empty(), "empty reduction");
+    while (terms.size() > 1) {
+        std::vector<Val> next;
+        for (std::size_t i = 0; i + 1 < terms.size(); i += 2)
+            next.push_back(b.fadd(terms[i], terms[i + 1]));
+        if (terms.size() % 2 == 1)
+            next.push_back(terms.back());
+        terms = std::move(next);
+    }
+    return terms[0];
+}
+
+Val
+treeAddI(KernelBuilder &b, std::vector<Val> terms)
+{
+    CS_ASSERT(!terms.empty(), "empty reduction");
+    while (terms.size() > 1) {
+        std::vector<Val> next;
+        for (std::size_t i = 0; i + 1 < terms.size(); i += 2)
+            next.push_back(b.iadd(terms[i], terms[i + 1]));
+        if (terms.size() % 2 == 1)
+            next.push_back(terms.back());
+        terms = std::move(next);
+    }
+    return terms[0];
+}
+
+double
+treeSumF(std::vector<double> terms)
+{
+    CS_ASSERT(!terms.empty(), "empty reduction");
+    while (terms.size() > 1) {
+        std::vector<double> next;
+        for (std::size_t i = 0; i + 1 < terms.size(); i += 2)
+            next.push_back(terms[i] + terms[i + 1]);
+        if (terms.size() % 2 == 1)
+            next.push_back(terms.back());
+        terms = std::move(next);
+    }
+    return terms[0];
+}
+
+std::int64_t
+treeSumI(std::vector<std::int64_t> terms)
+{
+    CS_ASSERT(!terms.empty(), "empty reduction");
+    while (terms.size() > 1) {
+        std::vector<std::int64_t> next;
+        for (std::size_t i = 0; i + 1 < terms.size(); i += 2)
+            next.push_back(terms[i] + terms[i + 1]);
+        if (terms.size() % 2 == 1)
+            next.push_back(terms.back());
+        terms = std::move(next);
+    }
+    return terms[0];
+}
+
+const std::vector<double> &
+firCoefficients()
+{
+    static const std::vector<double> kCoeffs = [] {
+        std::vector<double> c(56);
+        // Hamming-windowed sinc, cutoff 0.2: a plausible 56-tap
+        // low-pass as the paper's FIR kernels would use.
+        for (int k = 0; k < 56; ++k) {
+            double t = k - 27.5;
+            double sinc = std::sin(0.4 * M_PI * t) / (M_PI * t);
+            double window =
+                0.54 - 0.46 * std::cos(2.0 * M_PI * k / 55.0);
+            c[k] = sinc * window;
+        }
+        return c;
+    }();
+    return kCoeffs;
+}
+
+const std::vector<double> &
+dctCosTable()
+{
+    static const std::vector<double> kTable = [] {
+        std::vector<double> t(8);
+        for (int k = 0; k < 8; ++k)
+            t[k] = std::cos(k * M_PI / 16.0);
+        return t;
+    }();
+    return kTable;
+}
+
+std::vector<std::pair<int, int>>
+oddEvenMergeSortPairs(int n)
+{
+    // Knuth's iterative formulation of Batcher's network; n must be a
+    // power of two.
+    CS_ASSERT((n & (n - 1)) == 0, "network size must be a power of 2");
+    std::vector<std::pair<int, int>> pairs;
+    for (int p = 1; p < n; p *= 2) {
+        for (int k = p; k >= 1; k /= 2) {
+            for (int j = k % p; j <= n - 1 - k; j += 2 * k) {
+                for (int i = 0; i <= std::min(k - 1, n - j - k - 1);
+                     ++i) {
+                    if ((i + j) / (2 * p) == (i + j + k) / (2 * p))
+                        pairs.emplace_back(i + j, i + j + k);
+                }
+            }
+        }
+    }
+    return pairs;
+}
+
+std::vector<std::pair<int, int>>
+bitonicMergePairs(int n)
+{
+    CS_ASSERT((n & (n - 1)) == 0, "network size must be a power of 2");
+    std::vector<std::pair<int, int>> pairs;
+    for (int k = n / 2; k >= 1; k /= 2) {
+        for (int i = 0; i < n; ++i) {
+            if ((i & k) == 0)
+                pairs.emplace_back(i, i + k);
+        }
+    }
+    return pairs;
+}
+
+} // namespace kern
+} // namespace cs

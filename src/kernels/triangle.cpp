@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Triangle Transform (Table 1): a 3-D perspective transformation on a
+ * stream of triangles. One iteration transforms the three vertices of
+ * one triangle (stream records of nine floats: x0 y0 z0 x1 y1 z1 x2
+ * y2 z2) and writes six projected coordinates.
+ */
+
+#include "kernels/kernels.hpp"
+
+#include "kernels/detail.hpp"
+
+namespace cs {
+
+namespace {
+
+using namespace kern;
+
+constexpr double kM[3][4] = {
+    {0.96, 0.10, -0.26, 0.10},
+    {-0.14, 0.88, 0.30, -0.40},
+    {0.00, 0.04, 1.00, 2.50},
+};
+
+Kernel
+buildTriangle()
+{
+    KernelBuilder b("Triangle Transform");
+    b.block("loop", true);
+    for (int v = 0; v < 3; ++v) {
+        Val x = b.load(kRegionA + 3 * v, 9, "x");
+        Val y = b.load(kRegionA + 3 * v + 1, 9, "y");
+        Val z = b.load(kRegionA + 3 * v + 2, 9, "z");
+        auto row = [&](int k) {
+            Val s = b.fadd(b.fmul(x, kM[k][0]), b.fmul(y, kM[k][1]));
+            return b.fadd(b.fadd(s, b.fmul(z, kM[k][2])), kM[k][3]);
+        };
+        Val xp = row(0);
+        Val yp = row(1);
+        Val w = row(2);
+        b.store(kRegionOut + 2 * v, b.fdiv(xp, w), 6);
+        b.store(kRegionOut + 2 * v + 1, b.fdiv(yp, w), 6);
+    }
+    return b.take();
+}
+
+void
+initTriangle(MemoryImage &mem, Rng &rng)
+{
+    for (int i = 0; i < 9 * kMaxIterations; ++i) {
+        // z coordinates (every third word) stay positive.
+        bool is_z = i % 3 == 2;
+        mem.storeFloat(kRegionA + i,
+                       is_z ? rng.uniformDouble(0.5, 2.0)
+                            : rng.uniformDouble(-1.0, 1.0));
+    }
+}
+
+void
+referenceTriangle(MemoryImage &mem, int iterations)
+{
+    for (int i = 0; i < iterations; ++i) {
+        for (int v = 0; v < 3; ++v) {
+            std::int64_t in = 9 * i + 3 * v;
+            double x = mem.loadFloat(kRegionA + in);
+            double y = mem.loadFloat(kRegionA + in + 1);
+            double z = mem.loadFloat(kRegionA + in + 2);
+            auto row = [&](int k) {
+                return ((x * kM[k][0] + y * kM[k][1]) + z * kM[k][2]) +
+                       kM[k][3];
+            };
+            double w = row(2);
+            std::int64_t out = 6 * i + 2 * v;
+            mem.storeFloat(kRegionOut + out, row(0) / w);
+            mem.storeFloat(kRegionOut + out + 1, row(1) / w);
+        }
+    }
+}
+
+} // namespace
+
+KernelSpec
+makeTriangleSpec()
+{
+    return KernelSpec{
+        "Triangle Transform",
+        "3-D perspective transformation on a stream of triangles",
+        buildTriangle, initTriangle, referenceTriangle, 12};
+}
+
+} // namespace cs

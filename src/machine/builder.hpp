@@ -1,0 +1,88 @@
+/**
+ * @file
+ * MachineBuilder: programmatic construction of machine descriptions.
+ * Dedicated point-to-point wires are expressed as single-driver,
+ * single-sink buses via the *Direct convenience methods; shared buses
+ * are created explicitly and wired to multiple endpoints.
+ */
+
+#ifndef CS_MACHINE_BUILDER_HPP
+#define CS_MACHINE_BUILDER_HPP
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace cs {
+
+/**
+ * Builds an immutable Machine. Usage: add register files, buses, and
+ * functional units; wire the connectivity graph; set latencies; call
+ * build(). The builder validates referential integrity as it goes and
+ * build() checks structural sanity (every input readable, every output
+ * able to write somewhere).
+ */
+class MachineBuilder
+{
+  public:
+    explicit MachineBuilder(std::string name);
+
+    /** @name Entities */
+    /// @{
+    RegFileId addRegFile(const std::string &name, int capacity);
+    ReadPortId addReadPort(RegFileId rf);
+    WritePortId addWritePort(RegFileId rf);
+    BusId addBus(const std::string &name);
+
+    /**
+     * Add a functional unit with the given capability classes and
+     * operand-slot count. A unit with @p hasOutput false (e.g. a pure
+     * store port model) gets no output port.
+     */
+    FuncUnitId addFuncUnit(const std::string &name,
+                           std::initializer_list<OpClass> classes,
+                           int numInputs, bool hasOutput = true);
+    /// @}
+
+    /** @name Port handles */
+    /// @{
+    OutputPortId output(FuncUnitId fu) const;
+    InputPortId input(FuncUnitId fu, int slot) const;
+    /// @}
+
+    /** @name Wiring */
+    /// @{
+    void connectOutputToBus(OutputPortId out, BusId bus);
+    void connectBusToWritePort(BusId bus, WritePortId wp);
+    void connectReadPortToBus(ReadPortId rp, BusId bus);
+    void connectBusToInput(BusId bus, InputPortId in);
+
+    /**
+     * Dedicated write path: a fresh write port on @p rf plus a private
+     * bus from @p out to it. Returns the write port.
+     */
+    WritePortId connectWriteDirect(OutputPortId out, RegFileId rf);
+
+    /**
+     * Dedicated read path: a fresh read port on @p rf plus a private
+     * bus from it to @p in. Returns the read port.
+     */
+    ReadPortId connectReadDirect(RegFileId rf, InputPortId in);
+    /// @}
+
+    /** Override the latency of one opcode (defaults per opclass.hpp). */
+    void setLatency(Opcode op, int cycles);
+
+    /** Finalize: precompute stubs and copy distances; validate. */
+    Machine build();
+
+  private:
+    Machine machine_;
+    bool built_ = false;
+};
+
+} // namespace cs
+
+#endif // CS_MACHINE_BUILDER_HPP

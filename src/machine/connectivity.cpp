@@ -1,0 +1,228 @@
+/**
+ * @file
+ * MachineBuilder implementation. (The file is named for what it owns:
+ * assembling the connectivity graph that finalize() later closes over.)
+ */
+
+#include "machine/builder.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace cs {
+
+namespace {
+
+template <typename T>
+void
+pushUnique(std::vector<T> &list, T item)
+{
+    if (std::find(list.begin(), list.end(), item) == list.end())
+        list.push_back(item);
+}
+
+} // namespace
+
+MachineBuilder::MachineBuilder(std::string name)
+{
+    machine_.name_ = std::move(name);
+    machine_.latency_.assign(kNumOpcodes, 0);
+    for (std::size_t i = 0; i < kNumOpcodes; ++i)
+        machine_.latency_[i] = defaultLatency(static_cast<Opcode>(i));
+}
+
+RegFileId
+MachineBuilder::addRegFile(const std::string &name, int capacity)
+{
+    CS_ASSERT(capacity > 0, "register file ", name,
+              " needs positive capacity");
+    machine_.regFiles_.push_back(RegFile{name, capacity, {}, {}});
+    return RegFileId(
+        static_cast<std::uint32_t>(machine_.regFiles_.size() - 1));
+}
+
+ReadPortId
+MachineBuilder::addReadPort(RegFileId rf)
+{
+    CS_ASSERT(rf.valid() && rf.index() < machine_.regFiles_.size(),
+              "bad register file id ", rf);
+    ReadPortId id(
+        static_cast<std::uint32_t>(machine_.readPortOwner_.size()));
+    machine_.readPortOwner_.push_back(rf);
+    machine_.readPortToBuses_.emplace_back();
+    machine_.regFiles_[rf.index()].readPorts.push_back(id);
+    return id;
+}
+
+WritePortId
+MachineBuilder::addWritePort(RegFileId rf)
+{
+    CS_ASSERT(rf.valid() && rf.index() < machine_.regFiles_.size(),
+              "bad register file id ", rf);
+    WritePortId id(
+        static_cast<std::uint32_t>(machine_.writePortOwner_.size()));
+    machine_.writePortOwner_.push_back(rf);
+    machine_.regFiles_[rf.index()].writePorts.push_back(id);
+    return id;
+}
+
+BusId
+MachineBuilder::addBus(const std::string &name)
+{
+    machine_.buses_.push_back(Bus{name});
+    machine_.busToWritePorts_.emplace_back();
+    machine_.busToInputs_.emplace_back();
+    return BusId(static_cast<std::uint32_t>(machine_.buses_.size() - 1));
+}
+
+FuncUnitId
+MachineBuilder::addFuncUnit(const std::string &name,
+                            std::initializer_list<OpClass> classes,
+                            int numInputs, bool hasOutput)
+{
+    CS_ASSERT(numInputs >= 0, "negative input count");
+    FuncUnit fu;
+    fu.name = name;
+    for (OpClass cls : classes)
+        fu.classes.set(static_cast<std::size_t>(cls));
+    FuncUnitId fu_id(
+        static_cast<std::uint32_t>(machine_.funcUnits_.size()));
+    for (int s = 0; s < numInputs; ++s) {
+        InputPortId in(
+            static_cast<std::uint32_t>(machine_.inputOwner_.size()));
+        machine_.inputOwner_.push_back(fu_id);
+        machine_.inputSlot_.push_back(s);
+        fu.inputs.push_back(in);
+    }
+    if (hasOutput) {
+        OutputPortId out(
+            static_cast<std::uint32_t>(machine_.outputOwner_.size()));
+        machine_.outputOwner_.push_back(fu_id);
+        machine_.outputToBuses_.emplace_back();
+        fu.output = out;
+    }
+    machine_.funcUnits_.push_back(std::move(fu));
+    return fu_id;
+}
+
+OutputPortId
+MachineBuilder::output(FuncUnitId fu) const
+{
+    CS_ASSERT(fu.valid() && fu.index() < machine_.funcUnits_.size(),
+              "bad func unit id ", fu);
+    OutputPortId out = machine_.funcUnits_[fu.index()].output;
+    CS_ASSERT(out.valid(), "unit ", machine_.funcUnits_[fu.index()].name,
+              " has no output");
+    return out;
+}
+
+InputPortId
+MachineBuilder::input(FuncUnitId fu, int slot) const
+{
+    CS_ASSERT(fu.valid() && fu.index() < machine_.funcUnits_.size(),
+              "bad func unit id ", fu);
+    const auto &inputs = machine_.funcUnits_[fu.index()].inputs;
+    CS_ASSERT(slot >= 0 && static_cast<std::size_t>(slot) < inputs.size(),
+              "bad slot ", slot);
+    return inputs[slot];
+}
+
+void
+MachineBuilder::connectOutputToBus(OutputPortId out, BusId bus)
+{
+    CS_ASSERT(out.valid() && out.index() < machine_.outputToBuses_.size(),
+              "bad output port ", out);
+    CS_ASSERT(bus.valid() && bus.index() < machine_.buses_.size(),
+              "bad bus ", bus);
+    pushUnique(machine_.outputToBuses_[out.index()], bus);
+}
+
+void
+MachineBuilder::connectBusToWritePort(BusId bus, WritePortId wp)
+{
+    CS_ASSERT(bus.valid() && bus.index() < machine_.buses_.size(),
+              "bad bus ", bus);
+    CS_ASSERT(wp.valid() && wp.index() < machine_.writePortOwner_.size(),
+              "bad write port ", wp);
+    pushUnique(machine_.busToWritePorts_[bus.index()], wp);
+}
+
+void
+MachineBuilder::connectReadPortToBus(ReadPortId rp, BusId bus)
+{
+    CS_ASSERT(rp.valid() && rp.index() < machine_.readPortOwner_.size(),
+              "bad read port ", rp);
+    CS_ASSERT(bus.valid() && bus.index() < machine_.buses_.size(),
+              "bad bus ", bus);
+    pushUnique(machine_.readPortToBuses_[rp.index()], bus);
+}
+
+void
+MachineBuilder::connectBusToInput(BusId bus, InputPortId in)
+{
+    CS_ASSERT(bus.valid() && bus.index() < machine_.buses_.size(),
+              "bad bus ", bus);
+    CS_ASSERT(in.valid() && in.index() < machine_.inputOwner_.size(),
+              "bad input port ", in);
+    pushUnique(machine_.busToInputs_[bus.index()], in);
+}
+
+WritePortId
+MachineBuilder::connectWriteDirect(OutputPortId out, RegFileId rf)
+{
+    WritePortId wp = addWritePort(rf);
+    const FuncUnit &fu =
+        machine_.funcUnits_[machine_.outputOwner_[out.index()].index()];
+    BusId bus = addBus(fu.name + ".wwire" + std::to_string(wp.index()));
+    connectOutputToBus(out, bus);
+    connectBusToWritePort(bus, wp);
+    return wp;
+}
+
+ReadPortId
+MachineBuilder::connectReadDirect(RegFileId rf, InputPortId in)
+{
+    ReadPortId rp = addReadPort(rf);
+    const FuncUnit &fu =
+        machine_.funcUnits_[machine_.inputOwner_[in.index()].index()];
+    BusId bus = addBus(fu.name + ".rwire" + std::to_string(rp.index()));
+    connectReadPortToBus(rp, bus);
+    connectBusToInput(bus, in);
+    return rp;
+}
+
+void
+MachineBuilder::setLatency(Opcode op, int cycles)
+{
+    CS_ASSERT(cycles >= 1, "latency must be >= 1");
+    machine_.latency_[static_cast<std::size_t>(op)] = cycles;
+}
+
+Machine
+MachineBuilder::build()
+{
+    CS_ASSERT(!built_, "build() called twice");
+    built_ = true;
+    machine_.finalize();
+
+    // Structural sanity: every operand slot must be readable from at
+    // least one register file, and every output must have at least one
+    // write stub.
+    for (std::size_t i = 0; i < machine_.funcUnits_.size(); ++i) {
+        const FuncUnit &fu = machine_.funcUnits_[i];
+        FuncUnitId id(static_cast<std::uint32_t>(i));
+        if (fu.output.valid()) {
+            CS_ASSERT(!machine_.writeStubs(id).empty(), "unit ", fu.name,
+                      " output is not connected to any register file");
+        }
+        for (std::size_t s = 0; s < fu.inputs.size(); ++s) {
+            CS_ASSERT(!machine_.readStubs(id, static_cast<int>(s)).empty(),
+                      "unit ", fu.name, " slot ", s,
+                      " cannot read any register file");
+        }
+    }
+    return std::move(machine_);
+}
+
+} // namespace cs

@@ -1,0 +1,358 @@
+#include "machine/machine.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace cs {
+
+const FuncUnit &
+Machine::funcUnit(FuncUnitId id) const
+{
+    CS_ASSERT(id.valid() && id.index() < funcUnits_.size(),
+              "bad func unit id ", id);
+    return funcUnits_[id.index()];
+}
+
+const RegFile &
+Machine::regFile(RegFileId id) const
+{
+    CS_ASSERT(id.valid() && id.index() < regFiles_.size(),
+              "bad register file id ", id);
+    return regFiles_[id.index()];
+}
+
+const Bus &
+Machine::bus(BusId id) const
+{
+    CS_ASSERT(id.valid() && id.index() < buses_.size(), "bad bus id ", id);
+    return buses_[id.index()];
+}
+
+RegFileId
+Machine::readPortRegFile(ReadPortId id) const
+{
+    CS_ASSERT(id.valid() && id.index() < readPortOwner_.size(),
+              "bad read port id ", id);
+    return readPortOwner_[id.index()];
+}
+
+RegFileId
+Machine::writePortRegFile(WritePortId id) const
+{
+    CS_ASSERT(id.valid() && id.index() < writePortOwner_.size(),
+              "bad write port id ", id);
+    return writePortOwner_[id.index()];
+}
+
+FuncUnitId
+Machine::inputFuncUnit(InputPortId id) const
+{
+    CS_ASSERT(id.valid() && id.index() < inputOwner_.size(),
+              "bad input port id ", id);
+    return inputOwner_[id.index()];
+}
+
+int
+Machine::inputSlot(InputPortId id) const
+{
+    CS_ASSERT(id.valid() && id.index() < inputSlot_.size(),
+              "bad input port id ", id);
+    return inputSlot_[id.index()];
+}
+
+FuncUnitId
+Machine::outputFuncUnit(OutputPortId id) const
+{
+    CS_ASSERT(id.valid() && id.index() < outputOwner_.size(),
+              "bad output port id ", id);
+    return outputOwner_[id.index()];
+}
+
+const std::vector<FuncUnitId> &
+Machine::unitsForClass(OpClass cls) const
+{
+    return unitsByClass_[static_cast<std::size_t>(cls)];
+}
+
+int
+Machine::latency(Opcode op) const
+{
+    int lat = latency_[static_cast<std::size_t>(op)];
+    CS_ASSERT(lat >= 1, "latency not configured for ", opcodeName(op));
+    return lat;
+}
+
+const std::vector<WriteStub> &
+Machine::writeStubs(FuncUnitId fu) const
+{
+    CS_ASSERT(fu.valid() && fu.index() < writeStubsByFu_.size(),
+              "bad func unit id ", fu);
+    return writeStubsByFu_[fu.index()];
+}
+
+const std::vector<ReadStub> &
+Machine::readStubs(FuncUnitId fu, int slot) const
+{
+    CS_ASSERT(fu.valid() && fu.index() < readStubsByFu_.size(),
+              "bad func unit id ", fu);
+    const auto &slots = readStubsByFu_[fu.index()];
+    CS_ASSERT(slot >= 0 && static_cast<std::size_t>(slot) < slots.size(),
+              "bad slot ", slot, " for unit ", funcUnit(fu).name);
+    return slots[slot];
+}
+
+const std::vector<RegFileId> &
+Machine::writableRegFiles(FuncUnitId fu) const
+{
+    CS_ASSERT(fu.valid() && fu.index() < writableByFu_.size(),
+              "bad func unit id ", fu);
+    return writableByFu_[fu.index()];
+}
+
+const std::vector<RegFileId> &
+Machine::readableRegFiles(FuncUnitId fu, int slot) const
+{
+    CS_ASSERT(fu.valid() && fu.index() < readableByFu_.size(),
+              "bad func unit id ", fu);
+    const auto &slots = readableByFu_[fu.index()];
+    CS_ASSERT(slot >= 0 && static_cast<std::size_t>(slot) < slots.size(),
+              "bad slot ", slot, " for unit ", funcUnit(fu).name);
+    return slots[slot];
+}
+
+const std::vector<ReadStub> &
+Machine::readStubsAnySlot(FuncUnitId fu) const
+{
+    CS_ASSERT(fu.valid() && fu.index() < readStubsAnyByFu_.size(),
+              "bad func unit id ", fu);
+    return readStubsAnyByFu_[fu.index()];
+}
+
+const std::vector<RegFileId> &
+Machine::readableAnySlot(FuncUnitId fu) const
+{
+    CS_ASSERT(fu.valid() && fu.index() < readableAnyByFu_.size(),
+              "bad func unit id ", fu);
+    return readableAnyByFu_[fu.index()];
+}
+
+int
+Machine::copyDistance(RegFileId from, RegFileId to) const
+{
+    CS_ASSERT(from.valid() && from.index() < regFiles_.size(),
+              "bad register file id ", from);
+    CS_ASSERT(to.valid() && to.index() < regFiles_.size(),
+              "bad register file id ", to);
+    return copyDistance_[from.index()][to.index()];
+}
+
+int
+Machine::totalInputsOfClass(OpClass cls) const
+{
+    int total = 0;
+    for (const auto &fu : funcUnits_) {
+        if (fu.supports(cls))
+            total += static_cast<int>(fu.inputs.size());
+    }
+    return total;
+}
+
+int
+Machine::busEndpointCount(BusId bus) const
+{
+    CS_ASSERT(bus.valid() && bus.index() < buses_.size(), "bad bus ",
+              bus);
+    int endpoints = 0;
+    for (const auto &list : outputToBuses_) {
+        if (std::find(list.begin(), list.end(), bus) != list.end())
+            ++endpoints;
+    }
+    for (const auto &list : readPortToBuses_) {
+        if (std::find(list.begin(), list.end(), bus) != list.end())
+            ++endpoints;
+    }
+    endpoints +=
+        static_cast<int>(busToWritePorts_[bus.index()].size());
+    endpoints += static_cast<int>(busToInputs_[bus.index()].size());
+    return endpoints;
+}
+
+void
+Machine::finalize()
+{
+    // Units by class.
+    for (auto &list : unitsByClass_)
+        list.clear();
+    for (std::size_t i = 0; i < funcUnits_.size(); ++i) {
+        for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+            if (funcUnits_[i].classes.test(c))
+                unitsByClass_[c].push_back(FuncUnitId(
+                    static_cast<std::uint32_t>(i)));
+        }
+    }
+
+    // Enumerate stubs per functional unit.
+    writeStubsByFu_.assign(funcUnits_.size(), {});
+    readStubsByFu_.assign(funcUnits_.size(), {});
+    readStubsAnyByFu_.assign(funcUnits_.size(), {});
+    writableByFu_.assign(funcUnits_.size(), {});
+    readableByFu_.assign(funcUnits_.size(), {});
+    readableAnyByFu_.assign(funcUnits_.size(), {});
+
+    for (std::size_t i = 0; i < funcUnits_.size(); ++i) {
+        const FuncUnit &fu = funcUnits_[i];
+
+        if (fu.output.valid()) {
+            for (BusId bus : outputToBuses_[fu.output.index()]) {
+                for (WritePortId wp : busToWritePorts_[bus.index()]) {
+                    writeStubsByFu_[i].push_back(
+                        WriteStub{fu.output, bus, wp});
+                    RegFileId rf = writePortOwner_[wp.index()];
+                    auto &wable = writableByFu_[i];
+                    if (std::find(wable.begin(), wable.end(), rf) ==
+                        wable.end()) {
+                        wable.push_back(rf);
+                    }
+                }
+            }
+        }
+
+        readStubsByFu_[i].resize(fu.inputs.size());
+        readableByFu_[i].resize(fu.inputs.size());
+        for (std::size_t s = 0; s < fu.inputs.size(); ++s) {
+            InputPortId in = fu.inputs[s];
+            // Find every (read port, bus) pair that can drive this
+            // input: walk all read ports, keep buses that reach 'in'.
+            for (std::size_t rp = 0; rp < readPortOwner_.size(); ++rp) {
+                for (BusId bus : readPortToBuses_[rp]) {
+                    const auto &sinks = busToInputs_[bus.index()];
+                    if (std::find(sinks.begin(), sinks.end(), in) ==
+                        sinks.end()) {
+                        continue;
+                    }
+                    ReadPortId rpid(static_cast<std::uint32_t>(rp));
+                    readStubsByFu_[i][s].push_back(
+                        ReadStub{rpid, bus, in});
+                    RegFileId rf = readPortOwner_[rp];
+                    auto &rable = readableByFu_[i][s];
+                    if (std::find(rable.begin(), rable.end(), rf) ==
+                        rable.end()) {
+                        rable.push_back(rf);
+                    }
+                }
+            }
+        }
+
+        // Slot-agnostic unions, used by copy operations (a copy may
+        // fetch its single operand through any input of its unit).
+        for (std::size_t s = 0; s < fu.inputs.size(); ++s) {
+            for (const ReadStub &stub : readStubsByFu_[i][s])
+                readStubsAnyByFu_[i].push_back(stub);
+            for (RegFileId rf : readableByFu_[i][s]) {
+                auto &any = readableAnyByFu_[i];
+                if (std::find(any.begin(), any.end(), rf) == any.end())
+                    any.push_back(rf);
+            }
+        }
+    }
+
+    computeCopyDistances();
+}
+
+void
+Machine::computeCopyDistances()
+{
+    const std::size_t n = regFiles_.size();
+    copyDistance_.assign(n, std::vector<int>(n, kUnreachable));
+    for (std::size_t i = 0; i < n; ++i)
+        copyDistance_[i][i] = 0;
+
+    // One copy operation moves a value from any register file readable
+    // by some copy-capable unit's source slot to any register file
+    // writable by that unit's output.
+    for (FuncUnitId fu : unitsForClass(OpClass::CopyCls)) {
+        const auto &srcs = readableAnySlot(fu);
+        const auto &dsts = writableRegFiles(fu);
+        for (RegFileId s : srcs) {
+            for (RegFileId d : dsts) {
+                if (s != d)
+                    copyDistance_[s.index()][d.index()] = 1;
+            }
+        }
+    }
+
+    // Floyd-Warshall closure over the (small) register-file graph.
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (copyDistance_[i][k] >= kUnreachable)
+                continue;
+            for (std::size_t j = 0; j < n; ++j) {
+                int through = copyDistance_[i][k] + copyDistance_[k][j];
+                if (through < copyDistance_[i][j])
+                    copyDistance_[i][j] = through;
+            }
+        }
+    }
+}
+
+bool
+Machine::checkCopyConnected(std::string *whyNot) const
+{
+    for (std::size_t fi = 0; fi < funcUnits_.size(); ++fi) {
+        const FuncUnit &writer = funcUnits_[fi];
+        if (!writer.output.valid())
+            continue;
+        const auto &writable = writableByFu_[fi];
+        if (writable.empty()) {
+            if (whyNot) {
+                *whyNot = "unit " + writer.name +
+                          " has an output with no write stub";
+            }
+            return false;
+        }
+        for (std::size_t ri = 0; ri < funcUnits_.size(); ++ri) {
+            const FuncUnit &reader = funcUnits_[ri];
+            for (std::size_t slot = 0; slot < reader.inputs.size();
+                 ++slot) {
+                const auto &readable = readableByFu_[ri][slot];
+                if (readable.empty()) {
+                    if (whyNot) {
+                        *whyNot = "unit " + reader.name + " slot " +
+                                  std::to_string(slot) +
+                                  " has no read stub";
+                    }
+                    return false;
+                }
+                // Appendix A asks that non-empty sets RFwrite/RFread
+                // *exist*, i.e. at least one writable file reaches at
+                // least one readable file; the scheduler's retargeting
+                // steers tentative stubs away from dead-end files.
+                bool ok = false;
+                for (RegFileId w : writable) {
+                    for (RegFileId r : readable) {
+                        if (copyDistance(w, r) < kUnreachable) {
+                            ok = true;
+                            break;
+                        }
+                    }
+                    if (ok)
+                        break;
+                }
+                if (!ok) {
+                    if (whyNot) {
+                        *whyNot = "no copy path from any file writable "
+                                  "by " + writer.name +
+                                  " to any file readable by " +
+                                  reader.name + " slot " +
+                                  std::to_string(slot);
+                    }
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace cs

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The machine model: a VLIW datapath described as functional units,
+ * register files, buses, and an explicit connectivity graph between
+ * functional-unit outputs, buses, register-file write ports, register-
+ * file read ports, and functional-unit inputs.
+ *
+ * This single description covers the whole space the paper targets:
+ * a central register file (all connections dedicated), clustered
+ * register files with copy units and global buses, and distributed
+ * register files where outputs share global buses and every register
+ * file has one shared write port (paper Figures 1-3, 25-27). Dedicated
+ * point-to-point wires are modeled as single-driver buses.
+ */
+
+#ifndef CS_MACHINE_MACHINE_HPP
+#define CS_MACHINE_MACHINE_HPP
+
+#include <array>
+#include <bitset>
+#include <string>
+#include <vector>
+
+#include "machine/opclass.hpp"
+#include "machine/stub.hpp"
+#include "support/ids.hpp"
+
+namespace cs {
+
+/** A functional unit: capability classes plus its port endpoints. */
+struct FuncUnit
+{
+    std::string name;
+    /** Which operation classes this unit executes. */
+    std::bitset<kNumOpClasses> classes;
+    /** Operand slots, in slot order (global input-port ids). */
+    std::vector<InputPortId> inputs;
+    /** Result port; invalid for units that never produce results. */
+    OutputPortId output;
+
+    bool
+    supports(OpClass cls) const
+    {
+        return classes.test(static_cast<std::size_t>(cls));
+    }
+};
+
+/** A register file: capacity and its port lists. */
+struct RegFile
+{
+    std::string name;
+    int capacity = 0;
+    std::vector<ReadPortId> readPorts;
+    std::vector<WritePortId> writePorts;
+};
+
+/** A bus: a single-value-per-cycle shared wire. */
+struct Bus
+{
+    std::string name;
+};
+
+/**
+ * An immutable machine description. Built once via MachineBuilder, then
+ * queried by the scheduler, simulator, and cost model. All adjacency is
+ * precomputed; query methods are O(1) or return precomputed lists.
+ */
+class Machine
+{
+  public:
+    /** @name Entity access */
+    /// @{
+    const std::string &name() const { return name_; }
+    std::size_t numFuncUnits() const { return funcUnits_.size(); }
+    std::size_t numRegFiles() const { return regFiles_.size(); }
+    std::size_t numBuses() const { return buses_.size(); }
+    std::size_t numReadPorts() const { return readPortOwner_.size(); }
+    std::size_t numWritePorts() const { return writePortOwner_.size(); }
+    std::size_t numInputPorts() const { return inputOwner_.size(); }
+    std::size_t numOutputPorts() const { return outputOwner_.size(); }
+
+    const FuncUnit &funcUnit(FuncUnitId id) const;
+    const RegFile &regFile(RegFileId id) const;
+    const Bus &bus(BusId id) const;
+    /// @}
+
+    /** @name Port ownership */
+    /// @{
+    RegFileId readPortRegFile(ReadPortId id) const;
+    RegFileId writePortRegFile(WritePortId id) const;
+    FuncUnitId inputFuncUnit(InputPortId id) const;
+    int inputSlot(InputPortId id) const;
+    FuncUnitId outputFuncUnit(OutputPortId id) const;
+    /// @}
+
+    /** Functional units able to execute the given class, in id order. */
+    const std::vector<FuncUnitId> &unitsForClass(OpClass cls) const;
+
+    /** Functional units able to execute the opcode's class. */
+    const std::vector<FuncUnitId> &
+    unitsForOpcode(Opcode op) const
+    {
+        return unitsForClass(opcodeClass(op));
+    }
+
+    /** Operation latency in cycles (>= 1). */
+    int latency(Opcode op) const;
+
+    /**
+     * All write stubs available to the given functional unit's output:
+     * every (output, bus, write port) path the connectivity graph
+     * permits. Empty when the unit has no output.
+     */
+    const std::vector<WriteStub> &writeStubs(FuncUnitId fu) const;
+
+    /**
+     * All read stubs available to operand slot @p slot of the given
+     * functional unit: every (read port, bus, input) path.
+     */
+    const std::vector<ReadStub> &readStubs(FuncUnitId fu, int slot) const;
+
+    /** Register files reachable (as stub targets) from a unit output. */
+    const std::vector<RegFileId> &writableRegFiles(FuncUnitId fu) const;
+
+    /** Register files readable by a unit's operand slot. */
+    const std::vector<RegFileId> &readableRegFiles(FuncUnitId fu,
+                                                   int slot) const;
+
+    /**
+     * Read stubs across every operand slot of the unit. A copy
+     * operation has one operand but may fetch it through any of its
+     * unit's inputs (each input may front a different register file).
+     */
+    const std::vector<ReadStub> &readStubsAnySlot(FuncUnitId fu) const;
+
+    /** Register files readable through any slot of the unit. */
+    const std::vector<RegFileId> &readableAnySlot(FuncUnitId fu) const;
+
+    /**
+     * Minimum number of copy operations needed to move a value from
+     * register file @p from to register file @p to (0 when identical);
+     * kUnreachable when no copy chain exists.
+     */
+    int copyDistance(RegFileId from, RegFileId to) const;
+
+    static constexpr int kUnreachable = 1 << 20;
+
+    /**
+     * Appendix-A check: for every (output, input) pair, every register
+     * file a write stub can target must be copy-connected to at least
+     * one register file the input can read, and vice versa. Returns
+     * true when the machine is copy-connected; otherwise fills
+     * @p whyNot (if non-null) with a diagnostic.
+     */
+    bool checkCopyConnected(std::string *whyNot = nullptr) const;
+
+    /** Total operand slots whose class set includes @p cls. */
+    int totalInputsOfClass(OpClass cls) const;
+
+    /**
+     * Endpoints electrically attached to a bus: driving outputs and
+     * read ports plus driven write ports and unit inputs. Two means a
+     * dedicated point-to-point wire; more means a shared bus whose
+     * length grows with the structures it spans (cost model input).
+     */
+    int busEndpointCount(BusId bus) const;
+
+  private:
+    friend class MachineBuilder;
+    Machine() = default;
+
+    void finalize(); // precompute adjacency, stubs, copy distances
+
+    std::string name_;
+    std::vector<FuncUnit> funcUnits_;
+    std::vector<RegFile> regFiles_;
+    std::vector<Bus> buses_;
+
+    // Port ownership tables, indexed by port id.
+    std::vector<RegFileId> readPortOwner_;
+    std::vector<RegFileId> writePortOwner_;
+    std::vector<FuncUnitId> inputOwner_;
+    std::vector<int> inputSlot_;
+    std::vector<FuncUnitId> outputOwner_;
+
+    // Raw connectivity (filled by builder).
+    std::vector<std::vector<BusId>> outputToBuses_;   // by output id
+    std::vector<std::vector<WritePortId>> busToWritePorts_; // by bus id
+    std::vector<std::vector<BusId>> readPortToBuses_; // by read port id
+    std::vector<std::vector<InputPortId>> busToInputs_; // by bus id
+
+    // Derived (finalize()).
+    std::array<std::vector<FuncUnitId>, kNumOpClasses> unitsByClass_;
+    std::vector<std::vector<WriteStub>> writeStubsByFu_;   // by fu id
+    std::vector<std::vector<std::vector<ReadStub>>> readStubsByFu_;
+    std::vector<std::vector<ReadStub>> readStubsAnyByFu_;
+    std::vector<std::vector<RegFileId>> writableByFu_;
+    std::vector<std::vector<std::vector<RegFileId>>> readableByFu_;
+    std::vector<std::vector<RegFileId>> readableAnyByFu_;
+    std::vector<std::vector<int>> copyDistance_; // [from][to]
+    std::vector<int> latency_;                   // by opcode
+
+    void computeCopyDistances();
+};
+
+} // namespace cs
+
+#endif // CS_MACHINE_MACHINE_HPP

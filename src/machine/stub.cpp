@@ -1,0 +1,62 @@
+#include "machine/stub.hpp"
+
+#include <sstream>
+
+#include "machine/machine.hpp"
+
+namespace cs {
+
+bool
+writeStubsShareResource(const WriteStub &a, const WriteStub &b)
+{
+    return a.output == b.output || a.bus == b.bus ||
+           a.writePort == b.writePort;
+}
+
+bool
+sameResultWriteStubsConflict(const Machine &machine, const WriteStub &a,
+                             const WriteStub &b)
+{
+    if (a == b)
+        return false;
+    RegFileId rf_a = machine.writePortRegFile(a.writePort);
+    RegFileId rf_b = machine.writePortRegFile(b.writePort);
+    // Writing one result into two different register files is fine
+    // (even over one bus: that is a broadcast of a single value).
+    // Writing it twice into the same file via different paths is a
+    // conflict (paper Section 4.2).
+    return rf_a == rf_b;
+}
+
+bool
+readStubsShareResource(const ReadStub &a, const ReadStub &b)
+{
+    return a.readPort == b.readPort || a.bus == b.bus || a.input == b.input;
+}
+
+std::string
+describe(const Machine &machine, const WriteStub &stub)
+{
+    std::ostringstream os;
+    const FuncUnit &fu =
+        machine.funcUnit(machine.outputFuncUnit(stub.output));
+    RegFileId rf = machine.writePortRegFile(stub.writePort);
+    os << fu.name << ".out -> " << machine.bus(stub.bus).name << " -> "
+       << machine.regFile(rf).name << ".w" << stub.writePort;
+    return os.str();
+}
+
+std::string
+describe(const Machine &machine, const ReadStub &stub)
+{
+    std::ostringstream os;
+    const FuncUnit &fu =
+        machine.funcUnit(machine.inputFuncUnit(stub.input));
+    RegFileId rf = machine.readPortRegFile(stub.readPort);
+    os << machine.regFile(rf).name << ".r" << stub.readPort << " -> "
+       << machine.bus(stub.bus).name << " -> " << fu.name << ".in"
+       << machine.inputSlot(stub.input);
+    return os.str();
+}
+
+} // namespace cs

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Write stubs and read stubs — the two endpoint components of a route
+ * (paper Section 4.2, Figure 12). A write stub is the functional-unit
+ * output, bus, and register-file write port used to deposit a result; a
+ * read stub is the register-file read port, bus, and functional-unit
+ * input used to fetch an operand. Conflict rules between stubs follow
+ * the paper:
+ *
+ *  - two read stubs conflict if they share any resource (read port, bus,
+ *    or functional-unit input), except that read stubs for the same
+ *    (reader, operand slot) must be identical rather than disjoint;
+ *  - two write stubs for *different* results conflict if they share any
+ *    resource (output, bus, or write port); write stubs for the *same*
+ *    result conflict only when they target the same register file
+ *    through a different bus or port (a single value may be broadcast
+ *    on one bus into several register files).
+ */
+
+#ifndef CS_MACHINE_STUB_HPP
+#define CS_MACHINE_STUB_HPP
+
+#include <compare>
+#include <string>
+
+#include "support/ids.hpp"
+
+namespace cs {
+
+class Machine;
+
+/** The resources used to write a result into a register file. */
+struct WriteStub
+{
+    OutputPortId output;
+    BusId bus;
+    WritePortId writePort;
+
+    auto operator<=>(const WriteStub &) const = default;
+};
+
+/** The resources used to read an operand out of a register file. */
+struct ReadStub
+{
+    ReadPortId readPort;
+    BusId bus;
+    InputPortId input;
+
+    auto operator<=>(const ReadStub &) const = default;
+};
+
+/**
+ * Resource-sharing test for two write stubs carrying different results.
+ */
+bool writeStubsShareResource(const WriteStub &a, const WriteStub &b);
+
+/**
+ * Conflict test for two write stubs carrying the same result: they
+ * clash only when targeting one register file via different bus/port.
+ */
+bool sameResultWriteStubsConflict(const Machine &machine,
+                                  const WriteStub &a, const WriteStub &b);
+
+/** Resource-sharing test for two read stubs feeding different slots. */
+bool readStubsShareResource(const ReadStub &a, const ReadStub &b);
+
+/** Human-readable stub descriptions for diagnostics. */
+std::string describe(const Machine &machine, const WriteStub &stub);
+std::string describe(const Machine &machine, const ReadStub &stub);
+
+} // namespace cs
+
+#endif // CS_MACHINE_STUB_HPP

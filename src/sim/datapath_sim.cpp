@@ -1,0 +1,279 @@
+#include "sim/datapath_sim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "sim/exec.hpp"
+#include "support/logging.hpp"
+
+namespace cs {
+
+namespace {
+
+/** Key for one dynamic value instance. */
+using Instance = std::pair<std::uint32_t, int>; // (value id, iteration)
+
+struct Execution
+{
+    OperationId op;
+    int iter;
+    std::int64_t issue;
+    std::int64_t complete;
+};
+
+struct PendingStore
+{
+    std::int64_t cycle;
+    std::int64_t address;
+    Word value;
+};
+
+} // namespace
+
+SimResult
+simulateBlock(const Kernel &kernel, const Machine &machine,
+              const BlockSchedule &schedule, const MemoryImage &initial,
+              int iterations, bool checkRoutes)
+{
+    SimResult result;
+    result.memory = initial;
+    result.peakRegFileOccupancy.assign(machine.numRegFiles(), 0);
+
+    const Block &blk = kernel.block(schedule.block());
+    const int ii = schedule.ii();
+    const int span =
+        ii > 0 ? ii : schedule.length(kernel, machine);
+
+    auto complain = [&](const std::string &what) {
+        if (result.problems.size() < 64)
+            result.problems.push_back(what);
+    };
+
+    // Route lookup by (reader, slot).
+    std::map<std::pair<std::uint32_t, int>, const RouteRecord *>
+        route_for;
+    for (const RouteRecord &route : schedule.routes())
+        route_for[{route.reader.index(), route.slot}] = &route;
+
+    // Build the execution list, ordered by absolute issue cycle.
+    std::vector<Execution> executions;
+    executions.reserve(blk.operations.size() * iterations);
+    for (int k = 0; k < iterations; ++k) {
+        for (OperationId op_id : blk.operations) {
+            const Placement &p = schedule.placement(op_id);
+            if (!p.scheduled) {
+                complain("unscheduled operation " +
+                         kernel.operation(op_id).name);
+                continue;
+            }
+            int lat = machine.latency(kernel.operation(op_id).opcode);
+            std::int64_t issue =
+                p.cycle + static_cast<std::int64_t>(k) * span;
+            executions.push_back(
+                Execution{op_id, k, issue, issue + lat});
+        }
+    }
+    std::stable_sort(executions.begin(), executions.end(),
+                     [](const Execution &a, const Execution &b) {
+                         return a.issue < b.issue;
+                     });
+
+    std::map<Instance, Word> values;
+    // (register file, instance) -> arrival cycle of the value there.
+    std::map<std::pair<std::uint32_t, Instance>, std::int64_t> arrivals;
+    // Bus occupancy: (cycle, bus) -> (instance, write role, owner tag).
+    struct BusUse
+    {
+        Instance inst;
+        bool writeRole;
+        std::uint32_t reader;
+        int slot;
+    };
+    std::map<std::pair<std::int64_t, std::uint32_t>, BusUse> buses;
+    // Register-pressure intervals: (rf, instance) -> last read cycle.
+    std::map<std::pair<std::uint32_t, Instance>, std::int64_t> last_read;
+
+    std::vector<PendingStore> pending;
+    auto flush_stores = [&](std::int64_t upto) {
+        std::size_t kept = 0;
+        for (PendingStore &store : pending) {
+            if (store.cycle <= upto)
+                result.memory.store(store.address, store.value);
+            else
+                pending[kept++] = store;
+        }
+        pending.resize(kept);
+    };
+
+    std::vector<Word> scratchpad(4096);
+
+    auto claim_bus = [&](std::int64_t cycle, BusId bus, Instance inst,
+                         bool writeRole, std::uint32_t reader,
+                         int slot) {
+        auto key = std::make_pair(cycle, bus.index());
+        auto it = buses.find(key);
+        if (it == buses.end()) {
+            buses.emplace(key, BusUse{inst, writeRole, reader, slot});
+            return;
+        }
+        const BusUse &held = it->second;
+        bool same_broadcast = writeRole && held.writeRole &&
+                              held.inst == inst;
+        bool same_operand = !writeRole && !held.writeRole &&
+                            held.reader == reader && held.slot == slot;
+        if (!same_broadcast && !same_operand) {
+            complain("bus " + machine.bus(bus).name +
+                     " carries two values at cycle " +
+                     std::to_string(cycle));
+        }
+    };
+
+    for (const Execution &exec : executions) {
+        flush_stores(exec.issue);
+        const Operation &op = kernel.operation(exec.op);
+
+        // Gather operands.
+        std::vector<Word> args(op.operands.size());
+        for (std::size_t s = 0; s < op.operands.size(); ++s) {
+            const Operand &operand = op.operands[s];
+            switch (operand.kind) {
+              case Operand::Kind::ImmInt:
+                args[s] = Word::fromInt(operand.immInt);
+                break;
+              case Operand::Kind::ImmFloat:
+                args[s] = Word::fromFloat(operand.immFloat);
+                break;
+              case Operand::Kind::Value: {
+                int src_iter = exec.iter - operand.distance;
+                Instance inst{operand.value.index(), src_iter};
+                if (src_iter < 0) {
+                    args[s] = Word{}; // pre-loop values read as zero
+                } else {
+                    auto it = values.find(inst);
+                    if (it == values.end()) {
+                        complain("operand of " + op.name +
+                                 " consumed before production");
+                        args[s] = Word{};
+                    } else {
+                        args[s] = it->second;
+                    }
+                }
+                // Route check: the value must sit in the read stub's
+                // register file by this cycle.
+                if (checkRoutes && src_iter >= 0) {
+                    auto rit = route_for.find(
+                        {exec.op.index(), static_cast<int>(s)});
+                    if (rit == route_for.end()) {
+                        complain("no route for operand of " + op.name);
+                        break;
+                    }
+                    const RouteRecord &route = *rit->second;
+                    RegFileId rf = machine.readPortRegFile(
+                        route.readStub.readPort);
+                    if (route.writer.valid()) {
+                        auto ait =
+                            arrivals.find({rf.index(), inst});
+                        if (ait == arrivals.end()) {
+                            complain("value for " + op.name +
+                                     " never arrives in " +
+                                     machine.regFile(rf).name);
+                        } else if (ait->second > exec.issue) {
+                            complain("value for " + op.name +
+                                     " arrives after issue");
+                        }
+                    }
+                    claim_bus(exec.issue, route.readStub.bus, inst,
+                              false, exec.op.index(),
+                              static_cast<int>(s));
+                    auto &lr = last_read[{rf.index(), inst}];
+                    lr = std::max(lr, exec.issue);
+                }
+                break;
+              }
+              case Operand::Kind::None:
+                complain("unset operand in " + op.name);
+                break;
+            }
+        }
+
+        // Execute.
+        Word out{};
+        switch (op.opcode) {
+          case Opcode::Load: {
+            std::int64_t address =
+                args[0].i +
+                static_cast<std::int64_t>(exec.iter) * op.iterStride;
+            out = result.memory.load(address);
+            break;
+          }
+          case Opcode::Store: {
+            std::int64_t address =
+                args[0].i +
+                static_cast<std::int64_t>(exec.iter) * op.iterStride;
+            pending.push_back(
+                PendingStore{exec.complete, address, args[1]});
+            break;
+          }
+          case Opcode::SpRead:
+            out = scratchpad[args[0].i & 4095];
+            break;
+          case Opcode::SpWrite:
+            scratchpad[args[0].i & 4095] = args[1];
+            break;
+          default:
+            out = evalOpcode(op.opcode, args);
+            break;
+        }
+
+        if (op.hasResult()) {
+            Instance inst{op.result.index(), exec.iter};
+            values[inst] = out;
+            if (checkRoutes) {
+                // Deposit through every write stub routed from this op.
+                for (const RouteRecord &route : schedule.routes()) {
+                    if (route.writer != exec.op || !route.writeStub)
+                        continue;
+                    RegFileId rf = machine.writePortRegFile(
+                        route.writeStub->writePort);
+                    auto key = std::make_pair(rf.index(), inst);
+                    if (!arrivals.count(key))
+                        arrivals[key] = exec.complete;
+                    claim_bus(exec.complete - 1, route.writeStub->bus,
+                              inst, true, 0, 0);
+                }
+            }
+        }
+        result.cycles = std::max(result.cycles, exec.complete);
+    }
+    flush_stores(result.cycles);
+
+    // Register pressure: max overlap of [arrival, last read] intervals
+    // per register file.
+    {
+        std::map<std::uint32_t,
+                 std::vector<std::pair<std::int64_t, int>>>
+            events;
+        for (const auto &[key, arrival] : arrivals) {
+            auto lr = last_read.find(key);
+            std::int64_t end =
+                lr == last_read.end() ? arrival : lr->second;
+            events[key.first].push_back({arrival, +1});
+            events[key.first].push_back({end + 1, -1});
+        }
+        for (auto &[rf, evs] : events) {
+            std::sort(evs.begin(), evs.end());
+            int live = 0;
+            for (auto &[cycle, delta] : evs) {
+                live += delta;
+                result.peakRegFileOccupancy[rf] =
+                    std::max(result.peakRegFileOccupancy[rf], live);
+            }
+        }
+    }
+
+    result.ok = result.problems.empty();
+    return result;
+}
+
+} // namespace cs

@@ -1,0 +1,64 @@
+#include "sim/exec.hpp"
+
+#include <algorithm>
+
+#include "support/fixed_point.hpp"
+#include "support/logging.hpp"
+
+namespace cs {
+
+Word
+evalOpcode(Opcode op, const std::vector<Word> &args)
+{
+    auto a = [&](std::size_t n) -> const Word & {
+        CS_ASSERT(n < args.size(), "missing operand for ",
+                  opcodeName(op));
+        return args[n];
+    };
+
+    switch (op) {
+      case Opcode::IAdd:
+        return Word::fromInt(a(0).i + a(1).i);
+      case Opcode::ISub:
+        return Word::fromInt(a(0).i - a(1).i);
+      case Opcode::IMin:
+        return Word::fromInt(std::min(a(0).i, a(1).i));
+      case Opcode::IMax:
+        return Word::fromInt(std::max(a(0).i, a(1).i));
+      case Opcode::IAnd:
+        return Word::fromInt(a(0).i & a(1).i);
+      case Opcode::IOr:
+        return Word::fromInt(a(0).i | a(1).i);
+      case Opcode::IXor:
+        return Word::fromInt(a(0).i ^ a(1).i);
+      case Opcode::IShl:
+        return Word::fromInt(a(0).i << (a(1).i & 63));
+      case Opcode::IShr:
+        return Word::fromInt(a(0).i >> (a(1).i & 63));
+      case Opcode::IMul:
+        return Word::fromInt(a(0).i * a(1).i);
+      case Opcode::IMulFix:
+        return Word::fromInt(
+            fixMul(static_cast<std::int32_t>(a(0).i),
+                   static_cast<std::int32_t>(a(1).i)));
+      case Opcode::IDiv:
+        return Word::fromInt(a(1).i == 0 ? 0 : a(0).i / a(1).i);
+      case Opcode::FAdd:
+        return Word::fromFloat(a(0).f + a(1).f);
+      case Opcode::FSub:
+        return Word::fromFloat(a(0).f - a(1).f);
+      case Opcode::FMul:
+        return Word::fromFloat(a(0).f * a(1).f);
+      case Opcode::FDiv:
+        return Word::fromFloat(a(1).f == 0.0 ? 0.0 : a(0).f / a(1).f);
+      case Opcode::Shuffle:
+        return Word::fromInt((a(0).i << 32) |
+                             (a(1).i & 0xffffffffLL));
+      case Opcode::Copy:
+        return a(0); // both views preserved
+      default:
+        CS_PANIC("evalOpcode cannot evaluate ", opcodeName(op));
+    }
+}
+
+} // namespace cs

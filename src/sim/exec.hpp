@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Functional semantics of the opcode set: pure evaluation over Words.
+ * Memory and scratchpad opcodes are handled by the simulator proper.
+ */
+
+#ifndef CS_SIM_EXEC_HPP
+#define CS_SIM_EXEC_HPP
+
+#include <vector>
+
+#include "machine/opclass.hpp"
+#include "support/memory_image.hpp"
+
+namespace cs {
+
+/**
+ * Evaluate a non-memory opcode. Integer opcodes consume/produce the
+ * integer view, floating opcodes the floating view; Copy preserves
+ * both views bit-for-bit. Divides by zero yield zero (the modeled
+ * datapath saturates rather than trapping).
+ */
+Word evalOpcode(Opcode op, const std::vector<Word> &args);
+
+} // namespace cs
+
+#endif // CS_SIM_EXEC_HPP

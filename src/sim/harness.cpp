@@ -1,0 +1,121 @@
+#include "sim/harness.hpp"
+
+#include <algorithm>
+
+#include "core/list_scheduler.hpp"
+#include "core/modulo_scheduler.hpp"
+#include "kernels/detail.hpp"
+#include "support/logging.hpp"
+
+namespace cs {
+
+KernelRunResult
+runKernel(const KernelSpec &spec, const Machine &machine, bool pipelined,
+          const SchedulerOptions &options, int iterations,
+          std::uint64_t seed)
+{
+    KernelRunResult result;
+    Kernel kernel = spec.build();
+    BlockId loop = kernel.blocks().front().id;
+
+    if (pipelined) {
+        PipelineResult pipe =
+            schedulePipelined(kernel, loop, machine, options);
+        if (!pipe.success) {
+            result.problems.push_back(pipe.inner.failure);
+            return result;
+        }
+        result.cyclesPerIteration = pipe.ii;
+        result.sched = std::move(pipe.inner);
+    } else {
+        ScheduleResult block =
+            scheduleBlock(kernel, loop, machine, options);
+        if (!block.success) {
+            result.problems.push_back(block.failure);
+            return result;
+        }
+        result.cyclesPerIteration =
+            block.schedule.length(block.kernel, machine);
+        result.sched = std::move(block);
+    }
+    result.scheduled = true;
+    result.copies = static_cast<int>(
+        result.sched.kernel.numOperations() -
+        result.sched.kernel.numOriginalOperations());
+
+    auto structural = validateSchedule(result.sched.kernel, machine,
+                                       result.sched.schedule);
+    result.valid = structural.empty();
+    for (auto &p : structural)
+        result.problems.push_back("validate: " + p);
+    if (!result.valid)
+        return result;
+
+    if (iterations < 0)
+        iterations = spec.testIterations;
+    iterations = std::min(iterations, kern::kMaxIterations);
+
+    MemoryImage image;
+    Rng rng(seed);
+    spec.init(image, rng);
+
+    MemoryImage expected = image;
+    spec.reference(expected, iterations);
+
+    SimResult sim =
+        simulateBlock(result.sched.kernel, machine,
+                      result.sched.schedule, image, iterations);
+    result.simulated = sim.ok;
+    for (auto &p : sim.problems)
+        result.problems.push_back("sim: " + p);
+    if (!sim.ok)
+        return result;
+
+    // Bit-exact comparison over the union of touched cells.
+    bool match = true;
+    for (const auto &[address, word] : expected.cells()) {
+        if (!(sim.memory.load(address) == word)) {
+            match = false;
+            result.problems.push_back(
+                "mismatch at address " + std::to_string(address));
+            break;
+        }
+    }
+    for (const auto &[address, word] : sim.memory.cells()) {
+        if (!(expected.load(address) == word)) {
+            match = false;
+            result.problems.push_back(
+                "unexpected write at address " +
+                std::to_string(address));
+            break;
+        }
+    }
+    result.matches = match;
+    return result;
+}
+
+int
+scheduleCyclesPerIteration(const KernelSpec &spec, const Machine &machine,
+                           bool pipelined,
+                           const SchedulerOptions &options)
+{
+    Kernel kernel = spec.build();
+    BlockId loop = kernel.blocks().front().id;
+    if (pipelined) {
+        PipelineResult pipe =
+            schedulePipelined(kernel, loop, machine, options);
+        if (!pipe.success) {
+            CS_FATAL("cannot pipeline ", spec.name, " on ",
+                     machine.name(), ": ", pipe.inner.failure);
+        }
+        return pipe.ii;
+    }
+    ScheduleResult block = scheduleBlock(kernel, loop, machine, options);
+    if (!block.success) {
+        CS_FATAL("cannot schedule ", spec.name, " on ", machine.name(),
+                 ": ", block.failure);
+    }
+    return block.schedule.length(block.kernel, machine);
+}
+
+} // namespace cs

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * One-call harness used by tests, examples, and benches: build a
+ * Table-1 kernel, schedule it (plain or software-pipelined) on a
+ * machine, validate the schedule structurally, execute it on the
+ * datapath simulator, and compare the memory image against the
+ * kernel's scalar reference bit-for-bit.
+ */
+
+#ifndef CS_SIM_HARNESS_HPP
+#define CS_SIM_HARNESS_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/comm_scheduler.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/machine.hpp"
+#include "sim/datapath_sim.hpp"
+
+namespace cs {
+
+/** Everything a test or bench wants to know about one kernel run. */
+struct KernelRunResult
+{
+    bool scheduled = false;
+    bool valid = false;    ///< structural validation passed
+    bool simulated = false;
+    bool matches = false;  ///< simulated memory == reference memory
+    /** Cycles per iteration: the achieved II, or the block length. */
+    int cyclesPerIteration = 0;
+    int copies = 0;        ///< copy operations in the final schedule
+    ScheduleResult sched;
+    std::vector<std::string> problems;
+};
+
+/**
+ * Run @p spec on @p machine. @p pipelined selects modulo scheduling
+ * (the paper's configuration) versus a plain block schedule.
+ * @p iterations < 0 uses the spec's default test iteration count.
+ */
+KernelRunResult runKernel(const KernelSpec &spec, const Machine &machine,
+                          bool pipelined,
+                          const SchedulerOptions &options = {},
+                          int iterations = -1, std::uint64_t seed = 42);
+
+/**
+ * Schedule only (no simulation): returns cycles per iteration, the
+ * paper's Figure 28 quantity. Fatal if scheduling fails.
+ */
+int scheduleCyclesPerIteration(const KernelSpec &spec,
+                               const Machine &machine, bool pipelined,
+                               const SchedulerOptions &options = {});
+
+} // namespace cs
+
+#endif // CS_SIM_HARNESS_HPP

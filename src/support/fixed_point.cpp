@@ -1,0 +1,38 @@
+#include "support/fixed_point.hpp"
+
+#include <cmath>
+
+namespace cs {
+
+std::int32_t
+toFixed(double value)
+{
+    return static_cast<std::int32_t>(
+        std::lround(value * (1 << kFixFracBits)));
+}
+
+double
+fromFixed(std::int32_t value)
+{
+    return static_cast<double>(value) / (1 << kFixFracBits);
+}
+
+std::int32_t
+fixMul(std::int32_t a, std::int32_t b)
+{
+    std::int64_t wide = static_cast<std::int64_t>(a) * b;
+    wide += (1 << (kFixFracBits - 1)); // round to nearest
+    return static_cast<std::int32_t>(wide >> kFixFracBits);
+}
+
+std::int16_t
+saturate16(std::int32_t value)
+{
+    if (value > 32767)
+        return 32767;
+    if (value < -32768)
+        return -32768;
+    return static_cast<std::int16_t>(value);
+}
+
+} // namespace cs

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * 16-bit fixed-point helpers used by the integer media kernels (the
+ * paper's DCT operates on "an 8x8 matrix of 16-bit fixed-point numbers"
+ * and FIR-INT uses "16-bit integer coefficients and data").
+ *
+ * Values are stored in Q(15-kFracBits).kFracBits format inside a plain
+ * int32_t lane so intermediate products have headroom; saturation to
+ * 16 bits happens only at explicit narrowing points, mirroring the
+ * Imagine datapath's 16-bit arithmetic with a wide accumulator.
+ */
+
+#ifndef CS_SUPPORT_FIXED_POINT_HPP
+#define CS_SUPPORT_FIXED_POINT_HPP
+
+#include <cstdint>
+
+namespace cs {
+
+/** Fractional bits used by the fixed-point kernels (Q8.8-style data). */
+constexpr int kFixFracBits = 8;
+
+/** Convert a double to fixed point (round to nearest). */
+std::int32_t toFixed(double value);
+
+/** Convert fixed point back to double. */
+double fromFixed(std::int32_t value);
+
+/** Fixed-point multiply with rounding: (a*b) >> kFixFracBits. */
+std::int32_t fixMul(std::int32_t a, std::int32_t b);
+
+/** Saturate to the signed 16-bit range. */
+std::int16_t saturate16(std::int32_t value);
+
+} // namespace cs
+
+#endif // CS_SUPPORT_FIXED_POINT_HPP

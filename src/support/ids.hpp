@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Strongly-typed integer identifiers. Machine resources (functional units,
+ * register files, buses, ports) and IR entities (values, operations,
+ * blocks) are referenced by index into their owning container; the tag
+ * types below keep the index spaces from being mixed up at compile time.
+ */
+
+#ifndef CS_SUPPORT_IDS_HPP
+#define CS_SUPPORT_IDS_HPP
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace cs {
+
+/**
+ * A typed wrapper around a 32-bit index. Distinct Tag types produce
+ * mutually-incompatible id types. The value kInvalid (~0) denotes
+ * "no entity"; default construction yields an invalid id.
+ */
+template <typename Tag>
+class Id
+{
+  public:
+    static constexpr std::uint32_t kInvalid = ~std::uint32_t{0};
+
+    constexpr Id() = default;
+    constexpr explicit Id(std::uint32_t index) : index_(index) {}
+
+    /** True when this id refers to an actual entity. */
+    constexpr bool valid() const { return index_ != kInvalid; }
+    constexpr std::uint32_t index() const { return index_; }
+
+    constexpr auto operator<=>(const Id &) const = default;
+
+  private:
+    std::uint32_t index_ = kInvalid;
+};
+
+template <typename Tag>
+std::ostream &
+operator<<(std::ostream &os, Id<Tag> id)
+{
+    if (!id.valid())
+        return os << "<invalid>";
+    return os << id.index();
+}
+
+struct FuncUnitTag {};
+struct RegFileTag {};
+struct BusTag {};
+struct ReadPortTag {};
+struct WritePortTag {};
+struct InputPortTag {};
+struct OutputPortTag {};
+struct ValueTag {};
+struct OperationTag {};
+struct BlockTag {};
+struct CommTag {};
+
+using FuncUnitId = Id<FuncUnitTag>;
+using RegFileId = Id<RegFileTag>;
+using BusId = Id<BusTag>;
+/** A read port, numbered globally across all register files. */
+using ReadPortId = Id<ReadPortTag>;
+/** A write port, numbered globally across all register files. */
+using WritePortId = Id<WritePortTag>;
+/** A functional-unit input (operand slot), numbered globally. */
+using InputPortId = Id<InputPortTag>;
+/** A functional-unit output, numbered globally. */
+using OutputPortId = Id<OutputPortTag>;
+using ValueId = Id<ValueTag>;
+using OperationId = Id<OperationTag>;
+using BlockId = Id<BlockTag>;
+/** A communication (write op -> read op operand), see core/communication. */
+using CommId = Id<CommTag>;
+
+} // namespace cs
+
+namespace std {
+
+template <typename Tag>
+struct hash<cs::Id<Tag>>
+{
+    size_t
+    operator()(cs::Id<Tag> id) const noexcept
+    {
+        return std::hash<std::uint32_t>{}(id.index());
+    }
+};
+
+} // namespace std
+
+#endif // CS_SUPPORT_IDS_HPP

@@ -1,0 +1,67 @@
+#include "support/logging.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace cs {
+
+namespace {
+
+bool verboseEnabled = true;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setVerboseLogging(bool enabled)
+{
+    verboseEnabled = enabled;
+}
+
+bool
+verboseLogging()
+{
+    return verboseEnabled;
+}
+
+namespace detail {
+
+void
+logOnly(LogLevel level, std::string_view file, int line,
+        const std::string &message)
+{
+    if (!verboseEnabled && (level == LogLevel::Inform ||
+                            level == LogLevel::Warn)) {
+        return;
+    }
+    std::fprintf(stderr, "[%s] %s (%.*s:%d)\n", levelName(level),
+                 message.c_str(), static_cast<int>(file.size()),
+                 file.data(), line);
+}
+
+void
+logAndThrow(LogLevel level, std::string_view file, int line,
+            const std::string &message)
+{
+    std::fprintf(stderr, "[%s] %s (%.*s:%d)\n", levelName(level),
+                 message.c_str(), static_cast<int>(file.size()),
+                 file.data(), line);
+    if (level == LogLevel::Panic)
+        throw PanicError(message);
+    throw FatalError(message);
+}
+
+} // namespace detail
+
+} // namespace cs

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Status and error reporting helpers, following the gem5 idiom:
+ * panic() for internal invariant violations (library bugs), fatal() for
+ * unrecoverable user errors (bad configuration, malformed kernels), and
+ * warn()/inform() for advisory messages that never stop execution.
+ */
+
+#ifndef CS_SUPPORT_LOGGING_HPP
+#define CS_SUPPORT_LOGGING_HPP
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cs {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Sink for all log output; throws on Fatal/Panic (see logging.cpp). */
+[[noreturn]] void logAndThrow(LogLevel level, std::string_view file,
+                              int line, const std::string &message);
+
+void logOnly(LogLevel level, std::string_view file, int line,
+             const std::string &message);
+
+/** Fold an arbitrary argument pack into one string via ostringstream. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Exception thrown by panic(): an internal invariant of the library was
+ * violated. Catching it is only appropriate in tests.
+ */
+class PanicError : public std::runtime_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/**
+ * Exception thrown by fatal(): the caller handed the library an input it
+ * cannot work with (unschedulable configuration, malformed IR, ...).
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Enable/disable warn()/inform() output (tests silence it). */
+void setVerboseLogging(bool enabled);
+bool verboseLogging();
+
+} // namespace cs
+
+/** Internal invariant violation: a bug in this library. */
+#define CS_PANIC(...)                                                        \
+    ::cs::detail::logAndThrow(::cs::LogLevel::Panic, __FILE__, __LINE__,     \
+                              ::cs::detail::formatMessage(__VA_ARGS__))
+
+/** Unrecoverable user/input error. */
+#define CS_FATAL(...)                                                        \
+    ::cs::detail::logAndThrow(::cs::LogLevel::Fatal, __FILE__, __LINE__,     \
+                              ::cs::detail::formatMessage(__VA_ARGS__))
+
+/** Advisory: something is off but execution can continue. */
+#define CS_WARN(...)                                                         \
+    ::cs::detail::logOnly(::cs::LogLevel::Warn, __FILE__, __LINE__,          \
+                          ::cs::detail::formatMessage(__VA_ARGS__))
+
+/** Status message with no connotation of incorrect behaviour. */
+#define CS_INFORM(...)                                                       \
+    ::cs::detail::logOnly(::cs::LogLevel::Inform, __FILE__, __LINE__,        \
+                          ::cs::detail::formatMessage(__VA_ARGS__))
+
+/** Always-on assertion that panics with a readable message. */
+#define CS_ASSERT(cond, ...)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            CS_PANIC("assertion failed: ", #cond, " ",                       \
+                     ::cs::detail::formatMessage(__VA_ARGS__));              \
+        }                                                                    \
+    } while (0)
+
+#endif // CS_SUPPORT_LOGGING_HPP

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Word and MemoryImage: the scalar value type and flat memory used by
+ * both the datapath simulator and the kernels' scalar reference
+ * implementations, so the two compute bit-identical results.
+ *
+ * A Word keeps coherent integer and floating views; integer opcodes
+ * consume/produce the integer view, floating opcodes the floating
+ * view. Uninitialized memory reads as zero in both views.
+ */
+
+#ifndef CS_SUPPORT_MEMORY_IMAGE_HPP
+#define CS_SUPPORT_MEMORY_IMAGE_HPP
+
+#include <cstdint>
+#include <map>
+
+namespace cs {
+
+/** A machine word with coherent integer and floating views. */
+struct Word
+{
+    std::int64_t i = 0;
+    double f = 0.0;
+
+    static Word
+    fromInt(std::int64_t v)
+    {
+        return Word{v, static_cast<double>(v)};
+    }
+
+    static Word
+    fromFloat(double v)
+    {
+        return Word{static_cast<std::int64_t>(v), v};
+    }
+
+    bool
+    operator==(const Word &other) const
+    {
+        return i == other.i && f == other.f;
+    }
+};
+
+/** Sparse flat memory; absent addresses read as zero. */
+class MemoryImage
+{
+  public:
+    Word
+    load(std::int64_t address) const
+    {
+        auto it = cells_.find(address);
+        return it == cells_.end() ? Word{} : it->second;
+    }
+
+    void store(std::int64_t address, Word value)
+    {
+        cells_[address] = value;
+    }
+
+    void
+    storeInt(std::int64_t address, std::int64_t value)
+    {
+        store(address, Word::fromInt(value));
+    }
+
+    void
+    storeFloat(std::int64_t address, double value)
+    {
+        store(address, Word::fromFloat(value));
+    }
+
+    std::int64_t loadInt(std::int64_t address) const
+    {
+        return load(address).i;
+    }
+
+    double loadFloat(std::int64_t address) const
+    {
+        return load(address).f;
+    }
+
+    std::size_t size() const { return cells_.size(); }
+    const std::map<std::int64_t, Word> &cells() const { return cells_; }
+
+  private:
+    std::map<std::int64_t, Word> cells_;
+};
+
+} // namespace cs
+
+#endif // CS_SUPPORT_MEMORY_IMAGE_HPP

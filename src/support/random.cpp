@@ -1,0 +1,46 @@
+#include "support/random.hpp"
+
+#include "support/logging.hpp"
+
+namespace cs {
+
+std::uint64_t
+Rng::next()
+{
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    CS_ASSERT(lo <= hi, "uniformInt bounds inverted: ", lo, " > ", hi);
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double
+Rng::uniformDouble()
+{
+    // 53 bits of mantissa.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformDouble(double lo, double hi)
+{
+    return lo + (hi - lo) * uniformDouble();
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniformDouble() < p;
+}
+
+} // namespace cs

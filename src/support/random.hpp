@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation used by kernel input
+ * generators and property tests. A fixed algorithm (splitmix64/xoshiro-
+ * style) rather than std::mt19937 so streams are identical across
+ * standard libraries.
+ */
+
+#ifndef CS_SUPPORT_RANDOM_HPP
+#define CS_SUPPORT_RANDOM_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace cs {
+
+/** A small, fast, reproducible PRNG (splitmix64 core). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformDouble();
+
+    /** Uniform double in [lo, hi). */
+    double uniformDouble(double lo, double hi);
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            auto j = static_cast<std::size_t>(
+                uniformInt(0, static_cast<std::int64_t>(i) - 1));
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace cs
+
+#endif // CS_SUPPORT_RANDOM_HPP

@@ -1,0 +1,67 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace cs {
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    CS_ASSERT(!values.empty(), "geometric mean of empty set");
+    double log_sum = 0.0;
+    for (double v : values) {
+        CS_ASSERT(v > 0.0, "geometric mean requires positive values, got ",
+                  v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+minOf(const std::vector<double> &values)
+{
+    CS_ASSERT(!values.empty(), "min of empty set");
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+maxOf(const std::vector<double> &values)
+{
+    CS_ASSERT(!values.empty(), "max of empty set");
+    return *std::max_element(values.begin(), values.end());
+}
+
+void
+CounterSet::bump(const std::string &name, std::uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+std::uint64_t
+CounterSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+CounterSet::clear()
+{
+    counters_.clear();
+}
+
+} // namespace cs

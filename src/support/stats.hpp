@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Small numeric helpers used by the benchmark harnesses: geometric mean
+ * (the paper's Figure 29 aggregates per-kernel speedups this way),
+ * arithmetic summaries, and a simple named counter set for scheduler
+ * statistics.
+ */
+
+#ifndef CS_SUPPORT_STATS_HPP
+#define CS_SUPPORT_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cs {
+
+/** Geometric mean of a set of strictly positive values. */
+double geometricMean(const std::vector<double> &values);
+
+/** Arithmetic mean; zero for an empty set. */
+double arithmeticMean(const std::vector<double> &values);
+
+/** Minimum of a non-empty set. */
+double minOf(const std::vector<double> &values);
+
+/** Maximum of a non-empty set. */
+double maxOf(const std::vector<double> &values);
+
+/**
+ * A set of named monotonically increasing counters. Schedulers expose one
+ * of these so tests and benches can observe effort (operations scheduled,
+ * copies inserted, permutations searched, backtracks taken, ...).
+ */
+class CounterSet
+{
+  public:
+    /** Add delta to the named counter, creating it at zero if absent. */
+    void bump(const std::string &name, std::uint64_t delta = 1);
+
+    /** Current value of the named counter (zero if never bumped). */
+    std::uint64_t get(const std::string &name) const;
+
+    /** Reset every counter to zero. */
+    void clear();
+
+    /** All counters in name order, for printing. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace cs
+
+#endif // CS_SUPPORT_STATS_HPP

@@ -1,0 +1,99 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace cs {
+
+namespace {
+
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    bool digit_seen = false;
+    for (char c : cell) {
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            digit_seen = true;
+        } else if (c != '.' && c != '-' && c != '+' && c != '%' &&
+                   c != 'e' && c != 'x') {
+            return false;
+        }
+    }
+    return digit_seen;
+}
+
+} // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    CS_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    CS_ASSERT(cells.size() == headers_.size(), "row has ", cells.size(),
+              " cells, table has ", headers_.size(), " columns");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            bool right = looksNumeric(row[c]);
+            os << (right ? std::right : std::left)
+               << std::setw(static_cast<int>(widths[c])) << row[c];
+        }
+        os << " |\n";
+    };
+
+    emit_row(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << (c == 0 ? "|" : "-|") << std::string(widths[c] + 2, '-');
+    }
+    os << "-|\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n=== " << title << " ===\n";
+}
+
+std::string
+textBar(double fraction, int width)
+{
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    int filled = static_cast<int>(fraction * width + 0.5);
+    return std::string(filled, '#') + std::string(width - filled, ' ');
+}
+
+} // namespace cs

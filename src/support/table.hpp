@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses. Every
+ * reproduced paper table/figure is printed through this so that the
+ * bench output is uniform and diffable.
+ */
+
+#ifndef CS_SUPPORT_TABLE_HPP
+#define CS_SUPPORT_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cs {
+
+/**
+ * A simple left/right-aligned text table. Numeric-looking cells are
+ * right-aligned; everything else is left-aligned. Column widths adapt to
+ * content.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double value, int precision = 2);
+
+    /** Render with a header rule and column separators. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner used between bench sub-results. */
+void printBanner(std::ostream &os, const std::string &title);
+
+/**
+ * Render a unit-interval value as a text bar (the paper's Figures 25-29
+ * are bar charts); used so bench output visually mirrors the figures.
+ */
+std::string textBar(double fraction, int width = 40);
+
+} // namespace cs
+
+#endif // CS_SUPPORT_TABLE_HPP

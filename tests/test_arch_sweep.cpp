@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Parameterized architecture sweeps: communication scheduling must
+ * remain correct (not merely fast) across a family of machines — bus
+ * counts from scarce to abundant on the distributed organization,
+ * cluster counts from 2 to 8, and scaled unit mixes. Each point
+ * schedules a representative kernel, validates structurally, and
+ * simulates bit-exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/builders.hpp"
+#include "sim/harness.hpp"
+
+namespace cs {
+namespace {
+
+class BusSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BusSweep, DistributedCorrectAtAnyBusCount)
+{
+    StdMachineConfig cfg;
+    cfg.numGlobalBuses = GetParam();
+    Machine machine = makeDistributed(cfg);
+    std::string why;
+    ASSERT_TRUE(machine.checkCopyConnected(&why)) << why;
+
+    for (const char *name : {"FFT", "Block Warp"}) {
+        KernelRunResult run =
+            runKernel(kernelByName(name), machine, false);
+        EXPECT_TRUE(run.scheduled) << name << " @" << GetParam()
+                                   << " buses";
+        EXPECT_TRUE(run.valid) << name;
+        EXPECT_TRUE(run.matches) << name;
+    }
+}
+
+TEST_P(BusSweep, FewerBusesNeverBeatMoreBuses)
+{
+    // II must be monotone non-increasing in bus count (more result
+    // bandwidth can only help).
+    StdMachineConfig scarce;
+    scarce.numGlobalBuses = GetParam();
+    StdMachineConfig rich;
+    rich.numGlobalBuses = 16;
+    const KernelSpec &spec = kernelByName("FFT");
+    int ii_scarce = scheduleCyclesPerIteration(
+        spec, makeDistributed(scarce), true);
+    int ii_rich = scheduleCyclesPerIteration(
+        spec, makeDistributed(rich), true);
+    EXPECT_GE(ii_scarce, ii_rich);
+}
+
+INSTANTIATE_TEST_SUITE_P(Buses, BusSweep,
+                         ::testing::Values(2, 4, 6, 10, 16));
+
+class ClusterSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ClusterSweep, ClusteredCorrectAtAnyClusterCount)
+{
+    Machine machine = makeClustered({}, GetParam());
+    std::string why;
+    ASSERT_TRUE(machine.checkCopyConnected(&why)) << why;
+
+    for (const char *name : {"FFT", "DCT"}) {
+        KernelRunResult run =
+            runKernel(kernelByName(name), machine, false);
+        EXPECT_TRUE(run.scheduled) << name;
+        EXPECT_TRUE(run.valid) << name;
+        EXPECT_TRUE(run.matches) << name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Clusters, ClusterSweep,
+                         ::testing::Values(2, 3, 4, 5, 8));
+
+class MixScale : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MixScale, ScaledMachinesStillSchedule)
+{
+    StdMachineConfig cfg;
+    cfg.mix = FuMix{}.scaled(GetParam());
+    cfg.totalRegisters = 256 * GetParam();
+    cfg.numGlobalBuses = 10 * GetParam();
+
+    for (auto maker : {+[](const StdMachineConfig &c) {
+                           return makeCentral(c);
+                       },
+                       +[](const StdMachineConfig &c) {
+                           return makeDistributed(c);
+                       },
+                       +[](const StdMachineConfig &c) {
+                           return makeClustered(c, 4);
+                       }}) {
+        Machine machine = maker(cfg);
+        std::string why;
+        ASSERT_TRUE(machine.checkCopyConnected(&why)) << why;
+        KernelRunResult run =
+            runKernel(kernelByName("FFT-U4"), machine, false);
+        EXPECT_TRUE(run.scheduled) << machine.name();
+        EXPECT_TRUE(run.matches) << machine.name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, MixScale, ::testing::Values(1, 2, 3));
+
+TEST(ArchSweep, MoreUnitsReduceIiForWideKernels)
+{
+    // FFT-U4 on a doubled machine should pipeline at a smaller or
+    // equal II: the workload's ILP is bus/unit limited.
+    StdMachineConfig cfg1;
+    StdMachineConfig cfg2;
+    cfg2.mix = FuMix{}.scaled(2);
+    cfg2.numGlobalBuses = 20;
+    cfg2.totalRegisters = 512;
+    const KernelSpec &spec = kernelByName("FFT-U4");
+    int small = scheduleCyclesPerIteration(spec, makeCentral(cfg1),
+                                           true);
+    int big = scheduleCyclesPerIteration(spec, makeCentral(cfg2),
+                                         true);
+    EXPECT_LE(big, small);
+    EXPECT_LE(big, (small + 1) / 2 + 1); // near-linear for FFT-U4
+}
+
+} // namespace
+} // namespace cs

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Communication-table and lifecycle unit tests: creation and lookup,
+ * deactivation/reactivation (the copy-split transformation and its
+ * undo), writer/reader queries, and the open -> closed transition as
+ * observed through scheduled results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/communication.hpp"
+#include "core/list_scheduler.hpp"
+#include "ir/builder.hpp"
+#include "machine/builders.hpp"
+#include "support/logging.hpp"
+
+namespace cs {
+namespace {
+
+TEST(CommTable, CreateFindAndQueries)
+{
+    CommTable table;
+    CommId c0 =
+        table.create(OperationId(1), ValueId(0), OperationId(2), 0, 0);
+    CommId c1 =
+        table.create(OperationId(1), ValueId(0), OperationId(3), 1, 2);
+    EXPECT_EQ(table.size(), 2u);
+    EXPECT_EQ(table.find(OperationId(2), 0), c0);
+    EXPECT_EQ(table.find(OperationId(3), 1), c1);
+    EXPECT_FALSE(table.find(OperationId(3), 0).valid());
+
+    auto from = table.fromWriter(OperationId(1));
+    EXPECT_EQ(from.size(), 2u);
+    auto to = table.toReader(OperationId(2));
+    ASSERT_EQ(to.size(), 1u);
+    EXPECT_EQ(to[0], c0);
+
+    EXPECT_EQ(table.get(c1).distance, 2);
+    EXPECT_FALSE(table.get(c0).isLiveIn());
+    CommId live =
+        table.create(OperationId(), ValueId(1), OperationId(4), 0, 0);
+    EXPECT_TRUE(table.get(live).isLiveIn());
+}
+
+TEST(CommTable, DuplicateOperandRejected)
+{
+    CommTable table;
+    table.create(OperationId(1), ValueId(0), OperationId(2), 0, 0);
+    EXPECT_THROW(table.create(OperationId(9), ValueId(3),
+                              OperationId(2), 0, 0),
+                 PanicError);
+}
+
+TEST(CommTable, DeactivateReactivateRoundTrip)
+{
+    CommTable table;
+    CommId c0 =
+        table.create(OperationId(1), ValueId(0), OperationId(2), 0, 0);
+    table.deactivate(c0);
+    EXPECT_FALSE(table.find(OperationId(2), 0).valid());
+    EXPECT_TRUE(table.fromWriter(OperationId(1)).empty());
+    table.reactivate(c0);
+    EXPECT_EQ(table.find(OperationId(2), 0), c0);
+    EXPECT_THROW(table.reactivate(c0), PanicError);
+}
+
+TEST(CommTable, RemoveLastEnforcesLifo)
+{
+    CommTable table;
+    CommId c0 =
+        table.create(OperationId(1), ValueId(0), OperationId(2), 0, 0);
+    CommId c1 =
+        table.create(OperationId(1), ValueId(0), OperationId(3), 0, 0);
+    EXPECT_THROW(table.removeLast(c0), PanicError);
+    table.removeLast(c1);
+    EXPECT_EQ(table.size(), 1u);
+    EXPECT_FALSE(table.find(OperationId(3), 0).valid());
+}
+
+TEST(CommLifecycle, AllCommunicationsClosedAfterScheduling)
+{
+    // Indirect observation of the open->closed lifecycle: the result
+    // carries one route per value operand, each with matching-file
+    // stubs — i.e. every communication reached the closed state.
+    KernelBuilder b("life");
+    b.block("body");
+    Val x = b.load(100, 0, "x");
+    Val y = b.iadd(x, 1, "y");
+    Val z = b.iadd(x, y, "z");
+    b.store(200, z);
+    Kernel kernel = b.take();
+    Machine machine = makeFigure5Machine();
+    ScheduleResult result = scheduleBlock(kernel, BlockId(0), machine);
+    ASSERT_TRUE(result.success);
+
+    std::size_t value_operands = 0;
+    for (const Operation &op : result.kernel.operations()) {
+        for (const Operand &operand : op.operands) {
+            if (operand.isValue())
+                ++value_operands;
+        }
+    }
+    EXPECT_EQ(result.schedule.routes().size(), value_operands);
+    for (const RouteRecord &route : result.schedule.routes()) {
+        if (!route.writer.valid())
+            continue;
+        EXPECT_EQ(machine.writePortRegFile(route.writeStub->writePort),
+                  machine.readPortRegFile(route.readStub.readPort));
+    }
+}
+
+TEST(CommLifecycle, FanoutGetsOneRoutePerReader)
+{
+    // One value, three readers: three communications, three routes,
+    // possibly sharing the same write stub (broadcast).
+    KernelBuilder b("fanout");
+    b.block("body");
+    Val x = b.load(100, 0, "x");
+    Val a = b.iadd(x, 1, "a");
+    Val c = b.iadd(x, 2, "c");
+    Val d = b.iadd(x, 3, "d");
+    b.store(200, a);
+    b.store(201, c);
+    b.store(202, d);
+    Kernel kernel = b.take();
+    Machine machine = makeDistributed();
+    ScheduleResult result = scheduleBlock(kernel, BlockId(0), machine);
+    ASSERT_TRUE(result.success);
+
+    int x_routes = 0;
+    ValueId x_val = result.kernel.operation(OperationId(0)).result;
+    for (const RouteRecord &route : result.schedule.routes()) {
+        if (route.value == x_val)
+            ++x_routes;
+    }
+    // Copies may split some of them, but at least one direct x route
+    // exists and the total operand coverage holds (validated below).
+    EXPECT_GE(x_routes, 1);
+    EXPECT_TRUE(
+        validateSchedule(result.kernel, machine, result.schedule)
+            .empty());
+}
+
+TEST(CommLifecycle, BroadcastSharesOneBusOnDistributed)
+{
+    // When one result feeds several readers in the same cycle-ish
+    // window, the write stubs should ride one bus (the value-rotation
+    // and sharing preferences); count distinct buses used by the
+    // value's write stubs on its completion cycle.
+    KernelBuilder b("bcast");
+    b.block("body");
+    Val x = b.load(100, 0, "x");
+    Val a = b.iadd(x, 1, "a");
+    Val c = b.iadd(x, 2, "c");
+    b.store(200, a);
+    b.store(201, c);
+    Kernel kernel = b.take();
+    Machine machine = makeDistributed();
+    ScheduleResult result = scheduleBlock(kernel, BlockId(0), machine);
+    ASSERT_TRUE(result.success);
+
+    ValueId x_val = result.kernel.operation(OperationId(0)).result;
+    std::vector<BusId> buses;
+    for (const RouteRecord &route : result.schedule.routes()) {
+        if (route.value == x_val && route.writeStub)
+            buses.push_back(route.writeStub->bus);
+    }
+    ASSERT_GE(buses.size(), 2u);
+    for (const BusId &bus : buses)
+        EXPECT_EQ(bus, buses[0]); // one broadcast bus
+}
+
+} // namespace
+} // namespace cs

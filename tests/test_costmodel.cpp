@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the register-file cost model: monotonicity in ports and
+ * registers, the published asymptotics (central N^3 area / N^1.5
+ * delay, distributed N^2 / N), and the paper's headline ratios.
+ */
+
+#include <gtest/gtest.h>
+
+#include "costmodel/machine_cost.hpp"
+#include "machine/builders.hpp"
+#include "support/logging.hpp"
+
+namespace cs {
+namespace {
+
+TEST(RegFileModel, MonotoneInPortsAndRegisters)
+{
+    RegFileCost base = regFileCost(32, 4, 2);
+    RegFileCost more_ports = regFileCost(32, 8, 2);
+    RegFileCost more_regs = regFileCost(64, 4, 2);
+    EXPECT_GT(more_ports.area, base.area);
+    EXPECT_GT(more_ports.energy, base.energy);
+    EXPECT_GT(more_ports.delay, base.delay);
+    EXPECT_GT(more_regs.area, base.area);
+    EXPECT_GT(more_regs.delay, base.delay);
+}
+
+TEST(RegFileModel, PortsDominateAtScale)
+{
+    // Doubling ports on a port-rich file roughly quadruples area
+    // (both cell dimensions grow): the N^3 driver for central files.
+    RegFileCost p24 = regFileCost(256, 16, 8);
+    RegFileCost p48 = regFileCost(256, 32, 16);
+    double ratio = p48.area / p24.area;
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 4.5);
+}
+
+TEST(MachineCost, CentralGrowsCubically)
+{
+    // Area(N) ~ N^3 for the central organization: quadrupling the
+    // unit count should scale area by ~64x.
+    StdMachineConfig small;
+    StdMachineConfig big;
+    big.mix = small.mix.scaled(4);
+    big.totalRegisters = small.totalRegisters * 4;
+    MachineCost c1 = machineCost(makeCentral(small));
+    MachineCost c4 = machineCost(makeCentral(big));
+    double ratio = c4.area() / c1.area();
+    EXPECT_GT(ratio, 30.0);
+    EXPECT_LT(ratio, 90.0);
+}
+
+TEST(MachineCost, DistributedGrowsQuadratically)
+{
+    StdMachineConfig small;
+    StdMachineConfig big;
+    big.mix = small.mix.scaled(4);
+    big.totalRegisters = small.totalRegisters * 4;
+    big.numGlobalBuses = small.numGlobalBuses * 4;
+    MachineCost d1 = machineCost(makeDistributed(small));
+    MachineCost d4 = machineCost(makeDistributed(big));
+    double ratio = d4.area() / d1.area();
+    // ~N^2: quadrupling N gives ~16x, far from the central ~64x.
+    EXPECT_GT(ratio, 8.0);
+    EXPECT_LT(ratio, 30.0);
+}
+
+TEST(MachineCost, PaperHeadlineRatios)
+{
+    MachineCost central = machineCost(makeCentral());
+    MachineCost clustered4 = machineCost(makeClustered({}, 4));
+    MachineCost distributed = machineCost(makeDistributed());
+
+    CostRatios vs_central = costRatios(distributed, central);
+    // Paper: 9% area, 6% power, 37% delay (tolerate +-30% relative).
+    EXPECT_NEAR(vs_central.area, 0.09, 0.03);
+    EXPECT_NEAR(vs_central.power, 0.06, 0.02);
+    EXPECT_NEAR(vs_central.delay, 0.37, 0.12);
+
+    CostRatios vs_clustered = costRatios(distributed, clustered4);
+    // Paper: 56% area, 50% power.
+    EXPECT_NEAR(vs_clustered.area, 0.56, 0.17);
+    EXPECT_NEAR(vs_clustered.power, 0.50, 0.15);
+}
+
+TEST(MachineCost, OrganizationOrdering)
+{
+    MachineCost central = machineCost(makeCentral());
+    MachineCost c2 = machineCost(makeClustered({}, 2));
+    MachineCost c4 = machineCost(makeClustered({}, 4));
+    MachineCost dist = machineCost(makeDistributed());
+    // Figures 25-27 ordering: more, smaller files cost less.
+    EXPECT_LT(c2.area(), central.area());
+    EXPECT_LT(c4.area(), c2.area());
+    EXPECT_LT(dist.area(), c4.area());
+    EXPECT_LT(c2.power(), central.power());
+    EXPECT_LT(c4.power(), c2.power());
+    EXPECT_LT(dist.power(), c4.power());
+    EXPECT_LT(dist.delay, central.delay);
+}
+
+TEST(MachineCost, FortyEightUnitProjection)
+{
+    // Conclusion claim: at 48 arithmetic units, distributed needs
+    // ~12% of the area and ~9% of the power of clustered(4).
+    StdMachineConfig big;
+    big.mix = FuMix{}.scaled(4); // 48 arithmetic units
+    big.totalRegisters = 1024;
+    big.numGlobalBuses = 40;
+    MachineCost clustered = machineCost(makeClustered(big, 4));
+    MachineCost distributed = machineCost(makeDistributed(big));
+    CostRatios r = costRatios(distributed, clustered);
+    EXPECT_LT(r.area, 0.35);
+    EXPECT_LT(r.power, 0.30);
+    // And strictly better than at 12 units: the gap widens with N.
+    CostRatios small = costRatios(machineCost(makeDistributed()),
+                                  machineCost(makeClustered({}, 4)));
+    EXPECT_LT(r.area, small.area);
+    EXPECT_LT(r.power, small.power);
+}
+
+TEST(MachineCost, RejectsDegenerateShapes)
+{
+    EXPECT_THROW(regFileCost(0, 1, 1), PanicError);
+}
+
+} // namespace
+} // namespace cs

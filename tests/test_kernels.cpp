@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the Table-1 kernel suite: every kernel builds valid IR,
+ * is executable on the standard machines, has the op mix its
+ * description implies, and the numerically interesting ones are
+ * checked against analytic formulas (not just the dataflow mirror).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "ir/verifier.hpp"
+#include "support/logging.hpp"
+#include "kernels/detail.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/builders.hpp"
+#include "support/fixed_point.hpp"
+
+namespace cs {
+namespace {
+
+TEST(Kernels, AllTenPresent)
+{
+    const auto &all = allKernels();
+    ASSERT_EQ(all.size(), 10u);
+    EXPECT_EQ(all[0].name, "DCT");
+    EXPECT_EQ(all[9].name, "Merge");
+    EXPECT_EQ(kernelByName("FIR-FP").name, "FIR-FP");
+    EXPECT_THROW(kernelByName("nope"), FatalError);
+}
+
+class KernelSuite : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KernelSuite, BuildsValidSingleLoopIr)
+{
+    const KernelSpec &spec = allKernels()[GetParam()];
+    Kernel kernel = spec.build();
+    EXPECT_EQ(kernel.numBlocks(), 1u);
+    EXPECT_TRUE(kernel.blocks()[0].isLoop);
+    auto issues = verifyKernel(kernel);
+    for (const auto &issue : issues)
+        ADD_FAILURE() << spec.name << ": " << issue.message;
+}
+
+TEST_P(KernelSuite, ExecutableOnAllStandardMachines)
+{
+    const KernelSpec &spec = allKernels()[GetParam()];
+    Kernel kernel = spec.build();
+    std::string why;
+    EXPECT_TRUE(kernelExecutableOn(kernel, makeCentral(), &why)) << why;
+    EXPECT_TRUE(kernelExecutableOn(kernel, makeClustered({}, 2), &why))
+        << why;
+    EXPECT_TRUE(kernelExecutableOn(kernel, makeClustered({}, 4), &why))
+        << why;
+    EXPECT_TRUE(kernelExecutableOn(kernel, makeDistributed(), &why))
+        << why;
+}
+
+TEST_P(KernelSuite, ReferenceIsDeterministic)
+{
+    const KernelSpec &spec = allKernels()[GetParam()];
+    MemoryImage a, b;
+    Rng ra(5), rb(5);
+    spec.init(a, ra);
+    spec.init(b, rb);
+    spec.reference(a, 4);
+    spec.reference(b, 4);
+    EXPECT_EQ(a.cells().size(), b.cells().size());
+    EXPECT_TRUE(a.cells() == b.cells());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelSuite,
+                         ::testing::Range(0, 10),
+                         [](const auto &info) {
+                             std::string n =
+                                 allKernels()[info.param].name;
+                             for (char &c : n) {
+                                 if (!isalnum(
+                                         static_cast<unsigned char>(c)))
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+TEST(KernelMix, FirHas56Multiplies)
+{
+    Kernel k = kernelByName("FIR-FP").build();
+    auto h = k.opcodeClassHistogram();
+    EXPECT_EQ(h[static_cast<std::size_t>(OpClass::Multiply)], 56u);
+    EXPECT_EQ(h[static_cast<std::size_t>(OpClass::Add)], 55u);
+    EXPECT_EQ(h[static_cast<std::size_t>(OpClass::LoadStore)], 2u);
+}
+
+TEST(KernelMix, UnrolledVariantsScale)
+{
+    Kernel fft = kernelByName("FFT").build();
+    Kernel fft4 = kernelByName("FFT-U4").build();
+    EXPECT_EQ(fft4.numOperations(), 4 * fft.numOperations());
+    Kernel warp = kernelByName("Block Warp").build();
+    Kernel warp2 = kernelByName("Block Warp-U2").build();
+    EXPECT_EQ(warp2.numOperations(), 2 * warp.numOperations());
+}
+
+TEST(KernelMix, TriangleHasSixDivides)
+{
+    Kernel k = kernelByName("Triangle Transform").build();
+    auto h = k.opcodeClassHistogram();
+    EXPECT_EQ(h[static_cast<std::size_t>(OpClass::Divide)], 6u);
+}
+
+TEST(KernelMix, SortUsesBatcherNetworkSize)
+{
+    Kernel k = kernelByName("Sort").build();
+    auto pairs = kern::oddEvenMergeSortPairs(32);
+    auto h = k.opcodeClassHistogram();
+    // One imin + one imax per compare-exchange.
+    EXPECT_EQ(h[static_cast<std::size_t>(OpClass::Add)],
+              2 * pairs.size());
+}
+
+TEST(Networks, OddEvenMergeSortSorts)
+{
+    for (int n : {4, 8, 16, 32}) {
+        auto pairs = kern::oddEvenMergeSortPairs(n);
+        Rng rng(n);
+        for (int trial = 0; trial < 20; ++trial) {
+            std::vector<std::int64_t> v(n);
+            for (auto &x : v)
+                x = rng.uniformInt(-100, 100);
+            auto sorted = v;
+            std::sort(sorted.begin(), sorted.end());
+            for (auto [i, j] : pairs) {
+                if (v[i] > v[j])
+                    std::swap(v[i], v[j]);
+            }
+            EXPECT_EQ(v, sorted) << "n=" << n;
+        }
+    }
+}
+
+TEST(Networks, BitonicMergeMergesSortedHalves)
+{
+    const int n = 32;
+    auto pairs = kern::bitonicMergePairs(n);
+    Rng rng(3);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<std::int64_t> a(n / 2), b(n / 2);
+        for (auto &x : a)
+            x = rng.uniformInt(-100, 100);
+        for (auto &x : b)
+            x = rng.uniformInt(-100, 100);
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        std::vector<std::int64_t> v(n);
+        for (int i = 0; i < n / 2; ++i) {
+            v[i] = a[i];
+            v[n / 2 + i] = b[n / 2 - 1 - i]; // reversed: bitonic
+        }
+        for (auto [i, j] : pairs) {
+            if (v[i] > v[j])
+                std::swap(v[i], v[j]);
+        }
+        std::vector<std::int64_t> expect;
+        expect.insert(expect.end(), a.begin(), a.end());
+        expect.insert(expect.end(), b.begin(), b.end());
+        std::sort(expect.begin(), expect.end());
+        EXPECT_EQ(v, expect);
+    }
+}
+
+TEST(DctAccuracy, MatchesAnalyticDctWithinFixedPointError)
+{
+    // Run the DCT reference on one row and compare against the
+    // analytic (unnormalized, C4-scaled-DC) DCT-II formula in doubles.
+    const KernelSpec &spec = kernelByName("DCT");
+    MemoryImage mem;
+    Rng rng(11);
+    spec.init(mem, rng);
+    spec.reference(mem, 1);
+
+    double in[8];
+    for (int n = 0; n < 8; ++n)
+        in[n] = static_cast<double>(mem.loadInt(kern::kRegionA + n));
+    for (int k = 0; k < 8; ++k) {
+        double expect = 0.0;
+        for (int n = 0; n < 8; ++n) {
+            expect +=
+                in[n] * std::cos((2 * n + 1) * k * M_PI / 16.0);
+        }
+        if (k == 0 || k == 4)
+            expect *= std::cos(4.0 * M_PI / 16.0);
+        if (k == 4)
+            expect /= std::cos(4.0 * M_PI / 16.0); // X4 scaled once
+        double got = static_cast<double>(
+            mem.loadInt(kern::kRegionOut + k));
+        // Q8.8 coefficients: relative error within ~1%, plus rounding.
+        EXPECT_NEAR(got, expect, std::abs(expect) * 0.02 + 16.0)
+            << "k=" << k;
+    }
+}
+
+TEST(FirAccuracy, ImpulseResponseRecoversCoefficients)
+{
+    // Feed a unit impulse: the FIR outputs must reproduce the
+    // coefficient sequence.
+    const KernelSpec &spec = kernelByName("FIR-FP");
+    MemoryImage mem;
+    mem.storeFloat(kern::kRegionA + 0, 1.0); // impulse at t=0
+    spec.reference(mem, 16);
+    const auto &coeffs = kern::firCoefficients();
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_NEAR(mem.loadFloat(kern::kRegionOut + i), coeffs[i],
+                    1e-12)
+            << "tap " << i;
+    }
+}
+
+TEST(FixedFir, MatchesFloatWithinQuantization)
+{
+    const KernelSpec &fp = kernelByName("FIR-FP");
+    const KernelSpec &ip = kernelByName("FIR-INT");
+    MemoryImage mf, mi;
+    Rng rf(21), ri(21);
+    fp.init(mf, rf);
+    ip.init(mi, ri);
+    fp.reference(mf, 8);
+    ip.reference(mi, 8);
+    for (int i = 0; i < 8; ++i) {
+        double fp_out = mf.loadFloat(kern::kRegionOut + i);
+        double int_out = fromFixed(static_cast<std::int32_t>(
+            mi.loadInt(kern::kRegionOut + i)));
+        EXPECT_NEAR(fp_out, int_out, 0.15) << "sample " << i;
+    }
+}
+
+} // namespace
+} // namespace cs

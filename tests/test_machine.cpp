@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Unit tests for the machine model: builder integrity, stub
+ * enumeration, copy distances, the Appendix-A copy-connectivity check,
+ * and the standard architecture shapes of the paper's Section 5.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/builder.hpp"
+#include "machine/builders.hpp"
+#include "support/logging.hpp"
+
+namespace cs {
+namespace {
+
+/** A tiny two-unit machine with one shared bus, used across tests. */
+Machine
+tinySharedMachine()
+{
+    MachineBuilder b("tiny");
+    RegFileId rf0 = b.addRegFile("RF0", 8);
+    RegFileId rf1 = b.addRegFile("RF1", 8);
+    FuncUnitId fu0 =
+        b.addFuncUnit("A", {OpClass::Add, OpClass::CopyCls}, 2);
+    FuncUnitId fu1 =
+        b.addFuncUnit("B", {OpClass::Add, OpClass::CopyCls}, 2);
+    for (int s = 0; s < 2; ++s) {
+        b.connectReadDirect(rf0, b.input(fu0, s));
+        b.connectReadDirect(rf1, b.input(fu1, s));
+    }
+    BusId bus = b.addBus("shared");
+    WritePortId wp0 = b.addWritePort(rf0);
+    WritePortId wp1 = b.addWritePort(rf1);
+    b.connectOutputToBus(b.output(fu0), bus);
+    b.connectOutputToBus(b.output(fu1), bus);
+    b.connectBusToWritePort(bus, wp0);
+    b.connectBusToWritePort(bus, wp1);
+    return b.build();
+}
+
+TEST(MachineBuilder, EntityCounts)
+{
+    Machine m = tinySharedMachine();
+    EXPECT_EQ(m.numFuncUnits(), 2u);
+    EXPECT_EQ(m.numRegFiles(), 2u);
+    EXPECT_EQ(m.numReadPorts(), 4u);
+    EXPECT_EQ(m.numWritePorts(), 2u);
+    EXPECT_EQ(m.numInputPorts(), 4u);
+    EXPECT_EQ(m.numOutputPorts(), 2u);
+    // 4 dedicated read wires + 1 shared bus.
+    EXPECT_EQ(m.numBuses(), 5u);
+}
+
+TEST(MachineBuilder, PortOwnership)
+{
+    Machine m = tinySharedMachine();
+    for (std::uint32_t i = 0; i < m.numReadPorts(); ++i) {
+        RegFileId rf = m.readPortRegFile(ReadPortId(i));
+        EXPECT_TRUE(rf.valid());
+    }
+    FuncUnitId fu0(0);
+    const FuncUnit &unit = m.funcUnit(fu0);
+    EXPECT_EQ(m.outputFuncUnit(unit.output), fu0);
+    EXPECT_EQ(m.inputFuncUnit(unit.inputs[1]), fu0);
+    EXPECT_EQ(m.inputSlot(unit.inputs[1]), 1);
+}
+
+TEST(MachineBuilder, UnitsForClass)
+{
+    Machine m = tinySharedMachine();
+    EXPECT_EQ(m.unitsForClass(OpClass::Add).size(), 2u);
+    EXPECT_EQ(m.unitsForClass(OpClass::Divide).size(), 0u);
+    EXPECT_EQ(m.unitsForOpcode(Opcode::IAdd).size(), 2u);
+}
+
+TEST(MachineBuilder, StubEnumeration)
+{
+    Machine m = tinySharedMachine();
+    FuncUnitId fu0(0);
+    // One shared bus to two write ports: two write stubs.
+    EXPECT_EQ(m.writeStubs(fu0).size(), 2u);
+    // Each slot reads its own file through one dedicated wire.
+    EXPECT_EQ(m.readStubs(fu0, 0).size(), 1u);
+    EXPECT_EQ(m.readStubs(fu0, 1).size(), 1u);
+    EXPECT_EQ(m.readStubsAnySlot(fu0).size(), 2u);
+    EXPECT_EQ(m.writableRegFiles(fu0).size(), 2u);
+    EXPECT_EQ(m.readableRegFiles(fu0, 0).size(), 1u);
+}
+
+TEST(MachineBuilder, CopyDistances)
+{
+    Machine m = tinySharedMachine();
+    RegFileId rf0(0), rf1(1);
+    EXPECT_EQ(m.copyDistance(rf0, rf0), 0);
+    // A can read RF0 and write both files: one copy.
+    EXPECT_EQ(m.copyDistance(rf0, rf1), 1);
+    EXPECT_EQ(m.copyDistance(rf1, rf0), 1);
+}
+
+TEST(MachineBuilder, CopyConnectedPositive)
+{
+    Machine m = tinySharedMachine();
+    std::string why;
+    EXPECT_TRUE(m.checkCopyConnected(&why)) << why;
+}
+
+TEST(MachineBuilder, CopyConnectedNegative)
+{
+    // Two isolated islands with no copy capability between them.
+    MachineBuilder b("island");
+    RegFileId rf0 = b.addRegFile("RF0", 8);
+    RegFileId rf1 = b.addRegFile("RF1", 8);
+    FuncUnitId fu0 = b.addFuncUnit("A", {OpClass::Add}, 2);
+    FuncUnitId fu1 = b.addFuncUnit("B", {OpClass::Add}, 2);
+    for (int s = 0; s < 2; ++s) {
+        b.connectReadDirect(rf0, b.input(fu0, s));
+        b.connectReadDirect(rf1, b.input(fu1, s));
+    }
+    b.connectWriteDirect(b.output(fu0), rf0);
+    b.connectWriteDirect(b.output(fu1), rf1);
+    Machine m = b.build();
+    std::string why;
+    EXPECT_FALSE(m.checkCopyConnected(&why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(MachineBuilder, RejectsUnconnectedInput)
+{
+    MachineBuilder b("bad");
+    b.addRegFile("RF", 8);
+    b.addFuncUnit("A", {OpClass::Add}, 2);
+    // Never wired: build must fail.
+    EXPECT_THROW(b.build(), PanicError);
+}
+
+TEST(MachineBuilder, LatencyDefaultsAndOverrides)
+{
+    MachineBuilder b("lat");
+    RegFileId rf = b.addRegFile("RF", 8);
+    FuncUnitId fu = b.addFuncUnit(
+        "A", {OpClass::Add, OpClass::Divide, OpClass::LoadStore}, 2);
+    for (int s = 0; s < 2; ++s)
+        b.connectReadDirect(rf, b.input(fu, s));
+    b.connectWriteDirect(b.output(fu), rf);
+    b.setLatency(Opcode::IAdd, 3);
+    Machine m = b.build();
+    EXPECT_EQ(m.latency(Opcode::IAdd), 3);
+    EXPECT_EQ(m.latency(Opcode::FDiv), defaultLatency(Opcode::FDiv));
+}
+
+TEST(StandardMachines, CentralShape)
+{
+    Machine m = makeCentral();
+    EXPECT_EQ(m.numFuncUnits(), 16u);
+    EXPECT_EQ(m.numRegFiles(), 1u);
+    // Every input/output has a dedicated port.
+    EXPECT_EQ(m.numReadPorts(), 32u);
+    EXPECT_EQ(m.numWritePorts(), 16u);
+    // Exactly one stub option everywhere: conventional scheduling
+    // territory.
+    for (std::uint32_t f = 0; f < m.numFuncUnits(); ++f) {
+        EXPECT_EQ(m.writeStubs(FuncUnitId(f)).size(), 1u);
+        EXPECT_EQ(m.readStubs(FuncUnitId(f), 0).size(), 1u);
+    }
+}
+
+TEST(StandardMachines, Clustered4Shape)
+{
+    Machine m = makeClustered({}, 4);
+    // 16 standard units + 4 copy units.
+    EXPECT_EQ(m.numFuncUnits(), 20u);
+    EXPECT_EQ(m.numRegFiles(), 4u);
+    EXPECT_EQ(m.unitsForClass(OpClass::CopyCls).size(), 4u);
+    // Inter-cluster values move only through copy units.
+    std::string why;
+    EXPECT_TRUE(m.checkCopyConnected(&why)) << why;
+    // Corner-to-corner copies exist (possibly multi-hop).
+    for (std::uint32_t a = 0; a < 4; ++a) {
+        for (std::uint32_t b = 0; b < 4; ++b) {
+            EXPECT_LT(m.copyDistance(RegFileId(a), RegFileId(b)),
+                      Machine::kUnreachable);
+        }
+    }
+}
+
+TEST(StandardMachines, DistributedShape)
+{
+    Machine m = makeDistributed();
+    EXPECT_EQ(m.numFuncUnits(), 16u);
+    // One register file per operand slot.
+    EXPECT_EQ(m.numRegFiles(), 32u);
+    // Ten shared result buses (the rest are dedicated read wires).
+    int shared = 0;
+    for (std::uint32_t b = 0; b < m.numBuses(); ++b) {
+        if (m.busEndpointCount(BusId(b)) > 2)
+            ++shared;
+    }
+    EXPECT_EQ(shared, 10);
+    // Every output can hit every file: 10 buses x 32 ports.
+    EXPECT_EQ(m.writeStubs(FuncUnitId(0)).size(), 320u);
+    // The scratchpad does not copy (paper Section 5).
+    EXPECT_EQ(m.unitsForClass(OpClass::CopyCls).size(), 15u);
+}
+
+TEST(StandardMachines, DistributedBusCountConfigurable)
+{
+    StdMachineConfig cfg;
+    cfg.numGlobalBuses = 4;
+    Machine m = makeDistributed(cfg);
+    EXPECT_EQ(m.writeStubs(FuncUnitId(0)).size(), 4u * 32u);
+}
+
+TEST(StandardMachines, ScaledMix)
+{
+    FuMix mix;
+    FuMix big = mix.scaled(4);
+    EXPECT_EQ(big.adders, 24);
+    EXPECT_EQ(big.total(), 64);
+    EXPECT_EQ(big.arithmetic(), 48);
+    StdMachineConfig cfg;
+    cfg.mix = big;
+    Machine m = makeClustered(cfg, 4);
+    EXPECT_EQ(m.numFuncUnits(), 64u + 4u);
+    std::string why;
+    EXPECT_TRUE(m.checkCopyConnected(&why)) << why;
+}
+
+TEST(StandardMachines, Figure5Wiring)
+{
+    Machine m = makeFigure5Machine();
+    EXPECT_EQ(m.numFuncUnits(), 3u);
+    EXPECT_EQ(m.numRegFiles(), 3u);
+    // The center file's single write port is reachable from both
+    // shared buses, so the LS unit has three write stubs (busX->RFL,
+    // busX->RFC, busY->RFR, busY->RFC) = 4.
+    FuncUnitId ls(1);
+    EXPECT_EQ(m.writeStubs(ls).size(), 4u);
+    FuncUnitId add0(0);
+    EXPECT_EQ(m.writeStubs(add0).size(), 2u);
+    // Unit latency, per the paper's illustration.
+    EXPECT_EQ(m.latency(Opcode::Load), 1);
+}
+
+TEST(StubConflicts, WriteStubRules)
+{
+    Machine m = tinySharedMachine();
+    const auto &stubs = m.writeStubs(FuncUnitId(0));
+    ASSERT_EQ(stubs.size(), 2u);
+    // Same bus, different ports: shares a resource.
+    EXPECT_TRUE(writeStubsShareResource(stubs[0], stubs[1]));
+    // Same result into different files via one bus: broadcast, legal.
+    EXPECT_FALSE(sameResultWriteStubsConflict(m, stubs[0], stubs[1]));
+    // Identical stubs never conflict with themselves.
+    EXPECT_FALSE(sameResultWriteStubsConflict(m, stubs[0], stubs[0]));
+}
+
+TEST(StubConflicts, ReadStubRules)
+{
+    Machine m = tinySharedMachine();
+    const auto &slot0 = m.readStubs(FuncUnitId(0), 0);
+    const auto &slot1 = m.readStubs(FuncUnitId(0), 1);
+    ASSERT_EQ(slot0.size(), 1u);
+    ASSERT_EQ(slot1.size(), 1u);
+    // Different dedicated wires: no sharing.
+    EXPECT_FALSE(readStubsShareResource(slot0[0], slot1[0]));
+    EXPECT_TRUE(readStubsShareResource(slot0[0], slot0[0]));
+}
+
+TEST(StubConflicts, Describe)
+{
+    Machine m = tinySharedMachine();
+    std::string w = describe(m, m.writeStubs(FuncUnitId(0))[0]);
+    EXPECT_NE(w.find("A.out"), std::string::npos);
+    std::string r = describe(m, m.readStubs(FuncUnitId(0), 0)[0]);
+    EXPECT_NE(r.find("A.in0"), std::string::npos);
+}
+
+} // namespace
+} // namespace cs

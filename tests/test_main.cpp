@@ -1,0 +1,11 @@
+#include <gtest/gtest.h>
+
+#include "support/logging.hpp"
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    cs::setVerboseLogging(false);
+    return RUN_ALL_TESTS();
+}

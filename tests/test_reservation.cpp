@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the reservation table: the paper's stub sharing and
+ * conflict rules, functional-unit occupancy, and modulo folding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/reservation.hpp"
+#include "machine/builder.hpp"
+#include "support/logging.hpp"
+
+namespace cs {
+namespace {
+
+/** Two units, two files, one shared result bus. */
+Machine
+testMachine()
+{
+    MachineBuilder b("resv");
+    RegFileId rf0 = b.addRegFile("RF0", 8);
+    RegFileId rf1 = b.addRegFile("RF1", 8);
+    FuncUnitId fu0 =
+        b.addFuncUnit("A", {OpClass::Add, OpClass::CopyCls}, 2);
+    FuncUnitId fu1 =
+        b.addFuncUnit("B", {OpClass::Add, OpClass::CopyCls}, 2);
+    for (int s = 0; s < 2; ++s) {
+        b.connectReadDirect(rf0, b.input(fu0, s));
+        b.connectReadDirect(rf1, b.input(fu1, s));
+    }
+    BusId bus = b.addBus("shared");
+    WritePortId wp0 = b.addWritePort(rf0);
+    WritePortId wp1 = b.addWritePort(rf1);
+    b.connectOutputToBus(b.output(fu0), bus);
+    b.connectOutputToBus(b.output(fu1), bus);
+    b.connectBusToWritePort(bus, wp0);
+    b.connectBusToWritePort(bus, wp1);
+    return b.build();
+}
+
+class ReservationTest : public ::testing::Test
+{
+  protected:
+    ReservationTest() : machine(testMachine()) {}
+
+    Machine machine;
+};
+
+TEST_F(ReservationTest, FuOccupancy)
+{
+    ReservationTable table(machine);
+    FuncUnitId fu(0);
+    EXPECT_TRUE(table.fuFree(fu, 3));
+    table.acquireFu(fu, 3, OperationId(7));
+    EXPECT_FALSE(table.fuFree(fu, 3));
+    EXPECT_TRUE(table.fuFree(fu, 4));
+    EXPECT_TRUE(table.fuFree(FuncUnitId(1), 3));
+    table.releaseFu(fu, 3, OperationId(7));
+    EXPECT_TRUE(table.fuFree(fu, 3));
+}
+
+TEST_F(ReservationTest, WriteStubSharingSameValue)
+{
+    ReservationTable table(machine);
+    const auto &stubs = machine.writeStubs(FuncUnitId(0));
+    ASSERT_EQ(stubs.size(), 2u);
+    ValueId v(0);
+
+    table.acquireWrite(stubs[0], v, 5);
+    // Identical stub, same value: refcounted share.
+    EXPECT_TRUE(table.canAcquireWrite(stubs[0], v, 5));
+    // Same value broadcast into the other file over the same bus.
+    EXPECT_TRUE(table.canAcquireWrite(stubs[1], v, 5));
+    // A different value on the shared bus conflicts.
+    EXPECT_FALSE(table.canAcquireWrite(stubs[0], ValueId(1), 5));
+    EXPECT_FALSE(table.canAcquireWrite(stubs[1], ValueId(1), 5));
+    // Other cycles are free.
+    EXPECT_TRUE(table.canAcquireWrite(stubs[1], ValueId(1), 6));
+}
+
+TEST_F(ReservationTest, WriteRefcounting)
+{
+    ReservationTable table(machine);
+    const auto &stubs = machine.writeStubs(FuncUnitId(0));
+    ValueId v(0);
+    table.acquireWrite(stubs[0], v, 5);
+    table.acquireWrite(stubs[0], v, 5); // shared
+    table.releaseWrite(stubs[0], v, 5);
+    // Still held by the second reference.
+    EXPECT_FALSE(table.canAcquireWrite(stubs[0], ValueId(1), 5));
+    table.releaseWrite(stubs[0], v, 5);
+    EXPECT_TRUE(table.canAcquireWrite(stubs[0], ValueId(1), 5));
+}
+
+TEST_F(ReservationTest, SameValueDifferentOutputConflicts)
+{
+    ReservationTable table(machine);
+    const auto &a_stubs = machine.writeStubs(FuncUnitId(0));
+    const auto &b_stubs = machine.writeStubs(FuncUnitId(1));
+    ValueId v(0);
+    table.acquireWrite(a_stubs[0], v, 5);
+    // "Same value" from a different physical output is still a second
+    // driver on the bus.
+    EXPECT_FALSE(table.canAcquireWrite(b_stubs[0], v, 5));
+}
+
+TEST_F(ReservationTest, ReadStubRules)
+{
+    ReservationTable table(machine);
+    const auto &slot0 = machine.readStubs(FuncUnitId(0), 0);
+    OperationId reader(3);
+
+    table.acquireRead(slot0[0], reader, 0, 4);
+    // Identical stub for the same operand: shareable.
+    EXPECT_TRUE(table.canAcquireRead(slot0[0], reader, 0, 4));
+    // A different operand cannot use the same port/wire.
+    EXPECT_FALSE(table.canAcquireRead(slot0[0], OperationId(9), 0, 4));
+    // Different cycle is fine.
+    EXPECT_TRUE(table.canAcquireRead(slot0[0], OperationId(9), 0, 5));
+    table.releaseRead(slot0[0], reader, 0, 4);
+    EXPECT_TRUE(table.canAcquireRead(slot0[0], OperationId(9), 0, 4));
+}
+
+TEST_F(ReservationTest, BusRoleExclusion)
+{
+    // A write on a bus excludes reads of that bus in the same cycle
+    // (and vice versa). Build a machine where one bus serves both
+    // roles: read port -> bus -> input and output -> bus -> port.
+    MachineBuilder b("dual");
+    RegFileId rf = b.addRegFile("RF", 8);
+    FuncUnitId fu = b.addFuncUnit("A", {OpClass::Add}, 1);
+    BusId bus = b.addBus("dual");
+    ReadPortId rp = b.addReadPort(rf);
+    WritePortId wp = b.addWritePort(rf);
+    b.connectReadPortToBus(rp, bus);
+    b.connectBusToInput(bus, b.input(fu, 0));
+    b.connectOutputToBus(b.output(fu), bus);
+    b.connectBusToWritePort(bus, wp);
+    Machine m = b.build();
+
+    ReservationTable table(m);
+    ReadStub read{rp, bus, m.funcUnit(fu).inputs[0]};
+    WriteStub write{m.funcUnit(fu).output, bus, wp};
+    table.acquireRead(read, OperationId(0), 0, 2);
+    EXPECT_FALSE(table.canAcquireWrite(write, ValueId(0), 2));
+    EXPECT_TRUE(table.canAcquireWrite(write, ValueId(0), 3));
+}
+
+TEST_F(ReservationTest, ModuloFolding)
+{
+    ReservationTable table(machine, 4);
+    FuncUnitId fu(0);
+    table.acquireFu(fu, 2, OperationId(1));
+    // Cycle 6 == 2 mod 4: same reservation slot.
+    EXPECT_FALSE(table.fuFree(fu, 6));
+    EXPECT_FALSE(table.fuFree(fu, 10));
+    EXPECT_TRUE(table.fuFree(fu, 5));
+    EXPECT_EQ(table.norm(7), 3);
+    EXPECT_EQ(table.norm(-1), 3);
+}
+
+TEST_F(ReservationTest, BusesOccupiedAndAvailability)
+{
+    ReservationTable table(machine);
+    const auto &stubs = machine.writeStubs(FuncUnitId(0));
+    ValueId v(0);
+    EXPECT_EQ(table.busesOccupied(5), 0);
+    table.acquireWrite(stubs[0], v, 5);
+    EXPECT_EQ(table.busesOccupied(5), 1);
+    EXPECT_TRUE(table.busAvailableForValue(stubs[0].bus, v, 5));
+    EXPECT_FALSE(
+        table.busAvailableForValue(stubs[0].bus, ValueId(1), 5));
+    EXPECT_TRUE(table.busCarriesValue(stubs[0].bus, v, 5));
+    EXPECT_FALSE(table.busCarriesValue(stubs[0].bus, ValueId(1), 5));
+    EXPECT_TRUE(table.hasIdenticalWrite(stubs[0], v, 5));
+    EXPECT_FALSE(table.hasIdenticalWrite(stubs[1], v, 5));
+}
+
+TEST_F(ReservationTest, ReleasingUnheldPanics)
+{
+    ReservationTable table(machine);
+    const auto &stubs = machine.writeStubs(FuncUnitId(0));
+    EXPECT_THROW(table.releaseWrite(stubs[0], ValueId(0), 1),
+                 PanicError);
+    EXPECT_THROW(table.releaseFu(FuncUnitId(0), 1, OperationId(0)),
+                 PanicError);
+}
+
+} // namespace
+} // namespace cs
