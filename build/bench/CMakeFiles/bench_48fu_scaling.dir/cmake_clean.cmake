@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_48fu_scaling.dir/bench_48fu_scaling.cpp.o"
+  "CMakeFiles/bench_48fu_scaling.dir/bench_48fu_scaling.cpp.o.d"
+  "bench_48fu_scaling"
+  "bench_48fu_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_48fu_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

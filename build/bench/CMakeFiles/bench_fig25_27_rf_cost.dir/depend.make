@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig25_27_rf_cost.
+# This may be replaced when dependencies are built.

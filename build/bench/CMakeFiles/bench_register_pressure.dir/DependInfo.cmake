@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_register_pressure.cpp" "bench/CMakeFiles/bench_register_pressure.dir/bench_register_pressure.cpp.o" "gcc" "bench/CMakeFiles/bench_register_pressure.dir/bench_register_pressure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cs_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

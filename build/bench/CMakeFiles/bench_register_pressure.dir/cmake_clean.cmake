@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_register_pressure.dir/bench_register_pressure.cpp.o"
+  "CMakeFiles/bench_register_pressure.dir/bench_register_pressure.cpp.o.d"
+  "bench_register_pressure"
+  "bench_register_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_register_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

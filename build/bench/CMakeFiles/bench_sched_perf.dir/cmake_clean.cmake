@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_perf.dir/bench_sched_perf.cpp.o"
+  "CMakeFiles/bench_sched_perf.dir/bench_sched_perf.cpp.o.d"
+  "bench_sched_perf"
+  "bench_sched_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

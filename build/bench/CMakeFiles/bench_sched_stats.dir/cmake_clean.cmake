@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_stats.dir/bench_sched_stats.cpp.o"
+  "CMakeFiles/bench_sched_stats.dir/bench_sched_stats.cpp.o.d"
+  "bench_sched_stats"
+  "bench_sched_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modulo_fft.dir/modulo_fft.cpp.o"
+  "CMakeFiles/modulo_fft.dir/modulo_fft.cpp.o.d"
+  "modulo_fft"
+  "modulo_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modulo_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

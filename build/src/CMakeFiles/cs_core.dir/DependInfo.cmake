@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comm_cost.cpp" "src/CMakeFiles/cs_core.dir/core/comm_cost.cpp.o" "gcc" "src/CMakeFiles/cs_core.dir/core/comm_cost.cpp.o.d"
+  "/root/repo/src/core/comm_scheduler.cpp" "src/CMakeFiles/cs_core.dir/core/comm_scheduler.cpp.o" "gcc" "src/CMakeFiles/cs_core.dir/core/comm_scheduler.cpp.o.d"
+  "/root/repo/src/core/communication.cpp" "src/CMakeFiles/cs_core.dir/core/communication.cpp.o" "gcc" "src/CMakeFiles/cs_core.dir/core/communication.cpp.o.d"
+  "/root/repo/src/core/conventional_scheduler.cpp" "src/CMakeFiles/cs_core.dir/core/conventional_scheduler.cpp.o" "gcc" "src/CMakeFiles/cs_core.dir/core/conventional_scheduler.cpp.o.d"
+  "/root/repo/src/core/copy_insertion.cpp" "src/CMakeFiles/cs_core.dir/core/copy_insertion.cpp.o" "gcc" "src/CMakeFiles/cs_core.dir/core/copy_insertion.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/CMakeFiles/cs_core.dir/core/export.cpp.o" "gcc" "src/CMakeFiles/cs_core.dir/core/export.cpp.o.d"
+  "/root/repo/src/core/list_scheduler.cpp" "src/CMakeFiles/cs_core.dir/core/list_scheduler.cpp.o" "gcc" "src/CMakeFiles/cs_core.dir/core/list_scheduler.cpp.o.d"
+  "/root/repo/src/core/modulo_scheduler.cpp" "src/CMakeFiles/cs_core.dir/core/modulo_scheduler.cpp.o" "gcc" "src/CMakeFiles/cs_core.dir/core/modulo_scheduler.cpp.o.d"
+  "/root/repo/src/core/priority.cpp" "src/CMakeFiles/cs_core.dir/core/priority.cpp.o" "gcc" "src/CMakeFiles/cs_core.dir/core/priority.cpp.o.d"
+  "/root/repo/src/core/register_pressure.cpp" "src/CMakeFiles/cs_core.dir/core/register_pressure.cpp.o" "gcc" "src/CMakeFiles/cs_core.dir/core/register_pressure.cpp.o.d"
+  "/root/repo/src/core/reservation.cpp" "src/CMakeFiles/cs_core.dir/core/reservation.cpp.o" "gcc" "src/CMakeFiles/cs_core.dir/core/reservation.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/CMakeFiles/cs_core.dir/core/schedule.cpp.o" "gcc" "src/CMakeFiles/cs_core.dir/core/schedule.cpp.o.d"
+  "/root/repo/src/core/stub_search.cpp" "src/CMakeFiles/cs_core.dir/core/stub_search.cpp.o" "gcc" "src/CMakeFiles/cs_core.dir/core/stub_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

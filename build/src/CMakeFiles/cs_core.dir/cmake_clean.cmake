@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_core.dir/core/comm_cost.cpp.o"
+  "CMakeFiles/cs_core.dir/core/comm_cost.cpp.o.d"
+  "CMakeFiles/cs_core.dir/core/comm_scheduler.cpp.o"
+  "CMakeFiles/cs_core.dir/core/comm_scheduler.cpp.o.d"
+  "CMakeFiles/cs_core.dir/core/communication.cpp.o"
+  "CMakeFiles/cs_core.dir/core/communication.cpp.o.d"
+  "CMakeFiles/cs_core.dir/core/conventional_scheduler.cpp.o"
+  "CMakeFiles/cs_core.dir/core/conventional_scheduler.cpp.o.d"
+  "CMakeFiles/cs_core.dir/core/copy_insertion.cpp.o"
+  "CMakeFiles/cs_core.dir/core/copy_insertion.cpp.o.d"
+  "CMakeFiles/cs_core.dir/core/export.cpp.o"
+  "CMakeFiles/cs_core.dir/core/export.cpp.o.d"
+  "CMakeFiles/cs_core.dir/core/list_scheduler.cpp.o"
+  "CMakeFiles/cs_core.dir/core/list_scheduler.cpp.o.d"
+  "CMakeFiles/cs_core.dir/core/modulo_scheduler.cpp.o"
+  "CMakeFiles/cs_core.dir/core/modulo_scheduler.cpp.o.d"
+  "CMakeFiles/cs_core.dir/core/priority.cpp.o"
+  "CMakeFiles/cs_core.dir/core/priority.cpp.o.d"
+  "CMakeFiles/cs_core.dir/core/register_pressure.cpp.o"
+  "CMakeFiles/cs_core.dir/core/register_pressure.cpp.o.d"
+  "CMakeFiles/cs_core.dir/core/reservation.cpp.o"
+  "CMakeFiles/cs_core.dir/core/reservation.cpp.o.d"
+  "CMakeFiles/cs_core.dir/core/schedule.cpp.o"
+  "CMakeFiles/cs_core.dir/core/schedule.cpp.o.d"
+  "CMakeFiles/cs_core.dir/core/stub_search.cpp.o"
+  "CMakeFiles/cs_core.dir/core/stub_search.cpp.o.d"
+  "libcs_core.a"
+  "libcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/costmodel/machine_cost.cpp" "src/CMakeFiles/cs_costmodel.dir/costmodel/machine_cost.cpp.o" "gcc" "src/CMakeFiles/cs_costmodel.dir/costmodel/machine_cost.cpp.o.d"
+  "/root/repo/src/costmodel/regfile_model.cpp" "src/CMakeFiles/cs_costmodel.dir/costmodel/regfile_model.cpp.o" "gcc" "src/CMakeFiles/cs_costmodel.dir/costmodel/regfile_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cs_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_costmodel.dir/costmodel/machine_cost.cpp.o"
+  "CMakeFiles/cs_costmodel.dir/costmodel/machine_cost.cpp.o.d"
+  "CMakeFiles/cs_costmodel.dir/costmodel/regfile_model.cpp.o"
+  "CMakeFiles/cs_costmodel.dir/costmodel/regfile_model.cpp.o.d"
+  "libcs_costmodel.a"
+  "libcs_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/cs_ir.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/cs_ir.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/ddg.cpp" "src/CMakeFiles/cs_ir.dir/ir/ddg.cpp.o" "gcc" "src/CMakeFiles/cs_ir.dir/ir/ddg.cpp.o.d"
+  "/root/repo/src/ir/kernel.cpp" "src/CMakeFiles/cs_ir.dir/ir/kernel.cpp.o" "gcc" "src/CMakeFiles/cs_ir.dir/ir/kernel.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/CMakeFiles/cs_ir.dir/ir/verifier.cpp.o" "gcc" "src/CMakeFiles/cs_ir.dir/ir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cs_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

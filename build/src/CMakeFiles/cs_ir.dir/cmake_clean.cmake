@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_ir.dir/ir/builder.cpp.o"
+  "CMakeFiles/cs_ir.dir/ir/builder.cpp.o.d"
+  "CMakeFiles/cs_ir.dir/ir/ddg.cpp.o"
+  "CMakeFiles/cs_ir.dir/ir/ddg.cpp.o.d"
+  "CMakeFiles/cs_ir.dir/ir/kernel.cpp.o"
+  "CMakeFiles/cs_ir.dir/ir/kernel.cpp.o.d"
+  "CMakeFiles/cs_ir.dir/ir/verifier.cpp.o"
+  "CMakeFiles/cs_ir.dir/ir/verifier.cpp.o.d"
+  "libcs_ir.a"
+  "libcs_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/blockwarp.cpp" "src/CMakeFiles/cs_kernels.dir/kernels/blockwarp.cpp.o" "gcc" "src/CMakeFiles/cs_kernels.dir/kernels/blockwarp.cpp.o.d"
+  "/root/repo/src/kernels/dct.cpp" "src/CMakeFiles/cs_kernels.dir/kernels/dct.cpp.o" "gcc" "src/CMakeFiles/cs_kernels.dir/kernels/dct.cpp.o.d"
+  "/root/repo/src/kernels/fft.cpp" "src/CMakeFiles/cs_kernels.dir/kernels/fft.cpp.o" "gcc" "src/CMakeFiles/cs_kernels.dir/kernels/fft.cpp.o.d"
+  "/root/repo/src/kernels/fir.cpp" "src/CMakeFiles/cs_kernels.dir/kernels/fir.cpp.o" "gcc" "src/CMakeFiles/cs_kernels.dir/kernels/fir.cpp.o.d"
+  "/root/repo/src/kernels/kernels.cpp" "src/CMakeFiles/cs_kernels.dir/kernels/kernels.cpp.o" "gcc" "src/CMakeFiles/cs_kernels.dir/kernels/kernels.cpp.o.d"
+  "/root/repo/src/kernels/merge.cpp" "src/CMakeFiles/cs_kernels.dir/kernels/merge.cpp.o" "gcc" "src/CMakeFiles/cs_kernels.dir/kernels/merge.cpp.o.d"
+  "/root/repo/src/kernels/reference.cpp" "src/CMakeFiles/cs_kernels.dir/kernels/reference.cpp.o" "gcc" "src/CMakeFiles/cs_kernels.dir/kernels/reference.cpp.o.d"
+  "/root/repo/src/kernels/sort.cpp" "src/CMakeFiles/cs_kernels.dir/kernels/sort.cpp.o" "gcc" "src/CMakeFiles/cs_kernels.dir/kernels/sort.cpp.o.d"
+  "/root/repo/src/kernels/triangle.cpp" "src/CMakeFiles/cs_kernels.dir/kernels/triangle.cpp.o" "gcc" "src/CMakeFiles/cs_kernels.dir/kernels/triangle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

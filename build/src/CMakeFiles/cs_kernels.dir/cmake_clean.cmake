@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_kernels.dir/kernels/blockwarp.cpp.o"
+  "CMakeFiles/cs_kernels.dir/kernels/blockwarp.cpp.o.d"
+  "CMakeFiles/cs_kernels.dir/kernels/dct.cpp.o"
+  "CMakeFiles/cs_kernels.dir/kernels/dct.cpp.o.d"
+  "CMakeFiles/cs_kernels.dir/kernels/fft.cpp.o"
+  "CMakeFiles/cs_kernels.dir/kernels/fft.cpp.o.d"
+  "CMakeFiles/cs_kernels.dir/kernels/fir.cpp.o"
+  "CMakeFiles/cs_kernels.dir/kernels/fir.cpp.o.d"
+  "CMakeFiles/cs_kernels.dir/kernels/kernels.cpp.o"
+  "CMakeFiles/cs_kernels.dir/kernels/kernels.cpp.o.d"
+  "CMakeFiles/cs_kernels.dir/kernels/merge.cpp.o"
+  "CMakeFiles/cs_kernels.dir/kernels/merge.cpp.o.d"
+  "CMakeFiles/cs_kernels.dir/kernels/reference.cpp.o"
+  "CMakeFiles/cs_kernels.dir/kernels/reference.cpp.o.d"
+  "CMakeFiles/cs_kernels.dir/kernels/sort.cpp.o"
+  "CMakeFiles/cs_kernels.dir/kernels/sort.cpp.o.d"
+  "CMakeFiles/cs_kernels.dir/kernels/triangle.cpp.o"
+  "CMakeFiles/cs_kernels.dir/kernels/triangle.cpp.o.d"
+  "libcs_kernels.a"
+  "libcs_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/builders.cpp" "src/CMakeFiles/cs_machine.dir/machine/builders.cpp.o" "gcc" "src/CMakeFiles/cs_machine.dir/machine/builders.cpp.o.d"
+  "/root/repo/src/machine/connectivity.cpp" "src/CMakeFiles/cs_machine.dir/machine/connectivity.cpp.o" "gcc" "src/CMakeFiles/cs_machine.dir/machine/connectivity.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/CMakeFiles/cs_machine.dir/machine/machine.cpp.o" "gcc" "src/CMakeFiles/cs_machine.dir/machine/machine.cpp.o.d"
+  "/root/repo/src/machine/opclass.cpp" "src/CMakeFiles/cs_machine.dir/machine/opclass.cpp.o" "gcc" "src/CMakeFiles/cs_machine.dir/machine/opclass.cpp.o.d"
+  "/root/repo/src/machine/stub.cpp" "src/CMakeFiles/cs_machine.dir/machine/stub.cpp.o" "gcc" "src/CMakeFiles/cs_machine.dir/machine/stub.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_machine.dir/machine/builders.cpp.o"
+  "CMakeFiles/cs_machine.dir/machine/builders.cpp.o.d"
+  "CMakeFiles/cs_machine.dir/machine/connectivity.cpp.o"
+  "CMakeFiles/cs_machine.dir/machine/connectivity.cpp.o.d"
+  "CMakeFiles/cs_machine.dir/machine/machine.cpp.o"
+  "CMakeFiles/cs_machine.dir/machine/machine.cpp.o.d"
+  "CMakeFiles/cs_machine.dir/machine/opclass.cpp.o"
+  "CMakeFiles/cs_machine.dir/machine/opclass.cpp.o.d"
+  "CMakeFiles/cs_machine.dir/machine/stub.cpp.o"
+  "CMakeFiles/cs_machine.dir/machine/stub.cpp.o.d"
+  "libcs_machine.a"
+  "libcs_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_sim.dir/sim/datapath_sim.cpp.o"
+  "CMakeFiles/cs_sim.dir/sim/datapath_sim.cpp.o.d"
+  "CMakeFiles/cs_sim.dir/sim/exec.cpp.o"
+  "CMakeFiles/cs_sim.dir/sim/exec.cpp.o.d"
+  "CMakeFiles/cs_sim.dir/sim/harness.cpp.o"
+  "CMakeFiles/cs_sim.dir/sim/harness.cpp.o.d"
+  "libcs_sim.a"
+  "libcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_support.dir/support/fixed_point.cpp.o"
+  "CMakeFiles/cs_support.dir/support/fixed_point.cpp.o.d"
+  "CMakeFiles/cs_support.dir/support/logging.cpp.o"
+  "CMakeFiles/cs_support.dir/support/logging.cpp.o.d"
+  "CMakeFiles/cs_support.dir/support/random.cpp.o"
+  "CMakeFiles/cs_support.dir/support/random.cpp.o.d"
+  "CMakeFiles/cs_support.dir/support/stats.cpp.o"
+  "CMakeFiles/cs_support.dir/support/stats.cpp.o.d"
+  "CMakeFiles/cs_support.dir/support/table.cpp.o"
+  "CMakeFiles/cs_support.dir/support/table.cpp.o.d"
+  "libcs_support.a"
+  "libcs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arch_sweep.cpp" "tests/CMakeFiles/cs_tests.dir/test_arch_sweep.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_arch_sweep.cpp.o.d"
+  "/root/repo/tests/test_comm_lifecycle.cpp" "tests/CMakeFiles/cs_tests.dir/test_comm_lifecycle.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_comm_lifecycle.cpp.o.d"
+  "/root/repo/tests/test_costmodel.cpp" "tests/CMakeFiles/cs_tests.dir/test_costmodel.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_costmodel.cpp.o.d"
+  "/root/repo/tests/test_export.cpp" "tests/CMakeFiles/cs_tests.dir/test_export.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_export.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/cs_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/cs_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/cs_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/cs_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_main.cpp" "tests/CMakeFiles/cs_tests.dir/test_main.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_main.cpp.o.d"
+  "/root/repo/tests/test_multiblock.cpp" "tests/CMakeFiles/cs_tests.dir/test_multiblock.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_multiblock.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/cs_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_random_machines.cpp" "tests/CMakeFiles/cs_tests.dir/test_random_machines.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_random_machines.cpp.o.d"
+  "/root/repo/tests/test_register_pressure.cpp" "tests/CMakeFiles/cs_tests.dir/test_register_pressure.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_register_pressure.cpp.o.d"
+  "/root/repo/tests/test_reservation.cpp" "tests/CMakeFiles/cs_tests.dir/test_reservation.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_reservation.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/cs_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/cs_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/cs_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/cs_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_validator.cpp" "tests/CMakeFiles/cs_tests.dir/test_validator.cpp.o" "gcc" "tests/CMakeFiles/cs_tests.dir/test_validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cs_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
