@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Pipeline throughput: jobs/sec scheduling the full Table-1 kernel
+ * suite across the four evaluation machines at 1, 2, 4, and
+ * hardware-concurrency worker threads, cold cache and warm cache.
+ * Emits one JSON line per thread count alongside the usual text
+ * table.
+ *
+ * The batch sweeps three SchedulerOptions variants per (kernel,
+ * machine) pair so no single job dominates the critical path: with
+ * the plain suite, Sort alone is ~60% of the serial wall time, which
+ * would cap even an infinite-thread speedup at ~1.7x. Parallel
+ * speedup is meaningful only up to the box's core count — on a
+ * single-core container every thread count measures ~1x.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "kernels/kernels.hpp"
+#include "pipeline/pipeline.hpp"
+#include "support/logging.hpp"
+
+namespace {
+
+using namespace cs;
+
+std::vector<ScheduleJob>
+buildBatch(const std::vector<std::pair<std::string, Machine>> &machines)
+{
+    // Distinct maxDelay values re-key otherwise identical jobs without
+    // materially changing the work each one does.
+    const int delayVariants[] = {2048, 2047, 2046};
+    std::vector<ScheduleJob> batch;
+    for (const auto &[machineName, machine] : machines) {
+        for (const KernelSpec &spec : allKernels()) {
+            for (int maxDelay : delayVariants) {
+                ScheduleJob job;
+                job.label = spec.name + "@" + machineName + "/d" +
+                            std::to_string(maxDelay);
+                job.kernel = spec.build();
+                job.block = BlockId(0);
+                job.machine = &machine;
+                job.options.maxDelay = maxDelay;
+                job.pipelined = false;
+                batch.push_back(std::move(job));
+            }
+        }
+    }
+    return batch;
+}
+
+double
+runBatchMs(SchedulingPipeline &pipeline,
+           const std::vector<ScheduleJob> &batch)
+{
+    auto start = std::chrono::steady_clock::now();
+    std::vector<JobResult> results = pipeline.run(batch);
+    auto end = std::chrono::steady_clock::now();
+    for (const JobResult &result : results)
+        CS_ASSERT(result.success, "batch job failed");
+    return std::chrono::duration<double, std::milli>(end - start)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerboseLogging(false);
+
+    auto machines = bench::evaluationMachines();
+    std::vector<ScheduleJob> batch = buildBatch(machines);
+
+    unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<unsigned> threadCounts = {1, 2, 4};
+    if (std::find(threadCounts.begin(), threadCounts.end(), hw) ==
+        threadCounts.end())
+        threadCounts.push_back(hw);
+
+    printBanner(std::cout,
+                "Pipeline throughput: " + std::to_string(batch.size()) +
+                    " Table-1 jobs, cold vs warm cache (hardware "
+                    "concurrency " +
+                    std::to_string(hw) + ")");
+
+    TextTable table({"threads", "cold ms", "cold jobs/s", "warm ms",
+                     "warm jobs/s", "warm hit rate", "speedup vs 1t"});
+    double coldMsAtOneThread = 0.0;
+    std::string jsonLines;
+    for (unsigned threads : threadCounts) {
+        SchedulingPipeline pipeline(
+            {.numThreads = threads,
+             .cacheCapacity = 2 * batch.size()});
+
+        double coldMs = runBatchMs(pipeline, batch);
+        ScheduleCache::Stats cold = pipeline.cache().stats();
+        CS_ASSERT(cold.hits == 0, "cold run should not hit the cache");
+
+        double warmMs = runBatchMs(pipeline, batch);
+        ScheduleCache::Stats warm = pipeline.cache().stats();
+        double warmHitRate =
+            static_cast<double>(warm.hits - cold.hits) /
+            static_cast<double>(batch.size());
+
+        if (threads == 1)
+            coldMsAtOneThread = coldMs;
+        double speedup = coldMsAtOneThread / coldMs;
+
+        double coldJobsPerSec = 1000.0 * batch.size() / coldMs;
+        double warmJobsPerSec = 1000.0 * batch.size() / warmMs;
+        table.addRow({
+            std::to_string(threads),
+            TextTable::num(coldMs, 1),
+            TextTable::num(coldJobsPerSec, 1),
+            TextTable::num(warmMs, 1),
+            TextTable::num(warmJobsPerSec, 1),
+            TextTable::num(warmHitRate, 3),
+            TextTable::num(speedup, 2),
+        });
+
+        jsonLines += "{\"bench\":\"pipeline_throughput\",\"threads\":" +
+                     std::to_string(threads) +
+                     ",\"jobs\":" + std::to_string(batch.size()) +
+                     ",\"cold_ms\":" + TextTable::num(coldMs, 2) +
+                     ",\"cold_jobs_per_sec\":" +
+                     TextTable::num(coldJobsPerSec, 2) +
+                     ",\"warm_ms\":" + TextTable::num(warmMs, 2) +
+                     ",\"warm_jobs_per_sec\":" +
+                     TextTable::num(warmJobsPerSec, 2) +
+                     ",\"warm_hit_rate\":" +
+                     TextTable::num(warmHitRate, 3) +
+                     ",\"speedup_vs_1_thread\":" +
+                     TextTable::num(speedup, 2) +
+                     ",\"hardware_concurrency\":" + std::to_string(hw) +
+                     "}\n";
+    }
+
+    table.print(std::cout);
+    std::cout << "\n" << jsonLines;
+    return 0;
+}

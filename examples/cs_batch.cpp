@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Batch front-end for the scheduling pipeline: compiles the full
+ * Table-1 kernel suite across a sweep of machine configurations in
+ * one invocation, fanning the (kernel x machine) jobs across a
+ * thread pool with a shared content-addressed schedule cache, then
+ * prints a summary table and a JSON stats line.
+ *
+ *   cs_batch [--threads N] [--repeat R] [--cache N] [--plain]
+ *
+ *   --threads N   worker threads (default: hardware concurrency)
+ *   --repeat R    submit the whole batch R times (default 1); repeats
+ *                 exercise the warm cache
+ *   --cache N     schedule-cache capacity in entries (default 1024)
+ *   --plain       plain block schedules instead of software pipelining
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "machine/builders.hpp"
+#include "pipeline/pipeline.hpp"
+#include "support/logging.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct Args
+{
+    unsigned threads = 0; // 0 = hardware concurrency
+    int repeat = 1;
+    std::size_t cacheCapacity = 1024;
+    bool pipelined = true;
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto intValue = [&](const char *flag) {
+            if (i + 1 >= argc)
+                CS_FATAL(flag, " needs a value");
+            return std::atoi(argv[++i]);
+        };
+        if (arg == "--threads") {
+            args.threads = static_cast<unsigned>(intValue("--threads"));
+        } else if (arg == "--repeat") {
+            args.repeat = intValue("--repeat");
+        } else if (arg == "--cache") {
+            args.cacheCapacity =
+                static_cast<std::size_t>(intValue("--cache"));
+        } else if (arg == "--plain") {
+            args.pipelined = false;
+        } else {
+            CS_FATAL("unknown argument '", arg, "'");
+        }
+    }
+    return args;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cs;
+    setVerboseLogging(false);
+    Args args;
+    try {
+        args = parseArgs(argc, argv);
+    } catch (const FatalError &) {
+        // CS_FATAL already printed the diagnostic.
+        std::cerr << "usage: cs_batch [--threads N] [--repeat R] "
+                     "[--cache N] [--plain]\n";
+        return 2;
+    }
+
+    // The paper's four register-file architectures (Section 5).
+    std::vector<std::pair<std::string, Machine>> machines;
+    machines.emplace_back("Central", makeCentral());
+    machines.emplace_back("Clustered (2)", makeClustered({}, 2));
+    machines.emplace_back("Clustered (4)", makeClustered({}, 4));
+    machines.emplace_back("Distributed", makeDistributed());
+
+    std::vector<ScheduleJob> batch;
+    for (const auto &[machineName, machine] : machines) {
+        for (const KernelSpec &spec : allKernels()) {
+            ScheduleJob job;
+            job.label = spec.name + "@" + machineName;
+            job.kernel = spec.build();
+            job.block = BlockId(0);
+            job.machine = &machine;
+            job.pipelined = args.pipelined;
+            batch.push_back(std::move(job));
+        }
+    }
+
+    PipelineConfig config;
+    config.numThreads = args.threads;
+    config.cacheCapacity = args.cacheCapacity;
+    SchedulingPipeline pipeline(config);
+
+    printBanner(std::cout,
+                "Batch scheduling: " + std::to_string(batch.size()) +
+                    " jobs x " + std::to_string(args.repeat) +
+                    " submission(s) on " +
+                    std::to_string(pipeline.numThreads()) + " thread(s)");
+
+    double totalMs = 0.0;
+    std::vector<JobResult> results;
+    for (int round = 0; round < args.repeat; ++round) {
+        auto start = std::chrono::steady_clock::now();
+        results = pipeline.run(batch);
+        auto end = std::chrono::steady_clock::now();
+        double ms =
+            std::chrono::duration<double, std::milli>(end - start)
+                .count();
+        totalMs += ms;
+        std::cout << "round " << (round + 1) << ": "
+                  << TextTable::num(ms, 1) << " ms, "
+                  << TextTable::num(1000.0 * batch.size() / ms, 1)
+                  << " jobs/s\n";
+    }
+
+    TextTable table({"Job", args.pipelined ? "II" : "len", "MII",
+                     "copies", "verified", "cache", "ms"});
+    int failures = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const JobResult &r = results[i];
+        if (!r.success)
+            ++failures;
+        table.addRow({
+            batch[i].label,
+            r.success ? std::to_string(args.pipelined ? r.ii : r.length)
+                      : "FAIL",
+            std::to_string(std::max(r.resMii, r.recMii)),
+            std::to_string(r.copiesInserted),
+            r.success ? (r.verifierErrors.empty() ? "yes" : "NO") : "-",
+            r.cacheHit ? "hit" : "miss",
+            TextTable::num(r.wallMs, 2),
+        });
+    }
+    table.print(std::cout);
+
+    ScheduleCache::Stats cache = pipeline.cache().stats();
+    CounterSet stats = pipeline.statsSnapshot();
+    std::cout << "\ncache: " << cache.hits << " hit(s), " << cache.misses
+              << " miss(es), " << cache.evictions << " eviction(s), "
+              << cache.entries << "/" << cache.capacity
+              << " entries, hit rate "
+              << TextTable::num(100.0 * cache.hitRate(), 1) << "%\n";
+
+    // Machine-readable one-line summary (the bench suite's JSON idiom).
+    std::cout << "{\"batch\":{\"jobs\":" << results.size() * args.repeat
+              << ",\"unique_jobs\":" << results.size()
+              << ",\"threads\":" << pipeline.numThreads()
+              << ",\"pipelined\":" << (args.pipelined ? "true" : "false")
+              << ",\"failures\":" << failures
+              << ",\"wall_ms\":" << TextTable::num(totalMs, 2)
+              << ",\"jobs_per_sec\":"
+              << TextTable::num(
+                     1000.0 * results.size() * args.repeat / totalMs, 2)
+              << ",\"cache\":{\"hits\":" << cache.hits
+              << ",\"misses\":" << cache.misses
+              << ",\"evictions\":" << cache.evictions
+              << ",\"hit_rate\":" << TextTable::num(cache.hitRate(), 3)
+              << "},\"scheduler\":{\"ops_scheduled\":"
+              << stats.get("ops_scheduled")
+              << ",\"copies_inserted\":" << stats.get("copies_inserted")
+              << "}}}\n";
+
+    return failures == 0 ? 0 : 1;
+}

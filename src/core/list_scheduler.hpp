@@ -15,6 +15,13 @@ namespace cs {
  * Schedule one block of @p kernel onto @p machine. The result carries
  * a private copy of the kernel with any inserted copy operations, the
  * placements and routes, and the scheduler statistics.
+ *
+ * Thread safety: const-safe and reentrant. The inputs are only read,
+ * all scheduler state lives in a per-call BlockScheduler instance,
+ * and no mutable globals are touched, so concurrent calls — even on
+ * the same kernel and machine — are safe and produce results
+ * identical to serial calls. The pipeline layer (src/pipeline) relies
+ * on this contract.
  */
 ScheduleResult scheduleBlock(const Kernel &kernel, BlockId block,
                              const Machine &machine,

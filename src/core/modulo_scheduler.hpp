@@ -36,6 +36,10 @@ struct PipelineResult
  * Find the smallest initiation interval at which the loop block
  * schedules, searching upward from max(ResMII, RecMII). @p maxIiSlack
  * bounds the search: the search stops after MII + maxIiSlack.
+ *
+ * Thread safety: const-safe and reentrant, like scheduleBlock() —
+ * each II attempt runs in its own BlockScheduler instance, so
+ * concurrent calls are safe and deterministic (see src/pipeline).
  */
 PipelineResult schedulePipelined(const Kernel &kernel, BlockId block,
                                  const Machine &machine,

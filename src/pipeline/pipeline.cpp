@@ -1,0 +1,80 @@
+#include "pipeline/pipeline.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "support/logging.hpp"
+
+namespace cs {
+
+namespace {
+
+unsigned
+resolveThreads(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace
+
+SchedulingPipeline::SchedulingPipeline(const PipelineConfig &config)
+    : pool_(resolveThreads(config.numThreads)),
+      cache_(config.cacheCapacity)
+{
+}
+
+std::vector<JobResult>
+SchedulingPipeline::run(const std::vector<ScheduleJob> &jobs)
+{
+    std::vector<JobResult> results(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        bool accepted = pool_.submit(
+            [this, &jobs, &results, i] { results[i] = runOne(jobs[i]); });
+        CS_ASSERT(accepted, "pipeline pool rejected a job");
+    }
+    pool_.waitIdle();
+    return results;
+}
+
+JobResult
+SchedulingPipeline::runOne(const ScheduleJob &job)
+{
+    auto start = std::chrono::steady_clock::now();
+    std::uint64_t key = scheduleJobKey(job);
+
+    if (std::optional<JobResult> cached = cache_.lookup(key)) {
+        cached->cacheHit = true;
+        auto end = std::chrono::steady_clock::now();
+        cached->wallMs =
+            std::chrono::duration<double, std::milli>(end - start)
+                .count();
+        stats_.bump("pipeline.jobs");
+        stats_.bump("pipeline.cache_hits");
+        if (!cached->success)
+            stats_.bump("pipeline.failures");
+        return *cached;
+    }
+
+    JobResult result = runScheduleJob(job);
+    cache_.insert(key, result);
+
+    stats_.bump("pipeline.jobs");
+    stats_.bump("pipeline.cache_misses");
+    if (!result.success)
+        stats_.bump("pipeline.failures");
+    if (!result.verifierErrors.empty())
+        stats_.bump("pipeline.verifier_rejects");
+    stats_.merge(result.sched.stats);
+    return result;
+}
+
+CounterSet
+SchedulingPipeline::statsSnapshot() const
+{
+    return stats_;
+}
+
+} // namespace cs

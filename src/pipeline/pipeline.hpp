@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The scheduling pipeline: fans a batch of self-contained scheduling
+ * jobs across a fixed-size thread pool, memoizing results in a shared
+ * content-addressed cache and aggregating per-job scheduler counters
+ * into one thread-safe CounterSet.
+ *
+ * Determinism contract: results come back indexed by submission
+ * position and each job is closed over all of its inputs, so a batch
+ * run on N threads produces byte-identical schedules (listings) to
+ * the same batch run serially — only wall times and cache hit
+ * patterns may differ. Tests assert this.
+ *
+ * This is the layer the ROADMAP's serving/sharding work builds on: a
+ * front-end that accepts heavy streams of (kernel x machine x
+ * options) compile requests and saturates the local hardware.
+ */
+
+#ifndef CS_PIPELINE_PIPELINE_HPP
+#define CS_PIPELINE_PIPELINE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "pipeline/job.hpp"
+#include "pipeline/schedule_cache.hpp"
+#include "pipeline/thread_pool.hpp"
+#include "support/stats.hpp"
+
+namespace cs {
+
+/** Pipeline construction knobs. */
+struct PipelineConfig
+{
+    /** Worker threads; 0 means std::thread::hardware_concurrency(). */
+    unsigned numThreads = 0;
+    /** Schedule-cache entries; 0 disables caching. */
+    std::size_t cacheCapacity = 1024;
+};
+
+/**
+ * A reusable batch scheduler. run() may be called repeatedly; the
+ * cache persists across batches (that is the warm-cache win). One
+ * pipeline instance must not have run() called concurrently from two
+ * threads; everything inside a single run() is concurrent.
+ */
+class SchedulingPipeline
+{
+  public:
+    explicit SchedulingPipeline(const PipelineConfig &config = {});
+
+    /**
+     * Schedule every job and return results in submission order.
+     * Cached results are returned with cacheHit = true and a fresh
+     * lookup wall time.
+     */
+    std::vector<JobResult> run(const std::vector<ScheduleJob> &jobs);
+
+    /** The shared result cache (for stats and tests). */
+    const ScheduleCache &cache() const { return cache_; }
+
+    /**
+     * Aggregated counters across every job ever run: "pipeline.jobs",
+     * "pipeline.cache_hits", "pipeline.cache_misses",
+     * "pipeline.failures", plus the merged per-job scheduler counters.
+     */
+    CounterSet statsSnapshot() const;
+
+    unsigned numThreads() const { return pool_.size(); }
+
+  private:
+    JobResult runOne(const ScheduleJob &job);
+
+    ThreadPool pool_;
+    ScheduleCache cache_;
+    CounterSet stats_;
+};
+
+} // namespace cs
+
+#endif // CS_PIPELINE_PIPELINE_HPP

@@ -1,0 +1,65 @@
+#include "pipeline/schedule_cache.hpp"
+
+namespace cs {
+
+ScheduleCache::ScheduleCache(std::size_t capacity) : capacity_(capacity)
+{
+}
+
+std::optional<JobResult>
+ScheduleCache::lookup(std::uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+}
+
+void
+ScheduleCache::insert(std::uint64_t key, const JobResult &result)
+{
+    if (capacity_ == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->second = result;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (lru_.size() >= capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++evictions_;
+    }
+    lru_.emplace_front(key, result);
+    index_[key] = lru_.begin();
+}
+
+ScheduleCache::Stats
+ScheduleCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.entries = lru_.size();
+    s.capacity = capacity_;
+    return s;
+}
+
+void
+ScheduleCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+}
+
+} // namespace cs

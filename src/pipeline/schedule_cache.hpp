@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Content-addressed schedule cache: memoizes JobResults keyed by the
+ * FNV-1a content hash of (kernel DDG, machine description, scheduler
+ * options, job mode) computed by scheduleJobKey(). Bounded LRU with
+ * hit/miss/eviction counters; all operations are thread-safe, so the
+ * pipeline's concurrent workers share one cache.
+ *
+ * Production rationale: real workloads re-submit the same compile jobs
+ * constantly (the same kernel on the same machine across batches,
+ * sweeps that revisit configurations, repeated service requests), and
+ * a schedule is orders of magnitude more expensive to compute than to
+ * copy out of a map.
+ */
+
+#ifndef CS_PIPELINE_SCHEDULE_CACHE_HPP
+#define CS_PIPELINE_SCHEDULE_CACHE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "pipeline/job.hpp"
+
+namespace cs {
+
+/** Bounded, thread-safe, LRU result cache keyed by content hash. */
+class ScheduleCache
+{
+  public:
+    /** @p capacity entries are kept; 0 disables caching entirely. */
+    explicit ScheduleCache(std::size_t capacity);
+
+    /**
+     * Look up a content key. A hit copies the stored result out (the
+     * copy is what makes a later eviction safe) and refreshes its LRU
+     * position. Counts a hit or a miss.
+     */
+    std::optional<JobResult> lookup(std::uint64_t key);
+
+    /**
+     * Store a result, evicting the least-recently-used entry when
+     * full. Inserting an existing key refreshes the stored value. The
+     * cacheHit/wallMs fields stored are returned verbatim on later
+     * hits; callers overwrite them per lookup.
+     */
+    void insert(std::uint64_t key, const JobResult &result);
+
+    /** Counter snapshot. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+        std::size_t capacity = 0;
+
+        /** Hits over lookups; 0 when no lookups happened. */
+        double
+        hitRate() const
+        {
+            std::uint64_t lookups = hits + misses;
+            return lookups == 0
+                       ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(lookups);
+        }
+    };
+
+    Stats stats() const;
+
+    /** Drop all entries (counters are kept). */
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    /** Most-recently-used entries at the front. */
+    std::list<std::pair<std::uint64_t, JobResult>> lru_;
+    std::unordered_map<std::uint64_t, decltype(lru_)::iterator> index_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace cs
+
+#endif // CS_PIPELINE_SCHEDULE_CACHE_HPP

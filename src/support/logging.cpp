@@ -1,5 +1,6 @@
 #include "support/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <stdexcept>
 
@@ -7,7 +8,7 @@ namespace cs {
 
 namespace {
 
-bool verboseEnabled = true;
+std::atomic<bool> verboseEnabled{true};
 
 const char *
 levelName(LogLevel level)

@@ -45,23 +45,62 @@ maxOf(const std::vector<double> &values)
     return *std::max_element(values.begin(), values.end());
 }
 
+CounterSet::CounterSet(const CounterSet &other)
+{
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    counters_ = other.counters_;
+}
+
+CounterSet &
+CounterSet::operator=(const CounterSet &other)
+{
+    if (this == &other)
+        return *this;
+    // scoped_lock's deadlock-avoiding acquisition covers two threads
+    // assigning in opposite directions.
+    std::scoped_lock lock(mutex_, other.mutex_);
+    counters_ = other.counters_;
+    return *this;
+}
+
 void
 CounterSet::bump(const std::string &name, std::uint64_t delta)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     counters_[name] += delta;
 }
 
 std::uint64_t
 CounterSet::get(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
 }
 
 void
+CounterSet::merge(const CounterSet &other)
+{
+    // Copy first so self-merge and opposite-direction merges cannot
+    // deadlock on the two locks.
+    std::map<std::string, std::uint64_t> theirs = other.snapshot();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, value] : theirs)
+        counters_[name] += value;
+}
+
+void
 CounterSet::clear()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     counters_.clear();
+}
+
+std::map<std::string, std::uint64_t>
+CounterSet::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
 }
 
 } // namespace cs

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,26 +33,47 @@ double maxOf(const std::vector<double> &values);
  * A set of named monotonically increasing counters. Schedulers expose one
  * of these so tests and benches can observe effort (operations scheduled,
  * copies inserted, permutations searched, backtracks taken, ...).
+ *
+ * Thread safety: bump(), get(), merge(), snapshot(), and clear() are
+ * safe to call concurrently from multiple threads (the pipeline layer
+ * aggregates job statistics into one shared CounterSet). all() returns
+ * an unguarded reference and may only be used once concurrent writers
+ * have quiesced — the existing single-threaded call sites keep working
+ * unchanged.
  */
 class CounterSet
 {
   public:
+    CounterSet() = default;
+    CounterSet(const CounterSet &other);
+    CounterSet &operator=(const CounterSet &other);
+
     /** Add delta to the named counter, creating it at zero if absent. */
     void bump(const std::string &name, std::uint64_t delta = 1);
 
     /** Current value of the named counter (zero if never bumped). */
     std::uint64_t get(const std::string &name) const;
 
+    /** Add every counter of @p other into this set. */
+    void merge(const CounterSet &other);
+
     /** Reset every counter to zero. */
     void clear();
 
-    /** All counters in name order, for printing. */
+    /** Consistent copy of all counters, taken under the lock. */
+    std::map<std::string, std::uint64_t> snapshot() const;
+
+    /**
+     * All counters in name order, for printing. Not safe against
+     * concurrent bump()s; use snapshot() when writers may be live.
+     */
     const std::map<std::string, std::uint64_t> &all() const
     {
         return counters_;
     }
 
   private:
+    mutable std::mutex mutex_;
     std::map<std::string, std::uint64_t> counters_;
 };
 
