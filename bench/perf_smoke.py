@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Perf smoke check: distributed-machine block scheduling vs the
+committed BENCH_sched.json.
+
+Runs bench_sched_perf --json over the distributed-machine block
+entries (the scheduler's hot configuration) and fails when any
+kernel's median wall time regresses more than the allowed factor
+against the committed "current" snapshot. The factor is deliberately
+loose (2x) so machine noise does not fail the build while a genuine
+complexity regression still does.
+
+Usage: perf_smoke.py <bench_sched_perf-binary> <BENCH_sched.json>
+"""
+
+import json
+import subprocess
+import sys
+
+ALLOWED_FACTOR = 2.0
+FILTER = "distributed#block"
+REPS = 3
+# Sub-millisecond entries are dominated by timer and allocator noise;
+# only entries at least this slow in the committed snapshot gate.
+MIN_GATED_MS = 1.0
+
+
+def key(entry):
+    return (entry["kernel"], entry["machine"], entry["mode"])
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench, committed_path = sys.argv[1], sys.argv[2]
+
+    with open(committed_path) as f:
+        committed = {
+            key(e): e for e in json.load(f)["current"]["entries"]
+        }
+
+    raw = subprocess.run(
+        [bench, "--json", "--reps", str(REPS), "--filter", FILTER],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    fresh = json.loads(raw)["entries"]
+
+    failures = []
+    for entry in fresh:
+        ref = committed.get(key(entry))
+        if ref is None:
+            continue
+        if not entry["success"]:
+            failures.append(f"{key(entry)}: scheduling failed")
+            continue
+        if ref["median_ms"] < MIN_GATED_MS:
+            continue
+        ratio = entry["median_ms"] / ref["median_ms"]
+        marker = " REGRESSION" if ratio > ALLOWED_FACTOR else ""
+        print(
+            f"{entry['kernel']:22s} {ref['median_ms']:8.2f} -> "
+            f"{entry['median_ms']:8.2f} ms  x{ratio:.2f}{marker}"
+        )
+        if ratio > ALLOWED_FACTOR:
+            failures.append(
+                f"{key(entry)}: {entry['median_ms']:.2f} ms vs committed "
+                f"{ref['median_ms']:.2f} ms (x{ratio:.2f} > "
+                f"x{ALLOWED_FACTOR})"
+            )
+
+    if failures:
+        print("perf smoke FAILED:", file=sys.stderr)
+        for f_ in failures:
+            print("  " + f_, file=sys.stderr)
+        return 1
+    print("perf smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

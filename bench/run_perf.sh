@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Capture the scheduler perf trajectory into BENCH_sched.json.
+#
+# Runs bench_sched_perf --json (median wall time plus effort counters
+# for every Table-1 kernel x evaluation machine, block mode, and a
+# pipelined subset) and stores the capture as the "current" snapshot
+# in BENCH_sched.json at the repo root. The first capture also becomes
+# the "baseline" snapshot; later runs keep the committed baseline so
+# the two can be diffed release-over-release.
+#
+# Usage: bench/run_perf.sh [build-dir]
+#   BUILD_DIR  build directory (default: build; overridden by $1)
+#   REPS       repetitions per entry, median taken (default: 5)
+#
+# Timing note: the medians are wall-clock. Run on an otherwise idle
+# machine or the capture measures the scheduler plus your browser.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-${BUILD_DIR:-$repo_root/build}}
+reps=${REPS:-5}
+bench="$build_dir/bench/bench_sched_perf"
+out="$repo_root/BENCH_sched.json"
+
+if [ ! -x "$bench" ]; then
+    echo "run_perf.sh: $bench not found; build the 'bench_sched_perf'" \
+         "target first (cmake --build $build_dir --target bench_sched_perf)" >&2
+    exit 1
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+"$bench" --json --reps "$reps" > "$tmp"
+
+python3 - "$tmp" "$out" <<'EOF'
+import json
+import sys
+
+capture_path, out_path = sys.argv[1], sys.argv[2]
+with open(capture_path) as f:
+    capture = json.load(f)
+
+try:
+    with open(out_path) as f:
+        doc = json.load(f)
+except (FileNotFoundError, json.JSONDecodeError):
+    doc = {}
+
+if "baseline" not in doc:
+    doc["baseline"] = capture
+doc["current"] = capture
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+
+def total(snapshot):
+    return sum(e["median_ms"] for e in snapshot["entries"])
+
+base, cur = total(doc["baseline"]), total(doc["current"])
+ratio = base / cur if cur else float("inf")
+print(f"wrote {out_path}: {len(capture['entries'])} entries, "
+      f"total median {cur:.1f} ms (baseline {base:.1f} ms, x{ratio:.2f})")
+EOF

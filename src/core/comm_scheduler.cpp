@@ -107,7 +107,7 @@ BlockScheduler::undoTo(UndoLog::Mark mark)
             break;
           case UndoEntry::Kind::CopyInserted:
             kernel_.removeLastCopy(entry.op);
-            stats_.bump("copies_unwound");
+            ++hot_.copiesUnwound;
             break;
           case UndoEntry::Kind::UseRetargeted:
             kernel_.retargetUse(entry.op, entry.slot, entry.value);
@@ -134,6 +134,7 @@ BlockScheduler::doAcquireRead(const ReadStub &stub, OperationId reader,
                               int slot, int cycle)
 {
     reservations_.acquireRead(stub, reader, slot, cycle);
+    ++hot_.tableAcquires;
     UndoEntry entry{};
     entry.kind = UndoEntry::Kind::ReadAcquired;
     entry.readStub = stub;
@@ -148,6 +149,7 @@ BlockScheduler::doReleaseRead(const ReadStub &stub, OperationId reader,
                               int slot, int cycle)
 {
     reservations_.releaseRead(stub, reader, slot, cycle);
+    ++hot_.tableReleases;
     UndoEntry entry{};
     entry.kind = UndoEntry::Kind::ReadReleased;
     entry.readStub = stub;
@@ -162,6 +164,7 @@ BlockScheduler::doAcquireWrite(const WriteStub &stub, ValueId value,
                                int cycle)
 {
     reservations_.acquireWrite(stub, value, cycle);
+    ++hot_.tableAcquires;
     UndoEntry entry{};
     entry.kind = UndoEntry::Kind::WriteAcquired;
     entry.writeStub = stub;
@@ -175,6 +178,7 @@ BlockScheduler::doReleaseWrite(const WriteStub &stub, ValueId value,
                                int cycle)
 {
     reservations_.releaseWrite(stub, value, cycle);
+    ++hot_.tableReleases;
     UndoEntry entry{};
     entry.kind = UndoEntry::Kind::WriteReleased;
     entry.writeStub = stub;
@@ -285,7 +289,7 @@ BlockScheduler::run()
             ok = false;
             break;
         }
-        stats_.bump("ops_scheduled");
+        ++hot_.opsScheduled;
     }
 
     if (ok) {
@@ -311,8 +315,48 @@ BlockScheduler::run()
     result.failure = failure_;
     result.kernel = std::move(kernel_);
     result.schedule = std::move(schedule_);
+    flushHotCounters();
     result.stats = stats_;
     return result;
+}
+
+void
+BlockScheduler::flushHotCounters()
+{
+    auto flush = [&](const char *name, std::uint64_t &value) {
+        if (value) {
+            stats_.bump(name, value);
+            value = 0; // run() may be observed twice; don't double-count
+        }
+    };
+    flush("ops_scheduled", hot_.opsScheduled);
+    flush("placement_attempts", hot_.placementAttempts);
+    flush("attempt_budget_exhausted", hot_.attemptBudgetExhausted);
+    flush("comm_sched_calls", hot_.commSchedCalls);
+    flush("comm_sched_rejections", hot_.commSchedRejections);
+    flush("read_perm_failures", hot_.readPermFailures);
+    flush("write_perm_failures", hot_.writePermFailures);
+    flush("route_close_failures", hot_.routeCloseFailures);
+    flush("stub_retargets", hot_.stubRetargets);
+    flush("copy_feed_unroutable", hot_.copyFeedUnroutable);
+    flush("copies_unwound", hot_.copiesUnwound);
+    flush("perm_budget_exhausted", hot_.permBudgetExhausted);
+    flush("perm_backtracks", hot_.permBacktracks);
+    flush("read_perms_found", hot_.readPermsFound);
+    flush("write_perms_found", hot_.writePermsFound);
+    flush("write_perm_bus_prechecks", hot_.writePermBusPrechecks);
+    flush("copies_reused", hot_.copiesReused);
+    flush("copy_depth_exhausted", hot_.copyDepthExhausted);
+    flush("copy_range_empty", hot_.copyRangeEmpty);
+    flush("copies_inserted", hot_.copiesInserted);
+    flush("copy_schedule_failures", hot_.copyScheduleFailures);
+    flush("probe_reads", hot_.probeReads);
+    flush("probe_writes", hot_.probeWrites);
+    flush("prune_read_bus", hot_.pruneReadBus);
+    flush("prune_write_bus", hot_.pruneWriteBus);
+    flush("prune_route_mask", hot_.pruneRouteMask);
+    flush("table_acquires", hot_.tableAcquires);
+    flush("table_releases", hot_.tableReleases);
 }
 
 int
@@ -404,10 +448,10 @@ BlockScheduler::scheduleOp(OperationId op, int rangeLo, int rangeHi,
     for (int cycle = lo; cycle <= hi_long; ++cycle) {
         for (FuncUnitId fu : unitChoices(op, cycle)) {
             if (++attemptsThisOp_ > attemptCap_) {
-                stats_.bump("attempt_budget_exhausted");
+                ++hot_.attemptBudgetExhausted;
                 return false;
             }
-            stats_.bump("placement_attempts");
+            ++hot_.placementAttempts;
             if (tryPlace(op, cycle, fu, copyDepth))
                 return true;
             if (lastFailureCycleLevel_)
@@ -532,7 +576,7 @@ BlockScheduler::tryPlace(OperationId op, int cycle, FuncUnitId fu,
     doPlace(op, cycle, fu);
     if (commSchedule(op, cycle, fu, copyDepth))
         return true;
-    stats_.bump("comm_sched_rejections");
+    ++hot_.commSchedRejections;
     undoTo(mark);
     return false;
 }
@@ -573,10 +617,10 @@ BlockScheduler::createCommsFor(OperationId op)
     }
 }
 
-std::vector<CommId>
-BlockScheduler::commsReadingAt(int cycle) const
+void
+BlockScheduler::commsReadingAt(int cycle, std::vector<CommId> &out) const
 {
-    std::vector<CommId> out;
+    out.clear();
     int want = reservations_.norm(cycle);
     for (const Communication &comm : comms_.all()) {
         if (!comm.active || comm.closed)
@@ -586,13 +630,12 @@ BlockScheduler::commsReadingAt(int cycle) const
         if (reservations_.norm(issueCycleOf(comm.reader)) == want)
             out.push_back(comm.id);
     }
-    return out;
 }
 
-std::vector<CommId>
-BlockScheduler::commsWritingAt(int cycle) const
+void
+BlockScheduler::commsWritingAt(int cycle, std::vector<CommId> &out) const
 {
-    std::vector<CommId> out;
+    out.clear();
     int want = reservations_.norm(cycle);
     for (const Communication &comm : comms_.all()) {
         if (!comm.active || comm.closed)
@@ -602,7 +645,6 @@ BlockScheduler::commsWritingAt(int cycle) const
         if (reservations_.norm(writeStubCycleOf(comm.writer)) == want)
             out.push_back(comm.id);
     }
-    return out;
 }
 
 std::vector<RegFileId>
@@ -627,19 +669,19 @@ BlockScheduler::commSchedule(OperationId op, int cycle, FuncUnitId fu,
                              int copyDepth)
 {
     (void)fu;
-    stats_.bump("comm_sched_calls");
+    ++hot_.commSchedCalls;
     lastFailureCycleLevel_ = false;
     createCommsFor(op);
 
     // Steps 2 and 3: non-conflicting stub permutations for the issue
     // cycle's reads and the completion cycle's writes.
     if (!permuteReadStubs(cycle)) {
-        stats_.bump("read_perm_failures");
+        ++hot_.readPermFailures;
         return false;
     }
     if (kernel_.operation(op).hasResult() &&
         !permuteWriteStubs(cycle + latencyOf(op) - 1)) {
-        stats_.bump("write_perm_failures");
+        ++hot_.writePermFailures;
         lastFailureCycleLevel_ = true;
         return false;
     }
@@ -647,7 +689,7 @@ BlockScheduler::commSchedule(OperationId op, int cycle, FuncUnitId fu,
     // Steps 4 and 5: close every communication whose second endpoint
     // this placement supplies.
     if (!closeRoutes(op, copyDepth)) {
-        stats_.bump("route_close_failures");
+        ++hot_.routeCloseFailures;
         // Nested copy scheduling may have set the cycle-level flag for
         // *its* cycles; this failure is specific to (cycle, fu).
         lastFailureCycleLevel_ = false;
@@ -731,7 +773,7 @@ BlockScheduler::closeRoutes(OperationId op, int copyDepth)
                 write_rf = machine_.writePortRegFile(
                     fresh.writeStub->writePort);
                 if (write_rf == read_rf) {
-                    stats_.bump("stub_retargets");
+                    ++hot_.stubRetargets;
                     setClosed(id);
                     continue;
                 }
@@ -742,7 +784,7 @@ BlockScheduler::closeRoutes(OperationId op, int copyDepth)
         // its operand directly was mis-placed, and failing here sends
         // the placement loop to a cycle where its home unit is free.
         if (kernel_.operation(comms_.get(id).reader).isCopy()) {
-            stats_.bump("copy_feed_unroutable");
+            ++hot_.copyFeedUnroutable;
             return false;
         }
         if (!insertAndScheduleCopy(id, copyDepth))

@@ -20,7 +20,9 @@
 #define CS_CORE_COMM_SCHEDULER_HPP
 
 #include <array>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,7 @@
 #include "ir/ddg.hpp"
 #include "ir/kernel.hpp"
 #include "machine/machine.hpp"
+#include "support/bitset.hpp"
 #include "support/stats.hpp"
 
 namespace cs {
@@ -131,14 +134,23 @@ class BlockScheduler
     void createCommsFor(OperationId op);
 
     /** Active, unclosed communications reading on norm(cycle). */
-    std::vector<CommId> commsReadingAt(int cycle) const;
+    void commsReadingAt(int cycle, std::vector<CommId> &out) const;
     /** Active, unclosed communications writing on norm(cycle). */
-    std::vector<CommId> commsWritingAt(int cycle) const;
+    void commsWritingAt(int cycle, std::vector<CommId> &out) const;
 
-    std::vector<ReadStub> readCandidatesFor(const Communication &comm)
-        const;
-    std::vector<WriteStub> writeCandidatesFor(const Communication &comm)
-        const;
+    /**
+     * Candidate stubs in preference order. Allocation-free: the result
+     * is either a view of the machine's precomputed stub list (when
+     * that order is already correct) or of @p storage, refilled in
+     * place. The view is valid until the next call that reuses the
+     * same storage vector.
+     */
+    std::span<const ReadStub> readCandidatesFor(const Communication &comm,
+                                                std::vector<ReadStub>
+                                                    &storage) const;
+    std::span<const WriteStub>
+    writeCandidatesFor(const Communication &comm,
+                       std::vector<WriteStub> &storage) const;
 
     bool permuteReadStubs(int cycle);
     bool permuteWriteStubs(int cycle);
@@ -217,6 +229,83 @@ class BlockScheduler
     /// @}
 
     /**
+     * Hot-path counters. CounterSet::bump takes a mutex and a string
+     * map lookup per call, which is measurable in the permutation
+     * search's inner loops, so the scheduler bumps plain fields and
+     * flushes them into stats_ once per run() under the usual names.
+     */
+    struct HotCounters
+    {
+        std::uint64_t opsScheduled = 0;
+        std::uint64_t placementAttempts = 0;
+        std::uint64_t attemptBudgetExhausted = 0;
+        std::uint64_t commSchedCalls = 0;
+        std::uint64_t commSchedRejections = 0;
+        std::uint64_t readPermFailures = 0;
+        std::uint64_t writePermFailures = 0;
+        std::uint64_t routeCloseFailures = 0;
+        std::uint64_t stubRetargets = 0;
+        std::uint64_t copyFeedUnroutable = 0;
+        std::uint64_t copiesUnwound = 0;
+        std::uint64_t permBudgetExhausted = 0;
+        std::uint64_t permBacktracks = 0;
+        std::uint64_t readPermsFound = 0;
+        std::uint64_t writePermsFound = 0;
+        std::uint64_t writePermBusPrechecks = 0;
+        std::uint64_t copiesReused = 0;
+        std::uint64_t copyDepthExhausted = 0;
+        std::uint64_t copyRangeEmpty = 0;
+        std::uint64_t copiesInserted = 0;
+        std::uint64_t copyScheduleFailures = 0;
+        /** Reservation-table probes issued by the permutation DFS. */
+        std::uint64_t probeReads = 0;
+        std::uint64_t probeWrites = 0;
+        /** DFS branches cut before probing (pure subsets of rejects). */
+        std::uint64_t pruneReadBus = 0;
+        std::uint64_t pruneWriteBus = 0;
+        std::uint64_t pruneRouteMask = 0;
+        /** Journaled stub acquisitions / releases on the table. */
+        std::uint64_t tableAcquires = 0;
+        std::uint64_t tableReleases = 0;
+    };
+    void flushHotCounters();
+
+    /**
+     * Reusable buffers for one stub-permutation search, pooled by
+     * nesting depth (the permutation entry points never actually nest
+     * today — copy insertion re-enters the scheduler only after the
+     * outer search returned — but the pool keeps that a performance
+     * fact instead of a correctness assumption).
+     */
+    struct PermScratch
+    {
+        std::vector<CommId> ids;
+        /** Precomputed ordering keys: one key evaluation per id
+         *  instead of one per sort comparison. */
+        std::vector<std::pair<std::uint64_t, CommId>> orderKeys;
+        std::vector<std::optional<ReadStub>> prevRead;
+        std::vector<std::optional<WriteStub>> prevWrite;
+        std::vector<std::vector<ReadStub>> readStore;
+        std::vector<std::vector<WriteStub>> writeStore;
+        std::vector<std::span<const ReadStub>> readCands;
+        std::vector<std::span<const WriteStub>> writeCands;
+        std::vector<int> choice;
+        std::vector<ValueId> distinctValues;
+        InlineBitset candidateBuses;
+    };
+
+    /** RAII lease on the scratch frame at the current nesting depth. */
+    struct ScratchGuard
+    {
+        explicit ScratchGuard(BlockScheduler &owner);
+        ~ScratchGuard();
+        ScratchGuard(const ScratchGuard &) = delete;
+        ScratchGuard &operator=(const ScratchGuard &) = delete;
+        BlockScheduler &owner_;
+        PermScratch &sc;
+    };
+
+    /**
      * Set when the last rejection was cycle-level (the write-side
      * permutation failed): every unit of the same class completes on
      * the same cycle, so trying the remaining units is pointless.
@@ -244,7 +333,37 @@ class BlockScheduler
     CommTable comms_;
     UndoLog log_;
     CounterSet stats_;
+    mutable HotCounters hot_; // const candidate queries count prunes
     std::string failure_;
+
+    /** Scratch frames, indexed by permutation nesting depth. */
+    std::vector<std::unique_ptr<PermScratch>> permPool_;
+    std::size_t permDepth_ = 0;
+
+    /**
+     * Candidate-ranking scratch. The candidate functions never nest
+     * (each completes before any other scheduler code runs), so one
+     * frame each suffices; mutable because ranking is a const query.
+     * The read entries carry a single packed sort key (rank in the
+     * high bits, original list index in the low bits): keys are
+     * unique, so a plain std::sort reproduces the stable order
+     * without stable_sort's per-call temporary buffer. The write side
+     * emits through a counting sort (ranks are small integers and the
+     * bus rotation is a bucket walk), so it needs no pair vector.
+     */
+    mutable std::vector<std::pair<std::uint64_t, ReadStub>> rankedRead_;
+    /** Register files the pending reader could fetch from. */
+    mutable InlineBitset readerFiles_;
+    /** Per-bus value cache, refilled per candidate query (cycle is
+     *  fixed for the whole query, so one table lookup per bus
+     *  replaces one per stub). */
+    mutable std::vector<ValueId> busValueScratch_;
+    /** Per-register-file rank / feasibility cache for one query. */
+    mutable std::vector<int> rfScratch_;
+    /** Write-candidate counting sort: per-stub rank and bucket
+     *  offsets. */
+    mutable std::vector<int> stubRankScratch_;
+    mutable std::vector<int> bucketScratch_;
 };
 
 } // namespace cs

@@ -55,7 +55,7 @@ BlockScheduler::tryReuseExistingCopy(CommId commId)
             doAcquireWrite(stub, op.result, write_cycle);
             setWriteStub(rerouted, stub);
             setClosed(rerouted);
-            stats_.bump("copies_reused");
+            ++hot_.copiesReused;
             return true;
         }
     }
@@ -68,7 +68,7 @@ BlockScheduler::insertAndScheduleCopy(CommId commId, int copyDepth)
     if (tryReuseExistingCopy(commId))
         return true;
     if (copyDepth >= options_.maxCopyDepth) {
-        stats_.bump("copy_depth_exhausted");
+        ++hot_.copyDepthExhausted;
         return false;
     }
 
@@ -88,7 +88,7 @@ BlockScheduler::insertAndScheduleCopy(CommId commId, int copyDepth)
     int hi = issueCycleOf(original.reader) + original.distance * ii_ -
              copy_latency;
     if (lo > hi) {
-        stats_.bump("copy_range_empty");
+        ++hot_.copyRangeEmpty;
         return false;
     }
 
@@ -110,7 +110,7 @@ BlockScheduler::insertAndScheduleCopy(CommId commId, int copyDepth)
                                  original.slot, original.distance);
     setReadStub(second, original.readStub);
 
-    stats_.bump("copies_inserted");
+    ++hot_.copiesInserted;
 
     // Schedule the copy like any other operation (Section 4.3 step 5);
     // its own communication scheduling closes both halves, recursing
@@ -124,7 +124,7 @@ BlockScheduler::insertAndScheduleCopy(CommId commId, int copyDepth)
     attemptCap_ = saved_cap;
     if (ok)
         return true;
-    stats_.bump("copy_schedule_failures");
+    ++hot_.copyScheduleFailures;
     return false;
 }
 

@@ -6,6 +6,31 @@
 
 namespace cs {
 
+ReservationTable::ReservationTable(const Machine &machine, int ii)
+    : machine_(&machine), ii_(ii)
+{
+    // Folded tables are a fixed ring of ii entries; plain tables grow
+    // on first write to a cycle. States initialize lazily so that
+    // constructing a table for a large ii stays cheap.
+    if (ii_ > 0)
+        cycles_.resize(static_cast<std::size_t>(ii_));
+}
+
+void
+ReservationTable::CycleState::init(const Machine &machine)
+{
+    fuBits.resize(machine.numFuncUnits());
+    wOut.resize(machine.numOutputPorts());
+    wBus.resize(machine.numBuses());
+    wPort.resize(machine.numWritePorts());
+    rPort.resize(machine.numReadPorts());
+    rBus.resize(machine.numBuses());
+    rInput.resize(machine.numInputPorts());
+    bus.assign(machine.numBuses(), BusState{});
+    busesOccupied = 0;
+    initialized = true;
+}
+
 int
 ReservationTable::norm(int cycle) const
 {
@@ -18,34 +43,40 @@ ReservationTable::norm(int cycle) const
 const ReservationTable::CycleState *
 ReservationTable::stateAt(int cycle) const
 {
-    auto it = cycles_.find(norm(cycle));
-    return it == cycles_.end() ? nullptr : &it->second;
+    int n = norm(cycle);
+    if (n < 0 || static_cast<std::size_t>(n) >= cycles_.size())
+        return nullptr;
+    const CycleState &state = cycles_[static_cast<std::size_t>(n)];
+    return state.initialized ? &state : nullptr;
 }
 
 ReservationTable::CycleState &
 ReservationTable::mutableStateAt(int cycle)
 {
-    return cycles_[norm(cycle)];
+    int n = norm(cycle);
+    CS_ASSERT(n >= 0, "reservation at negative cycle ", cycle);
+    if (static_cast<std::size_t>(n) >= cycles_.size())
+        cycles_.resize(static_cast<std::size_t>(n) + 1);
+    CycleState &state = cycles_[static_cast<std::size_t>(n)];
+    if (!state.initialized)
+        state.init(*machine_);
+    return state;
 }
 
 bool
 ReservationTable::fuFree(FuncUnitId fu, int cycle) const
 {
     const CycleState *state = stateAt(cycle);
-    if (!state)
-        return true;
-    for (const auto &[busy_fu, op] : state->fuBusy) {
-        if (busy_fu == fu)
-            return false;
-    }
-    return true;
+    return state == nullptr || !state->fuBits.test(fu.index());
 }
 
 void
 ReservationTable::acquireFu(FuncUnitId fu, int cycle, OperationId op)
 {
     CS_ASSERT(fuFree(fu, cycle), "unit already busy");
-    mutableStateAt(cycle).fuBusy.emplace_back(fu, op);
+    CycleState &state = mutableStateAt(cycle);
+    state.fuBusy.emplace_back(fu, op);
+    state.fuBits.set(fu.index());
 }
 
 void
@@ -56,6 +87,7 @@ ReservationTable::releaseFu(FuncUnitId fu, int cycle, OperationId op)
                         std::make_pair(fu, op));
     CS_ASSERT(it != state.fuBusy.end(), "releasing unheld unit");
     state.fuBusy.erase(it);
+    state.fuBits.reset(fu.index());
 }
 
 bool
@@ -65,6 +97,24 @@ ReservationTable::canAcquireWrite(const WriteStub &stub, ValueId value,
     const CycleState *state = stateAt(cycle);
     if (!state)
         return true;
+    // A bus carries one value per cycle regardless of role: any read
+    // stub on this bus rejects the write outright.
+    if (state->rBus.test(stub.bus.index()))
+        return false;
+    if (!state->wOut.test(stub.output.index()) &&
+        !state->wBus.test(stub.bus.index()) &&
+        !state->wPort.test(stub.writePort.index())) {
+        // No write use shares any of this stub's resources. The only
+        // remaining conflict source is another stub of the same value:
+        // it necessarily uses a different output (else the output mask
+        // would overlap), which the broadcast rule forbids.
+        for (const WriteUse &use : state->writes) {
+            if (use.value == value)
+                return false;
+        }
+        return true;
+    }
+    // Resource collision: apply the exact sharing rules.
     for (const WriteUse &use : state->writes) {
         if (use.value == value) {
             if (use.stub == stub)
@@ -79,12 +129,42 @@ ReservationTable::canAcquireWrite(const WriteStub &stub, ValueId value,
             return false;
         }
     }
-    // A bus carries one value per cycle regardless of role.
-    for (const ReadUse &use : state->reads) {
-        if (use.stub.bus == stub.bus)
-            return false;
-    }
     return true;
+}
+
+void
+ReservationTable::noteWriteUseAdded(CycleState &state,
+                                    const WriteStub &stub, ValueId value)
+{
+    state.wOut.set(stub.output.index());
+    state.wBus.set(stub.bus.index());
+    state.wPort.set(stub.writePort.index());
+    BusState &bs = state.bus[stub.bus.index()];
+    if (bs.writeUses + bs.readUses == 0)
+        ++state.busesOccupied;
+    ++bs.writeUses;
+    bs.value = value;
+}
+
+void
+ReservationTable::noteWriteUseRemoved(CycleState &state,
+                                      const WriteStub &stub)
+{
+    state.wPort.reset(stub.writePort.index());
+    BusState &bs = state.bus[stub.bus.index()];
+    if (--bs.writeUses == 0) {
+        state.wBus.reset(stub.bus.index());
+        bs.value = ValueId();
+        if (bs.readUses == 0)
+            --state.busesOccupied;
+    }
+    // Broadcast uses of one value share the output; drop its bit only
+    // once no remaining use drives it.
+    for (const WriteUse &use : state.writes) {
+        if (use.stub.output == stub.output)
+            return;
+    }
+    state.wOut.reset(stub.output.index());
 }
 
 void
@@ -101,6 +181,7 @@ ReservationTable::acquireWrite(const WriteStub &stub, ValueId value,
         }
     }
     state.writes.push_back(WriteUse{stub, value, 1});
+    noteWriteUseAdded(state, stub, value);
 }
 
 void
@@ -111,8 +192,10 @@ ReservationTable::releaseWrite(const WriteStub &stub, ValueId value,
     for (std::size_t i = 0; i < state.writes.size(); ++i) {
         WriteUse &use = state.writes[i];
         if (use.stub == stub && use.value == value) {
-            if (--use.refs == 0)
+            if (--use.refs == 0) {
                 state.writes.erase(state.writes.begin() + i);
+                noteWriteUseRemoved(state, stub);
+            }
             return;
         }
     }
@@ -126,6 +209,12 @@ ReservationTable::hasIdenticalWrite(const WriteStub &stub, ValueId value,
     const CycleState *state = stateAt(cycle);
     if (!state)
         return false;
+    // An identical reservation implies every resource bit is set.
+    if (!state->wOut.test(stub.output.index()) ||
+        !state->wBus.test(stub.bus.index()) ||
+        !state->wPort.test(stub.writePort.index())) {
+        return false;
+    }
     for (const WriteUse &use : state->writes) {
         if (use.stub == stub && use.value == value)
             return true;
@@ -137,22 +226,7 @@ int
 ReservationTable::busesOccupied(int cycle) const
 {
     const CycleState *state = stateAt(cycle);
-    if (!state)
-        return 0;
-    std::vector<BusId> seen;
-    for (const WriteUse &use : state->writes) {
-        if (std::find(seen.begin(), seen.end(), use.stub.bus) ==
-            seen.end()) {
-            seen.push_back(use.stub.bus);
-        }
-    }
-    for (const ReadUse &use : state->reads) {
-        if (std::find(seen.begin(), seen.end(), use.stub.bus) ==
-            seen.end()) {
-            seen.push_back(use.stub.bus);
-        }
-    }
-    return static_cast<int>(seen.size());
+    return state ? state->busesOccupied : 0;
 }
 
 bool
@@ -162,11 +236,8 @@ ReservationTable::busCarriesValue(BusId bus, ValueId value,
     const CycleState *state = stateAt(cycle);
     if (!state)
         return false;
-    for (const WriteUse &use : state->writes) {
-        if (use.stub.bus == bus && use.value == value)
-            return true;
-    }
-    return false;
+    const BusState &bs = state->bus[bus.index()];
+    return bs.writeUses > 0 && bs.value == value;
 }
 
 bool
@@ -176,15 +247,33 @@ ReservationTable::busAvailableForValue(BusId bus, ValueId value,
     const CycleState *state = stateAt(cycle);
     if (!state)
         return true;
-    for (const WriteUse &use : state->writes) {
-        if (use.stub.bus == bus && use.value != value)
-            return false;
-    }
-    for (const ReadUse &use : state->reads) {
-        if (use.stub.bus == bus)
-            return false;
-    }
-    return true;
+    const BusState &bs = state->bus[bus.index()];
+    if (bs.readUses > 0)
+        return false;
+    return bs.writeUses == 0 || bs.value == value;
+}
+
+bool
+ReservationTable::busHasRead(BusId bus, int cycle) const
+{
+    const CycleState *state = stateAt(cycle);
+    return state != nullptr && state->bus[bus.index()].readUses > 0;
+}
+
+bool
+ReservationTable::busHasWrite(BusId bus, int cycle) const
+{
+    const CycleState *state = stateAt(cycle);
+    return state != nullptr && state->bus[bus.index()].writeUses > 0;
+}
+
+ValueId
+ReservationTable::busWriteValue(BusId bus, int cycle) const
+{
+    const CycleState *state = stateAt(cycle);
+    if (!state)
+        return ValueId();
+    return state->bus[bus.index()].value;
 }
 
 bool
@@ -195,6 +284,21 @@ ReservationTable::canAcquireRead(const ReadStub &stub,
     const CycleState *state = stateAt(cycle);
     if (!state)
         return true;
+    // Any write stub on this bus rejects the read outright.
+    if (state->wBus.test(stub.bus.index()))
+        return false;
+    if (!state->rPort.test(stub.readPort.index()) &&
+        !state->rBus.test(stub.bus.index()) &&
+        !state->rInput.test(stub.input.index())) {
+        // No read use shares any resource; the only possible conflict
+        // is a same-operand use through a different stub (an identical
+        // stub would have set all three bits).
+        for (const ReadUse &use : state->reads) {
+            if (use.reader == reader && use.slot == slot)
+                return false;
+        }
+        return true;
+    }
     for (const ReadUse &use : state->reads) {
         if (use.reader == reader && use.slot == slot) {
             // Same operand: stubs must be identical (then shared).
@@ -204,11 +308,32 @@ ReservationTable::canAcquireRead(const ReadStub &stub,
             return false;
         }
     }
-    for (const WriteUse &use : state->writes) {
-        if (use.stub.bus == stub.bus)
-            return false;
-    }
     return true;
+}
+
+void
+ReservationTable::noteReadUseAdded(CycleState &state,
+                                   const ReadStub &stub)
+{
+    state.rPort.set(stub.readPort.index());
+    state.rBus.set(stub.bus.index());
+    state.rInput.set(stub.input.index());
+    BusState &bs = state.bus[stub.bus.index()];
+    if (bs.writeUses + bs.readUses == 0)
+        ++state.busesOccupied;
+    ++bs.readUses;
+}
+
+void
+ReservationTable::noteReadUseRemoved(CycleState &state,
+                                     const ReadStub &stub)
+{
+    state.rPort.reset(stub.readPort.index());
+    state.rBus.reset(stub.bus.index());
+    state.rInput.reset(stub.input.index());
+    BusState &bs = state.bus[stub.bus.index()];
+    if (--bs.readUses == 0 && bs.writeUses == 0)
+        --state.busesOccupied;
 }
 
 void
@@ -226,6 +351,7 @@ ReservationTable::acquireRead(const ReadStub &stub, OperationId reader,
         }
     }
     state.reads.push_back(ReadUse{stub, reader, slot, 1});
+    noteReadUseAdded(state, stub);
 }
 
 void
@@ -237,8 +363,10 @@ ReservationTable::releaseRead(const ReadStub &stub, OperationId reader,
         ReadUse &use = state.reads[i];
         if (use.stub == stub && use.reader == reader &&
             use.slot == slot) {
-            if (--use.refs == 0)
+            if (--use.refs == 0) {
                 state.reads.erase(state.reads.begin() + i);
+                noteReadUseRemoved(state, stub);
+            }
             return;
         }
     }

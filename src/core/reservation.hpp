@@ -10,6 +10,15 @@
  * For modulo schedules pass ii > 0: all cycles are folded into
  * [0, ii) so a reservation repeats every initiation interval.
  *
+ * Layout: a flat, growable array of per-cycle states (a fixed ring of
+ * ii entries when folding), each carrying bitset occupancy masks per
+ * resource class and per-bus role counters alongside the refcounted
+ * use lists. Probes (canAcquire*) answer from the masks in O(1) in the
+ * common no-overlap case and fall back to the exact sharing rules only
+ * when a resource genuinely collides, with answers bit-identical to
+ * the reference use-list scan (tests/test_reservation.cpp keeps a
+ * reference implementation and checks equivalence on random traces).
+ *
  * The table is a value type (copyable) so schedulers can snapshot it
  * before a tentative placement and restore on failure.
  */
@@ -17,11 +26,11 @@
 #ifndef CS_CORE_RESERVATION_HPP
 #define CS_CORE_RESERVATION_HPP
 
-#include <map>
 #include <vector>
 
 #include "machine/machine.hpp"
 #include "machine/stub.hpp"
+#include "support/bitset.hpp"
 #include "support/ids.hpp"
 
 namespace cs {
@@ -30,9 +39,7 @@ namespace cs {
 class ReservationTable
 {
   public:
-    explicit ReservationTable(const Machine &machine, int ii = 0)
-        : machine_(&machine), ii_(ii)
-    {}
+    explicit ReservationTable(const Machine &machine, int ii = 0);
 
     int ii() const { return ii_; }
     int norm(int cycle) const;
@@ -59,7 +66,8 @@ class ReservationTable
     bool hasIdenticalWrite(const WriteStub &stub, ValueId value,
                            int cycle) const;
 
-    /** Number of distinct buses carrying anything this cycle. */
+    /** Number of distinct buses carrying anything this cycle (O(1):
+     *  maintained incrementally as uses come and go). */
     int busesOccupied(int cycle) const;
 
     /**
@@ -74,6 +82,19 @@ class ReservationTable
      * idle or already carrying exactly that value in write role.
      */
     bool busAvailableForValue(BusId bus, ValueId value, int cycle) const;
+
+    /** True when any read stub occupies @p bus this cycle. */
+    bool busHasRead(BusId bus, int cycle) const;
+
+    /** True when any write stub occupies @p bus this cycle. */
+    bool busHasWrite(BusId bus, int cycle) const;
+
+    /**
+     * The value @p bus carries in write role this cycle; invalid when
+     * no write stub occupies the bus. (A bus carries at most one value
+     * per cycle, so this is well defined.)
+     */
+    ValueId busWriteValue(BusId bus, int cycle) const;
     /// @}
 
     /** @name Read stubs */
@@ -102,20 +123,48 @@ class ReservationTable
         int refs = 0;
     };
 
+    /** Per-bus role counters; distinct uses per role (not refcounts). */
+    struct BusState
+    {
+        std::uint16_t writeUses = 0;
+        std::uint16_t readUses = 0;
+        ValueId value; ///< write-role value; invalid when writeUses == 0
+    };
+
     struct CycleState
     {
         /** (fu, op) pairs issued this cycle. */
         std::vector<std::pair<FuncUnitId, OperationId>> fuBusy;
         std::vector<WriteUse> writes;
         std::vector<ReadUse> reads;
+
+        /** Occupancy masks. Write outputs and buses may be shared by
+         *  several uses (broadcast); their bits are maintained from
+         *  the use lists / bus counters on removal. Write ports and
+         *  all read-side resources are exclusive per use. */
+        InlineBitset fuBits;
+        InlineBitset wOut, wBus, wPort;
+        InlineBitset rPort, rBus, rInput;
+        std::vector<BusState> bus;
+        int busesOccupied = 0;
+        bool initialized = false;
+
+        void init(const Machine &machine);
     };
 
     const CycleState *stateAt(int cycle) const;
     CycleState &mutableStateAt(int cycle);
 
+    /** Bookkeeping around use-list insert/erase. */
+    void noteWriteUseAdded(CycleState &state, const WriteStub &stub,
+                           ValueId value);
+    void noteWriteUseRemoved(CycleState &state, const WriteStub &stub);
+    void noteReadUseAdded(CycleState &state, const ReadStub &stub);
+    void noteReadUseRemoved(CycleState &state, const ReadStub &stub);
+
     const Machine *machine_;
     int ii_ = 0;
-    std::map<int, CycleState> cycles_;
+    std::vector<CycleState> cycles_;
 };
 
 } // namespace cs

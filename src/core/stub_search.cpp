@@ -10,6 +10,15 @@
  * deterministic, and previous assignments are restored verbatim on
  * failure). Closing communications are ordered before open ones,
  * smallest copy range first.
+ *
+ * Everything here runs inside the placement loop, so it works out of
+ * pooled scratch buffers (no allocation per probe) and cuts DFS
+ * branches with O(1) bus-occupancy checks before paying for a full
+ * reservation probe. Every cut is a pure subset of what the probe
+ * would reject, and the search budget is charged at exactly the same
+ * points as before, so the chosen permutations — and therefore the
+ * final schedules — are unchanged (tests/test_sched_equivalence.cpp
+ * holds the listings byte-identical).
  */
 
 #include <algorithm>
@@ -22,28 +31,41 @@ namespace cs {
 
 namespace {
 
-/** Ordering key: closing communications first, tightest range first. */
-struct CommOrderKey
+/**
+ * Packed ordering key: closing communications first (bit 32 clear),
+ * tightest copy range first (range sign-flipped into the low 32 bits
+ * so signed order becomes unsigned order). Ties broken by id, making
+ * keys unique — a plain sort over (key, id) reproduces what a stable
+ * sort over (closing, range) produced, with the key computed once per
+ * communication instead of once per comparison.
+ */
+std::uint64_t
+packCommOrderKey(bool open, int copyRange)
 {
-    bool open;
-    int copyRange;
-    std::uint32_t id;
-
-    bool
-    operator<(const CommOrderKey &other) const
-    {
-        if (open != other.open)
-            return !open;
-        if (copyRange != other.copyRange)
-            return copyRange < other.copyRange;
-        return id < other.id;
-    }
-};
+    return (static_cast<std::uint64_t>(open) << 32) |
+           (static_cast<std::uint32_t>(copyRange) ^ 0x80000000u);
+}
 
 } // namespace
 
-std::vector<ReadStub>
-BlockScheduler::readCandidatesFor(const Communication &comm) const
+BlockScheduler::ScratchGuard::ScratchGuard(BlockScheduler &owner)
+    : owner_(owner),
+      sc(*[&]() -> PermScratch * {
+          if (owner.permDepth_ == owner.permPool_.size())
+              owner.permPool_.push_back(
+                  std::make_unique<PermScratch>());
+          return owner.permPool_[owner.permDepth_++].get();
+      }())
+{}
+
+BlockScheduler::ScratchGuard::~ScratchGuard()
+{
+    --owner_.permDepth_;
+}
+
+std::span<const ReadStub>
+BlockScheduler::readCandidatesFor(const Communication &comm,
+                                  std::vector<ReadStub> &storage) const
 {
     const Placement &rp = schedule_.placement(comm.reader);
     CS_ASSERT(rp.scheduled, "read candidates need a placed reader");
@@ -57,15 +79,18 @@ BlockScheduler::readCandidatesFor(const Communication &comm) const
                    (comm.writer.valid() && isScheduled(comm.writer));
     if (!closing || comm.isLiveIn()) {
         // Open or live-in: keep machine order, but prefer the current
-        // assignment for stability across re-permutations.
-        std::vector<ReadStub> out;
-        if (comm.readStub)
-            out.push_back(*comm.readStub);
+        // assignment for stability across re-permutations. When there
+        // is no current assignment — or it already heads the list —
+        // the machine's own list has the right order verbatim.
+        if (!comm.readStub || (!all.empty() && all.front() == *comm.readStub))
+            return all;
+        storage.clear();
+        storage.push_back(*comm.readStub);
         for (const ReadStub &stub : all) {
-            if (!comm.readStub || stub != *comm.readStub)
-                out.push_back(stub);
+            if (stub != *comm.readStub)
+                storage.push_back(stub);
         }
-        return out;
+        return storage;
     }
 
     // Closing: prefer stubs that form a route with the writer's
@@ -78,38 +103,51 @@ BlockScheduler::readCandidatesFor(const Communication &comm) const
             machine_.writePortRegFile(comm.writeStub->writePort);
     const std::vector<RegFileId> &writable =
         machine_.writableRegFiles(wp.fu);
+    const InlineBitset &writable_mask = machine_.writableMask(wp.fu);
 
-    auto rank = [&](const ReadStub &stub) {
-        RegFileId rf = machine_.readPortRegFile(stub.readPort);
-        if (rf == current_write_rf)
-            return 0;
-        if (std::find(writable.begin(), writable.end(), rf) !=
-            writable.end()) {
-            return 1;
+    // Rank depends only on the stub's register file; memoize per file
+    // so the copy-distance scan runs once per file, not per stub.
+    auto &rf_rank = rfScratch_;
+    rf_rank.assign(machine_.numRegFiles(), -1);
+    auto rank_of = [&](RegFileId rf) {
+        int &slot = rf_rank[rf.index()];
+        if (slot < 0) {
+            if (rf == current_write_rf) {
+                slot = 0;
+            } else if (writable_mask.test(rf.index())) {
+                slot = 1;
+            } else {
+                int best = Machine::kUnreachable;
+                for (RegFileId w : writable)
+                    best = std::min(best, machine_.copyDistance(w, rf));
+                slot = 2 + best;
+            }
         }
-        int best = Machine::kUnreachable;
-        for (RegFileId w : writable)
-            best = std::min(best, machine_.copyDistance(w, rf));
-        return 2 + best;
+        return slot;
     };
 
-    std::vector<std::pair<int, ReadStub>> ranked;
+    auto &ranked = rankedRead_;
+    ranked.clear();
     ranked.reserve(all.size());
-    for (const ReadStub &stub : all)
-        ranked.emplace_back(rank(stub), stub);
-    std::stable_sort(ranked.begin(), ranked.end(),
-                     [](const auto &a, const auto &b) {
-                         return a.first < b.first;
-                     });
-    std::vector<ReadStub> out;
-    out.reserve(ranked.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        auto r = static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+            rank_of(machine_.readPortRegFile(all[i].readPort))));
+        ranked.emplace_back((r << 32) | i, all[i]);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    storage.clear();
+    storage.reserve(ranked.size());
     for (auto &[r, stub] : ranked)
-        out.push_back(stub);
-    return out;
+        storage.push_back(stub);
+    return storage;
 }
 
-std::vector<WriteStub>
-BlockScheduler::writeCandidatesFor(const Communication &comm) const
+std::span<const WriteStub>
+BlockScheduler::writeCandidatesFor(const Communication &comm,
+                                   std::vector<WriteStub> &storage) const
 {
     CS_ASSERT(comm.writer.valid(), "write candidates need a writer");
     const Placement &wp = schedule_.placement(comm.writer);
@@ -117,38 +155,56 @@ BlockScheduler::writeCandidatesFor(const Communication &comm) const
     const std::vector<WriteStub> &all = machine_.writeStubs(wp.fu);
     int cycle = writeStubCycleOf(comm.writer);
 
-    // Deterministic per-value bus rotation: every stub of one value
-    // tries buses in the same order (so broadcasts converge on one
-    // bus), while different values start from different buses (so
-    // they spread out instead of all contending for bus zero).
-    auto rotated_bus = [&](BusId bus) {
-        auto n = static_cast<std::uint32_t>(machine_.numBuses());
-        return (bus.index() + n - comm.value.index() % n) % n;
-    };
+    // Per-bus value cache for this (value, cycle) query. bus_val[b]
+    // is the value bus b currently broadcasts in write role (invalid
+    // when idle, and writes of different values never share a bus),
+    // so a single compare replaces a reservation-table call per stub.
+    auto n = static_cast<std::uint32_t>(machine_.numBuses());
+    auto &bus_val = busValueScratch_;
+    bus_val.resize(n);
+    for (std::uint32_t b = 0; b < n; ++b)
+        bus_val[b] = reservations_.busWriteValue(BusId(b), cycle);
+
+    // The preference order is (rank, rotated bus, list index), where
+    // rank is a small integer: a counting sort. Pass 1 computes each
+    // stub's rank bucket (-1 = pruned); pass 2 walks the per-bus stub
+    // groups in rotated-bus order, appending each stub at its
+    // bucket's cursor — which lays the buckets out contiguously in
+    // exactly the order a stable comparison sort would produce.
+    //
+    // The rotation (every stub of one value tries buses in the same
+    // order, different values start from different buses) becomes the
+    // bus walk order: bus (value mod n) first, then wrapping upward.
+    //
+    // Finite copy distances are bounded by the register-file count,
+    // so every rank above `overflow` is the single kUnreachable
+    // sentinel and may share one bucket without reordering.
+    const int overflow = static_cast<int>(machine_.numRegFiles()) + 3;
+    auto &ranks = stubRankScratch_;
+    ranks.resize(all.size());
+    auto &buckets = bucketScratch_;
+    buckets.assign(static_cast<std::size_t>(std::max(overflow, 7)) + 1,
+                   0);
 
     bool closing = isScheduled(comm.reader) && comm.readStub.has_value();
-    std::vector<std::pair<std::pair<int, int>, WriteStub>> ranked;
-    ranked.reserve(all.size());
 
     if (closing) {
         RegFileId read_rf =
             machine_.readPortRegFile(comm.readStub->readPort);
-        auto rank = [&](const WriteStub &stub) {
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            const WriteStub &stub = all[i];
             RegFileId rf = machine_.writePortRegFile(stub.writePort);
+            int rank;
             if (rf == read_rf) {
                 // Prefer riding a bus that already broadcasts this
                 // value: the write costs no extra bus.
-                return reservations_.busCarriesValue(stub.bus,
-                                                     comm.value, cycle)
-                           ? 0
-                           : 1;
+                rank = bus_val[stub.bus.index()] == comm.value ? 0 : 1;
+            } else {
+                rank = std::min(2 + machine_.copyDistance(rf, read_rf),
+                                overflow);
             }
-            return 2 + machine_.copyDistance(rf, read_rf);
-        };
-        for (const WriteStub &stub : all) {
-            ranked.push_back(
-                {{rank(stub), static_cast<int>(rotated_bus(stub.bus))},
-                 stub});
+            ranks[i] = rank;
+            ++buckets[rank];
         }
     } else {
         // Open: the reader is not placed yet, but the set of register
@@ -156,49 +212,42 @@ BlockScheduler::writeCandidatesFor(const Communication &comm) const
         // Preferring those files surfaces port contention *now*, while
         // the scheduler can still delay this producer; a stub into an
         // unreadable file is guaranteed to need fixing at close time.
-        std::vector<RegFileId> reader_files;
+        InlineBitset &reader_files = readerFiles_;
+        reader_files.resize(machine_.numRegFiles());
         if (isScheduled(comm.reader)) {
             const Placement &rp = schedule_.placement(comm.reader);
-            reader_files =
+            reader_files.orWith(
                 kernel_.operation(comm.reader).isCopy()
-                    ? machine_.readableAnySlot(rp.fu)
-                    : machine_.readableRegFiles(rp.fu, comm.slot);
+                    ? machine_.readableAnyMask(rp.fu)
+                    : machine_.readableMask(rp.fu, comm.slot));
         } else {
             const Operation &consumer = kernel_.operation(comm.reader);
             for (FuncUnitId g : machine_.unitsForOpcode(
                      consumer.opcode)) {
-                const auto &readable =
+                reader_files.orWith(
                     consumer.isCopy()
-                        ? machine_.readableAnySlot(g)
-                        : machine_.readableRegFiles(g, comm.slot);
-                for (RegFileId rf : readable) {
-                    if (std::find(reader_files.begin(),
-                                  reader_files.end(),
-                                  rf) == reader_files.end()) {
-                        reader_files.push_back(rf);
-                    }
-                }
+                        ? machine_.readableAnyMask(g)
+                        : machine_.readableMask(g, comm.slot));
             }
         }
 
-        auto rank = [&](const WriteStub &stub) {
-            RegFileId rf = machine_.writePortRegFile(stub.writePort);
-            bool reachable =
-                std::find(reader_files.begin(), reader_files.end(),
-                          rf) != reader_files.end();
-            if (comm.writeStub && stub == *comm.writeStub)
-                return reachable ? 0 : 4;
-            if (reservations_.hasIdenticalWrite(stub, comm.value,
-                                                cycle)) {
-                return reachable ? 1 : 5;
-            }
-            if (reservations_.busCarriesValue(stub.bus, comm.value,
-                                              cycle)) {
-                return reachable ? 2 : 6;
-            }
-            return reachable ? 3 : 7;
-        };
-        for (const WriteStub &stub : all) {
+        // Per-register-file feasibility, computed once per file: bit 0
+        // = a copy chain from the file can reach some readable file
+        // (the Section 4.5 serviceability test), bit 1 = the reader
+        // can fetch from the file directly.
+        auto &rf_flags = rfScratch_;
+        rf_flags.resize(machine_.numRegFiles());
+        for (std::size_t j = 0; j < rf_flags.size(); ++j) {
+            RegFileId rf(static_cast<std::uint32_t>(j));
+            rf_flags[j] =
+                (machine_.reachableFrom(rf).intersects(reader_files)
+                     ? 1
+                     : 0) |
+                (reader_files.test(j) ? 2 : 0);
+        }
+
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            const WriteStub &stub = all[i];
             // A stub into a file that cannot reach the reader even
             // through copies can never serve this communication:
             // accepting one tentatively strands the value (the
@@ -206,31 +255,57 @@ BlockScheduler::writeCandidatesFor(const Communication &comm) const
             // *producer's* placement fail instead, so the producer
             // slides to a cycle where a useful port is free.
             RegFileId rf = machine_.writePortRegFile(stub.writePort);
-            bool serviceable = false;
-            for (RegFileId target : reader_files) {
-                if (machine_.copyDistance(rf, target) <
-                    Machine::kUnreachable) {
-                    serviceable = true;
-                    break;
-                }
-            }
-            if (!serviceable)
+            int flags = rf_flags[rf.index()];
+            if (!(flags & 1)) {
+                ++hot_.pruneRouteMask;
+                ranks[i] = -1;
                 continue;
-            ranked.push_back(
-                {{rank(stub), static_cast<int>(rotated_bus(stub.bus))},
-                 stub});
+            }
+            bool reachable = (flags & 2) != 0;
+            int rank;
+            if (comm.writeStub && stub == *comm.writeStub) {
+                rank = reachable ? 0 : 4;
+            } else if (bus_val[stub.bus.index()] == comm.value) {
+                // The bus already broadcasts this value; an identical
+                // reservation (sharable stub) ranks above merely
+                // riding the bus through another port. A write of the
+                // same value on another bus never has an identical
+                // stub, so the bus compare is an exact prefilter.
+                rank = reservations_.hasIdenticalWrite(stub, comm.value,
+                                                       cycle)
+                           ? (reachable ? 1 : 5)
+                           : (reachable ? 2 : 6);
+            } else {
+                rank = reachable ? 3 : 7;
+            }
+            ranks[i] = rank;
+            ++buckets[rank];
         }
     }
 
-    std::stable_sort(ranked.begin(), ranked.end(),
-                     [](const auto &a, const auto &b) {
-                         return a.first < b.first;
-                     });
-    std::vector<WriteStub> out;
-    out.reserve(ranked.size());
-    for (auto &[r, stub] : ranked)
-        out.push_back(stub);
-    return out;
+    // Bucket counts -> start offsets.
+    int total = 0;
+    for (int &b : buckets) {
+        int c = b;
+        b = total;
+        total += c;
+    }
+
+    storage.resize(static_cast<std::size_t>(total));
+    const auto &groups = machine_.writeStubsByBus(wp.fu);
+    std::uint32_t start = comm.value.index() % n;
+    for (std::uint32_t k = 0; k < n; ++k) {
+        std::uint32_t b = start + k;
+        if (b >= n)
+            b -= n;
+        for (std::uint32_t idx : groups[b]) {
+            int rank = ranks[idx];
+            if (rank < 0)
+                continue;
+            storage[buckets[rank]++] = all[idx];
+        }
+    }
+    return storage;
 }
 
 bool
@@ -249,7 +324,10 @@ bool
 BlockScheduler::permuteReadStubsImpl(int cycle, CommId constrain,
                                      RegFileId wantRf)
 {
-    std::vector<CommId> ids = commsReadingAt(cycle);
+    ScratchGuard guard(*this);
+    PermScratch &sc = guard.sc;
+    std::vector<CommId> &ids = sc.ids;
+    commsReadingAt(cycle, ids);
     if (constrain.valid() &&
         std::find(ids.begin(), ids.end(), constrain) == ids.end()) {
         return false;
@@ -257,8 +335,12 @@ BlockScheduler::permuteReadStubsImpl(int cycle, CommId constrain,
     if (ids.empty())
         return true;
 
-    // Order: closing before open, smallest copy range first.
-    auto key = [&](CommId id) {
+    // Order: closing before open, smallest copy range first. Keys are
+    // computed once per communication, not once per comparison.
+    auto &order = sc.orderKeys;
+    order.clear();
+    order.reserve(ids.size());
+    for (CommId id : ids) {
         const Communication &comm = comms_.get(id);
         bool closing = comm.isLiveIn() ||
                        (comm.writer.valid() && isScheduled(comm.writer));
@@ -268,14 +350,20 @@ BlockScheduler::permuteReadStubsImpl(int cycle, CommId constrain,
                     (issueCycleOf(comm.writer) +
                      latencyOf(comm.writer));
         }
-        return CommOrderKey{!closing, range, id.index()};
-    };
-    std::stable_sort(ids.begin(), ids.end(), [&](CommId a, CommId b) {
-        return key(a) < key(b);
-    });
+        order.emplace_back(packCommOrderKey(!closing, range), id);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first != b.first
+                             ? a.first < b.first
+                             : a.second.index() < b.second.index();
+              });
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        ids[i] = order[i].second;
 
     // Release current assignments; remember them for rollback.
-    std::vector<std::optional<ReadStub>> previous(ids.size());
+    auto &previous = sc.prevRead;
+    previous.assign(ids.size(), std::nullopt);
     for (std::size_t i = 0; i < ids.size(); ++i) {
         Communication &comm = comms_.get(ids[i]);
         previous[i] = comm.readStub;
@@ -286,20 +374,28 @@ BlockScheduler::permuteReadStubsImpl(int cycle, CommId constrain,
     }
 
     // Candidate lists (post-release so sharing probes see the truth).
-    std::vector<std::vector<ReadStub>> candidates(ids.size());
+    if (sc.readStore.size() < ids.size())
+        sc.readStore.resize(ids.size());
+    auto &candidates = sc.readCands;
+    candidates.resize(ids.size());
     for (std::size_t i = 0; i < ids.size(); ++i) {
         const Communication &comm = comms_.get(ids[i]);
-        candidates[i] = readCandidatesFor(comm);
+        candidates[i] = readCandidatesFor(comm, sc.readStore[i]);
         if (ids[i] == constrain) {
-            std::erase_if(candidates[i], [&](const ReadStub &stub) {
+            std::vector<ReadStub> &store = sc.readStore[i];
+            if (candidates[i].data() != store.data())
+                store.assign(candidates[i].begin(), candidates[i].end());
+            std::erase_if(store, [&](const ReadStub &stub) {
                 return machine_.readPortRegFile(stub.readPort) != wantRf;
             });
+            candidates[i] = store;
         }
     }
 
     // Bounded depth-first search.
     int budget = options_.permutationBudget;
-    std::vector<int> choice(ids.size(), -1);
+    auto &choice = sc.choice;
+    choice.assign(ids.size(), -1);
     std::size_t level = 0;
     bool success = false;
     while (true) {
@@ -315,6 +411,13 @@ BlockScheduler::permuteReadStubsImpl(int cycle, CommId constrain,
             if (--budget <= 0)
                 break;
             const ReadStub &stub = candidates[level][next];
+            // A write stub on this bus rejects any read outright; skip
+            // the probe (the probe's own first check, made O(1) here).
+            if (reservations_.busHasWrite(stub.bus, reader_cycle)) {
+                ++hot_.pruneReadBus;
+                continue;
+            }
+            ++hot_.probeReads;
             if (reservations_.canAcquireRead(stub, comm.reader,
                                              comm.slot, reader_cycle)) {
                 doAcquireRead(stub, comm.reader, comm.slot,
@@ -328,7 +431,7 @@ BlockScheduler::permuteReadStubsImpl(int cycle, CommId constrain,
         if (advanced)
             continue;
         if (budget <= 0) {
-            stats_.bump("perm_budget_exhausted");
+            ++hot_.permBudgetExhausted;
         }
         if (level == 0 || budget <= 0) {
             // Roll back anything acquired, restore previous stubs.
@@ -354,13 +457,13 @@ BlockScheduler::permuteReadStubsImpl(int cycle, CommId constrain,
         Communication &held = comms_.get(ids[level]);
         doReleaseRead(candidates[level][choice[level]], held.reader,
                       held.slot, issueCycleOf(held.reader));
-        stats_.bump("perm_backtracks");
+        ++hot_.permBacktracks;
     }
 
     CS_ASSERT(success, "unreachable");
     for (std::size_t i = 0; i < ids.size(); ++i)
         setReadStub(ids[i], candidates[i][choice[i]]);
-    stats_.bump("read_perms_found");
+    ++hot_.readPermsFound;
     return true;
 }
 
@@ -368,7 +471,10 @@ bool
 BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
                                       RegFileId wantRf)
 {
-    std::vector<CommId> ids = commsWritingAt(cycle);
+    ScratchGuard guard(*this);
+    PermScratch &sc = guard.sc;
+    std::vector<CommId> &ids = sc.ids;
+    commsWritingAt(cycle, ids);
     if (constrain.valid() &&
         std::find(ids.begin(), ids.end(), constrain) == ids.end()) {
         return false;
@@ -376,7 +482,10 @@ BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
     if (ids.empty())
         return true;
 
-    auto key = [&](CommId id) {
+    auto &order = sc.orderKeys;
+    order.clear();
+    order.reserve(ids.size());
+    for (CommId id : ids) {
         const Communication &comm = comms_.get(id);
         bool closing =
             isScheduled(comm.reader) && comm.readStub.has_value();
@@ -386,13 +495,19 @@ BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
                     (issueCycleOf(comm.writer) +
                      latencyOf(comm.writer));
         }
-        return CommOrderKey{!closing, range, id.index()};
-    };
-    std::stable_sort(ids.begin(), ids.end(), [&](CommId a, CommId b) {
-        return key(a) < key(b);
-    });
+        order.emplace_back(packCommOrderKey(!closing, range), id);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first != b.first
+                             ? a.first < b.first
+                             : a.second.index() < b.second.index();
+              });
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        ids[i] = order[i].second;
 
-    std::vector<std::optional<WriteStub>> previous(ids.size());
+    auto &previous = sc.prevWrite;
+    previous.assign(ids.size(), std::nullopt);
     for (std::size_t i = 0; i < ids.size(); ++i) {
         Communication &comm = comms_.get(ids[i]);
         previous[i] = comm.writeStub;
@@ -402,15 +517,22 @@ BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
         }
     }
 
-    std::vector<std::vector<WriteStub>> candidates(ids.size());
+    if (sc.writeStore.size() < ids.size())
+        sc.writeStore.resize(ids.size());
+    auto &candidates = sc.writeCands;
+    candidates.resize(ids.size());
     for (std::size_t i = 0; i < ids.size(); ++i) {
         const Communication &comm = comms_.get(ids[i]);
-        candidates[i] = writeCandidatesFor(comm);
+        candidates[i] = writeCandidatesFor(comm, sc.writeStore[i]);
         if (ids[i] == constrain) {
-            std::erase_if(candidates[i], [&](const WriteStub &stub) {
+            std::vector<WriteStub> &store = sc.writeStore[i];
+            if (candidates[i].data() != store.data())
+                store.assign(candidates[i].begin(), candidates[i].end());
+            std::erase_if(store, [&](const WriteStub &stub) {
                 return machine_.writePortRegFile(stub.writePort) !=
                        wantRf;
             });
+            candidates[i] = store;
         }
     }
 
@@ -419,7 +541,8 @@ BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
     // (idle, or already carrying one of these values in write role)
     // among the candidate stubs.
     {
-        std::vector<ValueId> distinct;
+        auto &distinct = sc.distinctValues;
+        distinct.clear();
         for (CommId id : ids) {
             ValueId v = comms_.get(id).value;
             if (std::find(distinct.begin(), distinct.end(), v) ==
@@ -427,24 +550,28 @@ BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
                 distinct.push_back(v);
             }
         }
-        std::vector<BusId> usable;
+        // One pass collects the buses any candidate stub touches; the
+        // availability probes then run per bus, not per stub.
+        InlineBitset &cand_buses = sc.candidateBuses;
+        cand_buses.resize(machine_.numBuses());
         for (const auto &list : candidates) {
-            for (const WriteStub &stub : list) {
-                if (std::find(usable.begin(), usable.end(), stub.bus) !=
-                    usable.end()) {
-                    continue;
-                }
-                for (ValueId v : distinct) {
-                    if (reservations_.busAvailableForValue(stub.bus, v,
-                                                           cycle)) {
-                        usable.push_back(stub.bus);
-                        break;
-                    }
+            for (const WriteStub &stub : list)
+                cand_buses.set(stub.bus.index());
+        }
+        std::size_t usable_count = 0;
+        for (std::size_t b = 0; b < machine_.numBuses(); ++b) {
+            if (!cand_buses.test(b))
+                continue;
+            BusId bus(static_cast<std::uint32_t>(b));
+            for (ValueId v : distinct) {
+                if (reservations_.busAvailableForValue(bus, v, cycle)) {
+                    ++usable_count;
+                    break;
                 }
             }
         }
-        if (distinct.size() > usable.size()) {
-            stats_.bump("write_perm_bus_prechecks");
+        if (distinct.size() > usable_count) {
+            ++hot_.writePermBusPrechecks;
             for (std::size_t i = 0; i < ids.size(); ++i) {
                 const Communication &held = comms_.get(ids[i]);
                 if (previous[i]) {
@@ -457,7 +584,8 @@ BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
     }
 
     int budget = options_.permutationBudget;
-    std::vector<int> choice(ids.size(), -1);
+    auto &choice = sc.choice;
+    choice.assign(ids.size(), -1);
     std::size_t level = 0;
     bool success = false;
     while (true) {
@@ -473,6 +601,20 @@ BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
             if (--budget <= 0)
                 break;
             const WriteStub &stub = candidates[level][next];
+            // A read stub on the bus, or a different value already in
+            // write role there, rejects this stub no matter what else
+            // is reserved; both are O(1) against the bus counters.
+            if (reservations_.busHasRead(stub.bus, write_cycle)) {
+                ++hot_.pruneWriteBus;
+                continue;
+            }
+            ValueId on_bus =
+                reservations_.busWriteValue(stub.bus, write_cycle);
+            if (on_bus.valid() && on_bus != comm.value) {
+                ++hot_.pruneWriteBus;
+                continue;
+            }
+            ++hot_.probeWrites;
             if (reservations_.canAcquireWrite(stub, comm.value,
                                               write_cycle)) {
                 doAcquireWrite(stub, comm.value, write_cycle);
@@ -485,7 +627,7 @@ BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
         if (advanced)
             continue;
         if (budget <= 0) {
-            stats_.bump("perm_budget_exhausted");
+            ++hot_.permBudgetExhausted;
         }
         if (level == 0 || budget <= 0) {
             while (level > 0) {
@@ -510,13 +652,13 @@ BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
         Communication &held = comms_.get(ids[level]);
         doReleaseWrite(candidates[level][choice[level]], held.value,
                        writeStubCycleOf(held.writer));
-        stats_.bump("perm_backtracks");
+        ++hot_.permBacktracks;
     }
 
     CS_ASSERT(success, "unreachable");
     for (std::size_t i = 0; i < ids.size(); ++i)
         setWriteStub(ids[i], candidates[i][choice[i]]);
-    stats_.bump("write_perms_found");
+    ++hot_.writePermsFound;
     return true;
 }
 
@@ -528,11 +670,8 @@ BlockScheduler::tryRetargetWriteSide(Communication &comm,
         return false;
     // Fast reject: can the writer's unit reach that file at all?
     const Placement &wp = schedule_.placement(comm.writer);
-    const auto &writable = machine_.writableRegFiles(wp.fu);
-    if (std::find(writable.begin(), writable.end(), wantRf) ==
-        writable.end()) {
+    if (!machine_.writableMask(wp.fu).test(wantRf.index()))
         return false;
-    }
     return permuteWriteStubsImpl(writeStubCycleOf(comm.writer), comm.id,
                                  wantRf);
 }
@@ -544,14 +683,12 @@ BlockScheduler::tryRetargetReadSide(Communication &comm,
     if (!isScheduled(comm.reader))
         return false;
     const Placement &rp = schedule_.placement(comm.reader);
-    const auto &readable =
+    const InlineBitset &readable =
         kernel_.operation(comm.reader).isCopy()
-            ? machine_.readableAnySlot(rp.fu)
-            : machine_.readableRegFiles(rp.fu, comm.slot);
-    if (std::find(readable.begin(), readable.end(), wantRf) ==
-        readable.end()) {
+            ? machine_.readableAnyMask(rp.fu)
+            : machine_.readableMask(rp.fu, comm.slot);
+    if (!readable.test(wantRf.index()))
         return false;
-    }
     return permuteReadStubsImpl(issueCycleOf(comm.reader), comm.id,
                                 wantRf);
 }

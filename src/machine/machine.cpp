@@ -29,22 +29,6 @@ Machine::bus(BusId id) const
     return buses_[id.index()];
 }
 
-RegFileId
-Machine::readPortRegFile(ReadPortId id) const
-{
-    CS_ASSERT(id.valid() && id.index() < readPortOwner_.size(),
-              "bad read port id ", id);
-    return readPortOwner_[id.index()];
-}
-
-RegFileId
-Machine::writePortRegFile(WritePortId id) const
-{
-    CS_ASSERT(id.valid() && id.index() < writePortOwner_.size(),
-              "bad write port id ", id);
-    return writePortOwner_[id.index()];
-}
-
 FuncUnitId
 Machine::inputFuncUnit(InputPortId id) const
 {
@@ -89,6 +73,14 @@ Machine::writeStubs(FuncUnitId fu) const
     CS_ASSERT(fu.valid() && fu.index() < writeStubsByFu_.size(),
               "bad func unit id ", fu);
     return writeStubsByFu_[fu.index()];
+}
+
+const std::vector<std::vector<std::uint32_t>> &
+Machine::writeStubsByBus(FuncUnitId fu) const
+{
+    CS_ASSERT(fu.valid() && fu.index() < writeStubsByBusByFu_.size(),
+              "bad func unit id ", fu);
+    return writeStubsByBusByFu_[fu.index()];
 }
 
 const std::vector<ReadStub> &
@@ -137,14 +129,39 @@ Machine::readableAnySlot(FuncUnitId fu) const
     return readableAnyByFu_[fu.index()];
 }
 
-int
-Machine::copyDistance(RegFileId from, RegFileId to) const
+const InlineBitset &
+Machine::reachableFrom(RegFileId from) const
 {
-    CS_ASSERT(from.valid() && from.index() < regFiles_.size(),
+    CS_ASSERT(from.valid() && from.index() < reachableFrom_.size(),
               "bad register file id ", from);
-    CS_ASSERT(to.valid() && to.index() < regFiles_.size(),
-              "bad register file id ", to);
-    return copyDistance_[from.index()][to.index()];
+    return reachableFrom_[from.index()];
+}
+
+const InlineBitset &
+Machine::writableMask(FuncUnitId fu) const
+{
+    CS_ASSERT(fu.valid() && fu.index() < writableMaskByFu_.size(),
+              "bad func unit id ", fu);
+    return writableMaskByFu_[fu.index()];
+}
+
+const InlineBitset &
+Machine::readableMask(FuncUnitId fu, int slot) const
+{
+    CS_ASSERT(fu.valid() && fu.index() < readableMaskByFu_.size(),
+              "bad func unit id ", fu);
+    const auto &slots = readableMaskByFu_[fu.index()];
+    CS_ASSERT(slot >= 0 && static_cast<std::size_t>(slot) < slots.size(),
+              "bad slot ", slot, " for unit ", funcUnit(fu).name);
+    return slots[slot];
+}
+
+const InlineBitset &
+Machine::readableAnyMask(FuncUnitId fu) const
+{
+    CS_ASSERT(fu.valid() && fu.index() < readableAnyMaskByFu_.size(),
+              "bad func unit id ", fu);
+    return readableAnyMaskByFu_[fu.index()];
 }
 
 int
@@ -257,7 +274,44 @@ Machine::finalize()
         }
     }
 
+    // Per-bus stub index groups (within a bus, list order preserved).
+    writeStubsByBusByFu_.assign(funcUnits_.size(), {});
+    for (std::size_t i = 0; i < funcUnits_.size(); ++i) {
+        auto &groups = writeStubsByBusByFu_[i];
+        groups.assign(buses_.size(), {});
+        const auto &stubs = writeStubsByFu_[i];
+        for (std::size_t s = 0; s < stubs.size(); ++s) {
+            groups[stubs[s].bus.index()].push_back(
+                static_cast<std::uint32_t>(s));
+        }
+    }
+
     computeCopyDistances();
+
+    // Route-feasibility masks: bitset views of the list-valued tables
+    // above plus the copy-distance closure, for the scheduler hot path.
+    const std::size_t nRf = regFiles_.size();
+    reachableFrom_.assign(nRf, InlineBitset(nRf));
+    for (std::size_t i = 0; i < nRf; ++i) {
+        for (std::size_t j = 0; j < nRf; ++j) {
+            if (copyDistance_[i][j] < kUnreachable)
+                reachableFrom_[i].set(j);
+        }
+    }
+    writableMaskByFu_.assign(funcUnits_.size(), InlineBitset(nRf));
+    readableMaskByFu_.assign(funcUnits_.size(), {});
+    readableAnyMaskByFu_.assign(funcUnits_.size(), InlineBitset(nRf));
+    for (std::size_t i = 0; i < funcUnits_.size(); ++i) {
+        for (RegFileId rf : writableByFu_[i])
+            writableMaskByFu_[i].set(rf.index());
+        readableMaskByFu_[i].assign(funcUnits_[i].inputs.size(),
+                                    InlineBitset(nRf));
+        for (std::size_t s = 0; s < funcUnits_[i].inputs.size(); ++s) {
+            for (RegFileId rf : readableByFu_[i][s])
+                readableMaskByFu_[i][s].set(rf.index());
+            readableAnyMaskByFu_[i].orWith(readableMaskByFu_[i][s]);
+        }
+    }
 }
 
 void

@@ -23,7 +23,9 @@
 
 #include "machine/opclass.hpp"
 #include "machine/stub.hpp"
+#include "support/bitset.hpp"
 #include "support/ids.hpp"
+#include "support/logging.hpp"
 
 namespace cs {
 
@@ -84,10 +86,27 @@ class Machine
     const Bus &bus(BusId id) const;
     /// @}
 
-    /** @name Port ownership */
+    /** @name Port ownership
+     * The read/write-port lookups sit on the scheduler's innermost
+     * stub-ranking loops, so they are defined inline.
+     */
     /// @{
-    RegFileId readPortRegFile(ReadPortId id) const;
-    RegFileId writePortRegFile(WritePortId id) const;
+    RegFileId
+    readPortRegFile(ReadPortId id) const
+    {
+        CS_ASSERT(id.valid() && id.index() < readPortOwner_.size(),
+                  "bad read port id ", id);
+        return readPortOwner_[id.index()];
+    }
+
+    RegFileId
+    writePortRegFile(WritePortId id) const
+    {
+        CS_ASSERT(id.valid() && id.index() < writePortOwner_.size(),
+                  "bad write port id ", id);
+        return writePortOwner_[id.index()];
+    }
+
     FuncUnitId inputFuncUnit(InputPortId id) const;
     int inputSlot(InputPortId id) const;
     FuncUnitId outputFuncUnit(OutputPortId id) const;
@@ -112,6 +131,14 @@ class Machine
      * permits. Empty when the unit has no output.
      */
     const std::vector<WriteStub> &writeStubs(FuncUnitId fu) const;
+
+    /**
+     * Indices into writeStubs(fu) grouped by bus (outer index: bus
+     * id). Lets the scheduler emit candidates in rotated-bus order
+     * with a counting pass instead of a comparison sort.
+     */
+    const std::vector<std::vector<std::uint32_t>> &
+    writeStubsByBus(FuncUnitId fu) const;
 
     /**
      * All read stubs available to operand slot @p slot of the given
@@ -139,11 +166,41 @@ class Machine
     /**
      * Minimum number of copy operations needed to move a value from
      * register file @p from to register file @p to (0 when identical);
-     * kUnreachable when no copy chain exists.
+     * kUnreachable when no copy chain exists. Inline: the stub-ranking
+     * loops consult it per candidate.
      */
-    int copyDistance(RegFileId from, RegFileId to) const;
+    int
+    copyDistance(RegFileId from, RegFileId to) const
+    {
+        CS_ASSERT(from.valid() && from.index() < regFiles_.size(),
+                  "bad register file id ", from);
+        CS_ASSERT(to.valid() && to.index() < regFiles_.size(),
+                  "bad register file id ", to);
+        return copyDistance_[from.index()][to.index()];
+    }
 
     static constexpr int kUnreachable = 1 << 20;
+
+    /** @name Route-feasibility masks
+     * Bitsets over register-file ids, precomputed alongside the copy
+     * distances so the scheduler's stub search can test reachability
+     * and candidate feasibility with a word-wide intersection instead
+     * of nested list walks.
+     */
+    /// @{
+    /** Bit j set iff a copy chain exists from @p from to file j
+     *  (including @p from itself). */
+    const InlineBitset &reachableFrom(RegFileId from) const;
+
+    /** Bit j set iff file j is writable from the unit's output. */
+    const InlineBitset &writableMask(FuncUnitId fu) const;
+
+    /** Bit j set iff file j is readable by the unit's operand slot. */
+    const InlineBitset &readableMask(FuncUnitId fu, int slot) const;
+
+    /** Union of readableMask over every slot of the unit. */
+    const InlineBitset &readableAnyMask(FuncUnitId fu) const;
+    /// @}
 
     /**
      * Appendix-A check: for every (output, input) pair, every register
@@ -192,12 +249,18 @@ class Machine
     // Derived (finalize()).
     std::array<std::vector<FuncUnitId>, kNumOpClasses> unitsByClass_;
     std::vector<std::vector<WriteStub>> writeStubsByFu_;   // by fu id
+    std::vector<std::vector<std::vector<std::uint32_t>>>
+        writeStubsByBusByFu_; // [fu][bus] -> stub indices
     std::vector<std::vector<std::vector<ReadStub>>> readStubsByFu_;
     std::vector<std::vector<ReadStub>> readStubsAnyByFu_;
     std::vector<std::vector<RegFileId>> writableByFu_;
     std::vector<std::vector<std::vector<RegFileId>>> readableByFu_;
     std::vector<std::vector<RegFileId>> readableAnyByFu_;
     std::vector<std::vector<int>> copyDistance_; // [from][to]
+    std::vector<InlineBitset> reachableFrom_;    // by reg file id
+    std::vector<InlineBitset> writableMaskByFu_; // by fu id
+    std::vector<std::vector<InlineBitset>> readableMaskByFu_;
+    std::vector<InlineBitset> readableAnyMaskByFu_;
     std::vector<int> latency_;                   // by opcode
 
     void computeCopyDistances();
