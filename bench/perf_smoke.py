@@ -1,15 +1,24 @@
 #!/usr/bin/env python3
-"""Perf smoke check: distributed-machine block scheduling vs the
-committed BENCH_sched.json.
+"""Perf smoke check: scheduler hot paths vs the committed
+BENCH_sched.json.
 
-Runs bench_sched_perf --json over the distributed-machine block
-entries (the scheduler's hot configuration) and fails when any
-kernel's median wall time regresses more than the allowed factor
-against the committed "current" snapshot. The factor is deliberately
-loose (2x) so machine noise does not fail the build while a genuine
-complexity regression still does.
+Two gated suites:
 
-Usage: perf_smoke.py <bench_sched_perf-binary> <BENCH_sched.json>
+  - bench_sched_perf --json over the distributed-machine block entries
+    (the block scheduler's hot configuration), compared against the
+    committed "current" snapshot;
+  - bench_modulo_ii --json over the serial II-search entries (the
+    modulo scheduler's single-threaded sweep with the shared
+    per-block context), compared against the committed
+    "modulo_ii"/"current" snapshot.
+
+The check fails when any kernel's median wall time regresses more than
+the allowed factor. The factor is deliberately loose (2x) so machine
+noise does not fail the build while a genuine complexity regression
+still does.
+
+Usage: perf_smoke.py <bench_sched_perf-binary> <bench_modulo_ii-binary>
+       <BENCH_sched.json>
 """
 
 import json
@@ -17,7 +26,6 @@ import subprocess
 import sys
 
 ALLOWED_FACTOR = 2.0
-FILTER = "distributed#block"
 REPS = 3
 # Sub-millisecond entries are dominated by timer and allocator noise;
 # only entries at least this slow in the committed snapshot gate.
@@ -28,26 +36,15 @@ def key(entry):
     return (entry["kernel"], entry["machine"], entry["mode"])
 
 
-def main():
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    bench, committed_path = sys.argv[1], sys.argv[2]
-
-    with open(committed_path) as f:
-        committed = {
-            key(e): e for e in json.load(f)["current"]["entries"]
-        }
-
+def check(bench, bench_filter, committed, failures):
     raw = subprocess.run(
-        [bench, "--json", "--reps", str(REPS), "--filter", FILTER],
+        [bench, "--json", "--reps", str(REPS), "--filter", bench_filter],
         check=True,
         capture_output=True,
         text=True,
     ).stdout
     fresh = json.loads(raw)["entries"]
 
-    failures = []
     for entry in fresh:
         ref = committed.get(key(entry))
         if ref is None:
@@ -60,7 +57,8 @@ def main():
         ratio = entry["median_ms"] / ref["median_ms"]
         marker = " REGRESSION" if ratio > ALLOWED_FACTOR else ""
         print(
-            f"{entry['kernel']:22s} {ref['median_ms']:8.2f} -> "
+            f"{entry['kernel']:22s} {entry['machine']:12s} "
+            f"{entry['mode']:7s} {ref['median_ms']:8.2f} -> "
             f"{entry['median_ms']:8.2f} ms  x{ratio:.2f}{marker}"
         )
         if ratio > ALLOWED_FACTOR:
@@ -69,6 +67,30 @@ def main():
                 f"{ref['median_ms']:.2f} ms (x{ratio:.2f} > "
                 f"x{ALLOWED_FACTOR})"
             )
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench_sched, bench_ii, committed_path = sys.argv[1:4]
+
+    with open(committed_path) as f:
+        doc = json.load(f)
+    committed_block = {key(e): e for e in doc["current"]["entries"]}
+    committed_ii = {
+        key(e): e
+        for e in doc.get("modulo_ii", {})
+        .get("current", {})
+        .get("entries", [])
+    }
+
+    failures = []
+    check(bench_sched, "distributed#block", committed_block, failures)
+    if committed_ii:
+        check(bench_ii, "#serial", committed_ii, failures)
+    else:
+        print("no committed modulo_ii snapshot; skipping the II gate")
 
     if failures:
         print("perf smoke FAILED:", file=sys.stderr)

@@ -4,9 +4,11 @@
 # Runs bench_sched_perf --json (median wall time plus effort counters
 # for every Table-1 kernel x evaluation machine, block mode, and a
 # pipelined subset) and stores the capture as the "current" snapshot
-# in BENCH_sched.json at the repo root. The first capture also becomes
-# the "baseline" snapshot; later runs keep the committed baseline so
-# the two can be diffed release-over-release.
+# in BENCH_sched.json at the repo root, then runs bench_modulo_ii
+# --json (the II-search suite: cold vs serial vs speculative parallel)
+# into the "modulo_ii" section the same way. The first capture of each
+# section also becomes its "baseline" snapshot; later runs keep the
+# committed baseline so the two can be diffed release-over-release.
 #
 # Usage: bench/run_perf.sh [build-dir]
 #   BUILD_DIR  build directory (default: build; overridden by $1)
@@ -20,25 +22,34 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-${BUILD_DIR:-$repo_root/build}}
 reps=${REPS:-5}
 bench="$build_dir/bench/bench_sched_perf"
+bench_ii="$build_dir/bench/bench_modulo_ii"
 out="$repo_root/BENCH_sched.json"
 
-if [ ! -x "$bench" ]; then
-    echo "run_perf.sh: $bench not found; build the 'bench_sched_perf'" \
-         "target first (cmake --build $build_dir --target bench_sched_perf)" >&2
-    exit 1
-fi
+for binary in "$bench" "$bench_ii"; do
+    if [ ! -x "$binary" ]; then
+        echo "run_perf.sh: $binary not found; build the bench targets" \
+             "first (cmake --build $build_dir --target" \
+             "bench_sched_perf bench_modulo_ii)" >&2
+        exit 1
+    fi
+done
 
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+tmp_ii=$(mktemp)
+trap 'rm -f "$tmp" "$tmp_ii"' EXIT
 "$bench" --json --reps "$reps" > "$tmp"
+"$bench_ii" --json --reps "$reps" > "$tmp_ii"
 
-python3 - "$tmp" "$out" <<'EOF'
+python3 - "$tmp" "$tmp_ii" "$out" <<'EOF'
 import json
+import statistics
 import sys
 
-capture_path, out_path = sys.argv[1], sys.argv[2]
+capture_path, capture_ii_path, out_path = sys.argv[1:4]
 with open(capture_path) as f:
     capture = json.load(f)
+with open(capture_ii_path) as f:
+    capture_ii = json.load(f)
 
 try:
     with open(out_path) as f:
@@ -49,6 +60,11 @@ except (FileNotFoundError, json.JSONDecodeError):
 if "baseline" not in doc:
     doc["baseline"] = capture
 doc["current"] = capture
+
+modulo_ii = doc.setdefault("modulo_ii", {})
+if "baseline" not in modulo_ii:
+    modulo_ii["baseline"] = capture_ii
+modulo_ii["current"] = capture_ii
 
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=1)
@@ -61,4 +77,16 @@ base, cur = total(doc["baseline"]), total(doc["current"])
 ratio = base / cur if cur else float("inf")
 print(f"wrote {out_path}: {len(capture['entries'])} entries, "
       f"total median {cur:.1f} ms (baseline {base:.1f} ms, x{ratio:.2f})")
+
+by_mode = {}
+for e in capture_ii["entries"]:
+    by_mode.setdefault((e["kernel"], e["machine"]), {})[e["mode"]] = e
+ratios = [pair["cold"]["median_ms"] / pair["serial"]["median_ms"]
+          for pair in by_mode.values()
+          if "cold" in pair and "serial" in pair
+          and pair["serial"]["median_ms"] > 0]
+if ratios:
+    print(f"modulo_ii: {len(capture_ii['entries'])} entries, median "
+          f"cold/serial x{statistics.median(ratios):.2f} "
+          f"(shared-context reuse, single-threaded)")
 EOF

@@ -7,12 +7,16 @@
  * prints a summary table and a JSON stats line.
  *
  *   cs_batch [--threads N] [--repeat R] [--cache N] [--plain]
+ *            [--ii-workers N]
  *
- *   --threads N   worker threads (default: hardware concurrency)
- *   --repeat R    submit the whole batch R times (default 1); repeats
- *                 exercise the warm cache
- *   --cache N     schedule-cache capacity in entries (default 1024)
- *   --plain       plain block schedules instead of software pipelining
+ *   --threads N     worker threads (default: hardware concurrency)
+ *   --repeat R      submit the whole batch R times (default 1); repeats
+ *                   exercise the warm cache
+ *   --cache N       schedule-cache capacity in entries (default 1024)
+ *   --plain         plain block schedules instead of software pipelining
+ *   --ii-workers N  dedicated workers for the speculative parallel II
+ *                   search of pipelined jobs (default 0 = serial sweep;
+ *                   schedules are byte-identical either way)
  */
 
 #include <algorithm>
@@ -37,6 +41,7 @@ struct Args
     int repeat = 1;
     std::size_t cacheCapacity = 1024;
     bool pipelined = true;
+    unsigned iiWorkers = 0; // 0 = serial II sweep
 };
 
 Args
@@ -59,6 +64,9 @@ parseArgs(int argc, char **argv)
                 static_cast<std::size_t>(intValue("--cache"));
         } else if (arg == "--plain") {
             args.pipelined = false;
+        } else if (arg == "--ii-workers") {
+            args.iiWorkers =
+                static_cast<unsigned>(intValue("--ii-workers"));
         } else {
             CS_FATAL("unknown argument '", arg, "'");
         }
@@ -79,7 +87,7 @@ main(int argc, char **argv)
     } catch (const FatalError &) {
         // CS_FATAL already printed the diagnostic.
         std::cerr << "usage: cs_batch [--threads N] [--repeat R] "
-                     "[--cache N] [--plain]\n";
+                     "[--cache N] [--plain] [--ii-workers N]\n";
         return 2;
     }
 
@@ -106,6 +114,7 @@ main(int argc, char **argv)
     PipelineConfig config;
     config.numThreads = args.threads;
     config.cacheCapacity = args.cacheCapacity;
+    config.iiSearchWorkers = args.iiWorkers;
     SchedulingPipeline pipeline(config);
 
     printBanner(std::cout,
@@ -175,7 +184,15 @@ main(int argc, char **argv)
               << "},\"scheduler\":{\"ops_scheduled\":"
               << stats.get("ops_scheduled")
               << ",\"copies_inserted\":" << stats.get("copies_inserted")
-              << "}}}\n";
+              << "},\"ii_search\":{\"workers\":" << args.iiWorkers
+              << ",\"attempts_launched\":"
+              << stats.get("ii_search.attempts_launched")
+              << ",\"attempts_wasted\":"
+              << stats.get("ii_search.attempts_wasted")
+              << ",\"attempts_cancelled\":"
+              << stats.get("ii_search.attempts_cancelled")
+              << ",\"cancel_latency_us\":"
+              << stats.get("ii_search.cancel_latency_us") << "}}}\n";
 
     return failures == 0 ? 0 : 1;
 }

@@ -20,16 +20,18 @@ namespace cs {
 
 namespace {
 
-/** Fewest copies to get a value from any of @p from to any of @p to. */
+/**
+ * Fewest copies to get a value from any file @p writerFu can write to
+ * any of @p to. The minimum over the writer's files is the context's
+ * precomputed table, leaving one lookup per readable file.
+ */
 int
-minCopies(const Machine &machine, const std::vector<RegFileId> &from,
+minCopies(const BlockSchedulingContext &ctx, FuncUnitId writerFu,
           const std::vector<RegFileId> &to)
 {
     int best = Machine::kUnreachable;
-    for (RegFileId w : from) {
-        for (RegFileId r : to)
-            best = std::min(best, machine.copyDistance(w, r));
-    }
+    for (RegFileId r : to)
+        best = std::min(best, ctx.minCopiesFromFu(writerFu, r));
     return best;
 }
 
@@ -60,9 +62,7 @@ BlockScheduler::commCost(OperationId op, FuncUnitId fu, int cycle) const
             operation.isCopy()
                 ? machine_.readableAnySlot(fu)
                 : machine_.readableRegFiles(fu, static_cast<int>(s));
-        int copies = minCopies(machine_,
-                               machine_.writableRegFiles(wp.fu),
-                               readable);
+        int copies = minCopies(*ctx_, wp.fu, readable);
         if (copies <= 0 || copies >= Machine::kUnreachable)
             continue;
         int range = cycle + operand.distance * ii_ -
@@ -90,9 +90,7 @@ BlockScheduler::commCost(OperationId op, FuncUnitId fu, int cycle) const
             };
             if (isScheduled(reader)) {
                 const Placement &rp = schedule_.placement(reader);
-                copies = minCopies(machine_,
-                                   machine_.writableRegFiles(fu),
-                                   readable_of(rp.fu));
+                copies = minCopies(*ctx_, fu, readable_of(rp.fu));
                 range = issueCycleOf(reader) + distance * ii_ - done;
             } else {
                 // Best case over the units that could run the reader.
@@ -100,10 +98,7 @@ BlockScheduler::commCost(OperationId op, FuncUnitId fu, int cycle) const
                 for (FuncUnitId g :
                      machine_.unitsForOpcode(consumer.opcode)) {
                     copies = std::min(
-                        copies,
-                        minCopies(machine_,
-                                  machine_.writableRegFiles(fu),
-                                  readable_of(g)));
+                        copies, minCopies(*ctx_, fu, readable_of(g)));
                 }
                 // Assume the reader lands on its earliest cycle.
                 int reader_asap = consumer.isCopy()

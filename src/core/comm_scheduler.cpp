@@ -15,25 +15,29 @@ BlockScheduler::BlockScheduler(Kernel kernel, BlockId block,
       machine_(machine),
       options_(options),
       ii_(ii),
-      ddg_(kernel_, block, machine),
+      ownedCtx_(std::make_unique<BlockSchedulingContext>(kernel_, block,
+                                                         machine)),
+      ctx_(ownedCtx_.get()),
+      ddg_(ctx_->ddg()),
       schedule_(block, ii),
       reservations_(machine, ii)
 {
     CS_ASSERT(ii >= 0, "negative initiation interval");
+}
 
-    std::array<int, kNumOpClasses> uses{};
-    for (OperationId op_id : kernel_.block(block_).operations) {
-        OpClass cls = opcodeClass(kernel_.operation(op_id).opcode);
-        ++uses[static_cast<std::size_t>(cls)];
-    }
-    for (std::size_t c = 0; c < kNumOpClasses; ++c) {
-        auto units =
-            machine_.unitsForClass(static_cast<OpClass>(c)).size();
-        classPressure_[c] =
-            units == 0 ? 0.0
-                       : static_cast<double>(uses[c]) /
-                             static_cast<double>(units);
-    }
+BlockScheduler::BlockScheduler(const BlockSchedulingContext &context,
+                               const SchedulerOptions &options, int ii)
+    : kernel_(context.kernel()),
+      block_(context.block()),
+      machine_(context.machine()),
+      options_(options),
+      ii_(ii),
+      ctx_(&context),
+      ddg_(ctx_->ddg()),
+      schedule_(context.block(), ii),
+      reservations_(context.machine(), ii)
+{
+    CS_ASSERT(ii >= 0, "negative initiation interval");
 }
 
 int
@@ -276,13 +280,17 @@ BlockScheduler::run()
     ScheduleResult result{false, "", Kernel("moved-out"),
                           BlockSchedule(block_, ii_), CounterSet{}};
 
-    std::vector<OperationId> order = buildScheduleOrder();
+    const std::vector<OperationId> &order =
+        ctx_->scheduleOrder(options_.operationOrder);
     bool ok = true;
     for (OperationId op : order) {
         attemptsThisOp_ = 0;
         attemptCap_ = options_.perOpAttemptBudget;
         if (!scheduleOp(op, 0, INT_MAX, 0)) {
-            if (failure_.empty()) {
+            if (aborted_) {
+                failure_ = "cancelled";
+                result.cancelled = true;
+            } else if (failure_.empty()) {
                 failure_ = "could not schedule operation " +
                            kernel_.operation(op).name;
             }
@@ -451,6 +459,8 @@ BlockScheduler::scheduleOp(OperationId op, int rangeLo, int rangeHi,
                 ++hot_.attemptBudgetExhausted;
                 return false;
             }
+            if (abortRequested())
+                return false;
             ++hot_.placementAttempts;
             if (tryPlace(op, cycle, fu, copyDepth))
                 return true;
@@ -519,6 +529,7 @@ BlockScheduler::unitChoices(OperationId op, int cycle) const
             }
             return 1;
         };
+        const auto &pressure = ctx_->classPressure();
         auto pressure_of = [&](FuncUnitId fu) {
             const FuncUnit &unit = machine_.funcUnit(fu);
             double worst = 0.0;
@@ -526,7 +537,7 @@ BlockScheduler::unitChoices(OperationId op, int cycle) const
                 if (c == static_cast<std::size_t>(OpClass::CopyCls))
                     continue;
                 if (unit.classes.test(c))
-                    worst = std::max(worst, classPressure_[c]);
+                    worst = std::max(worst, pressure[c]);
             }
             return worst;
         };

@@ -20,6 +20,7 @@
 #define CS_CORE_COMM_SCHEDULER_HPP
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <span>
@@ -28,6 +29,7 @@
 
 #include "core/communication.hpp"
 #include "core/reservation.hpp"
+#include "core/sched_context.hpp"
 #include "core/schedule.hpp"
 #include "core/undo_log.hpp"
 #include "ir/ddg.hpp"
@@ -90,6 +92,12 @@ struct ScheduleResult
     Kernel kernel{"unset"}; ///< the kernel including inserted copies
     BlockSchedule schedule{BlockId(), 0};
     CounterSet stats;
+    /**
+     * The run was cut short by a cooperative abort request (see
+     * BlockScheduler::setAbortFlag). Always implies !success; the
+     * partial result carries no schedule worth reading.
+     */
+    bool cancelled = false;
 };
 
 /**
@@ -109,13 +117,34 @@ class BlockScheduler
     BlockScheduler(Kernel kernel, BlockId block, const Machine &machine,
                    const SchedulerOptions &options, int ii);
 
+    /**
+     * Borrow a prebuilt analysis context instead of building one: the
+     * context (and the kernel/machine it references) must outlive the
+     * scheduler, and any number of schedulers — on any threads — may
+     * borrow the same context concurrently. The scheduler still works
+     * on its own private copy of the kernel.
+     */
+    BlockScheduler(const BlockSchedulingContext &context,
+                   const SchedulerOptions &options, int ii);
+
+    /**
+     * Arm cooperative cancellation: once @p flag becomes true, the run
+     * unwinds at the next search-budget checkpoint and returns a
+     * result with cancelled = true. The flag is polled with relaxed
+     * loads at points the search already pays for (the per-operation
+     * attempt checkpoint and the permutation DFS expansion step), so
+     * an armed-but-never-raised flag does not perturb the search —
+     * results stay byte-identical to an unarmed run. The flag must
+     * outlive run(); pass nullptr (the default state) to disarm.
+     */
+    void setAbortFlag(const std::atomic<bool> *flag) { abortFlag_ = flag; }
+
     /** Run to completion; the result owns the kernel and schedule. */
     ScheduleResult run();
 
   private:
     /** @name Driver (Figure 11) */
     /// @{
-    std::vector<OperationId> buildScheduleOrder() const;
     bool scheduleOp(OperationId op, int rangeLo, int rangeHi,
                     int copyDepth);
     bool tryPlace(OperationId op, int cycle, FuncUnitId fu,
@@ -313,21 +342,35 @@ class BlockScheduler
     bool lastFailureCycleLevel_ = false;
     /** Attempts spent on the current top-level operation. */
     std::uint64_t attemptsThisOp_ = 0;
-    /**
-     * Issue-slot pressure per operation class (uses / units), from the
-     * original operation mix. Copies prefer low-pressure units so they
-     * do not steal slots from saturated classes.
-     */
-    std::array<double, kNumOpClasses> classPressure_{};
     /** Current cap on attemptsThisOp_ (tightened inside copies). */
     std::uint64_t attemptCap_ = 0;
+
+    /** True once the armed abort flag has been observed raised. */
+    bool abortRequested()
+    {
+        if (aborted_)
+            return true;
+        if (abortFlag_ != nullptr &&
+            abortFlag_->load(std::memory_order_relaxed))
+            aborted_ = true;
+        return aborted_;
+    }
+    /** External cancellation request (null when disarmed). */
+    const std::atomic<bool> *abortFlag_ = nullptr;
+    /** Latched locally so unwinding never re-reads the atomic. */
+    bool aborted_ = false;
 
     Kernel kernel_;
     BlockId block_;
     const Machine &machine_;
     SchedulerOptions options_;
     int ii_;
-    Ddg ddg_;
+    /** Set only by the context-building constructor. */
+    std::unique_ptr<BlockSchedulingContext> ownedCtx_;
+    /** Shared per-(kernel, block, machine) analysis (never null). */
+    const BlockSchedulingContext *ctx_;
+    /** Convenience alias for ctx_->ddg(). */
+    const Ddg &ddg_;
     BlockSchedule schedule_;
     ReservationTable reservations_;
     CommTable comms_;
@@ -352,14 +395,10 @@ class BlockScheduler
      * bus rotation is a bucket walk), so it needs no pair vector.
      */
     mutable std::vector<std::pair<std::uint64_t, ReadStub>> rankedRead_;
-    /** Register files the pending reader could fetch from. */
-    mutable InlineBitset readerFiles_;
     /** Per-bus value cache, refilled per candidate query (cycle is
      *  fixed for the whole query, so one table lookup per bus
      *  replaces one per stub). */
     mutable std::vector<ValueId> busValueScratch_;
-    /** Per-register-file rank / feasibility cache for one query. */
-    mutable std::vector<int> rfScratch_;
     /** Write-candidate counting sort: per-stub rank and bucket
      *  offsets. */
     mutable std::vector<int> stubRankScratch_;

@@ -6,38 +6,41 @@
 
 namespace cs {
 
+std::vector<SchedulerOptions>
+iiRetryVariants(const SchedulerOptions &options)
+{
+    // Diversify within one II before conceding it: a wider placement
+    // window, then the opposite scheduling order, each cheaply explore
+    // a different part of the search space (a lightweight stand-in for
+    // iterative modulo scheduling's operation ejection).
+    std::vector<SchedulerOptions> variants{options};
+    if (options.retryVariants) {
+        SchedulerOptions wide = options;
+        wide.moduloWindowFactor = options.moduloWindowFactor + 2;
+        SchedulerOptions flipped = options;
+        flipped.operationOrder = !options.operationOrder;
+        variants.push_back(wide);
+        variants.push_back(flipped);
+    }
+    return variants;
+}
+
 PipelineResult
 schedulePipelined(const Kernel &kernel, BlockId block,
                   const Machine &machine,
                   const SchedulerOptions &options, int maxIiSlack)
 {
     PipelineResult result;
-    {
-        Ddg ddg(kernel, block, machine);
-        result.resMii = ddg.resMii();
-        result.recMii = ddg.recMii();
-    }
-    int mii = std::max(result.resMii, result.recMii);
+    BlockSchedulingContext context(kernel, block, machine);
+    result.resMii = context.resMii();
+    result.recMii = context.recMii();
+    int mii = context.mii();
 
+    std::vector<SchedulerOptions> variants = iiRetryVariants(options);
     for (int ii = mii; ii <= mii + maxIiSlack; ++ii) {
-        // Diversify within one II before conceding it: a wider
-        // placement window, then the opposite scheduling order, each
-        // cheaply explore a different part of the search space (a
-        // lightweight stand-in for iterative modulo scheduling's
-        // operation ejection).
-        std::vector<SchedulerOptions> variants{options};
-        if (options.retryVariants) {
-            SchedulerOptions wide = options;
-            wide.moduloWindowFactor = options.moduloWindowFactor + 2;
-            SchedulerOptions flipped = options;
-            flipped.operationOrder = !options.operationOrder;
-            variants.push_back(wide);
-            variants.push_back(flipped);
-        }
         for (const SchedulerOptions &variant : variants) {
             ++result.attempts;
-            BlockScheduler scheduler(kernel, block, machine, variant,
-                                     ii);
+            BlockScheduler scheduler(context, variant, ii);
             ScheduleResult attempt = scheduler.run();
             if (attempt.success) {
                 result.success = true;

@@ -27,8 +27,26 @@ struct PipelineResult
     /** Lower bounds that were computed before searching. */
     int resMii = 0;
     int recMii = 0;
-    /** Number of II values attempted. */
+    /**
+     * Scheduling attempts launched, one per (II, retry variant) pair
+     * tried. Under the serial sweep every launched attempt ran to
+     * completion before the next started, so this is exactly the
+     * number of attempts executed. Under the speculative parallel
+     * search (pipeline/ii_search.hpp) attempts past the eventual
+     * winner may be launched before the winner is known; those extras
+     * are counted here too and reported in attemptsWasted, so
+     * `attempts - attemptsWasted` always equals what the serial sweep
+     * would have reported for the same inputs.
+     */
     int attempts = 0;
+    /**
+     * Of `attempts`, how many were launched speculatively past the
+     * winning (II, variant) and therefore discarded — whether they
+     * were cancelled mid-run or completed before the winner emerged.
+     * Always 0 for the serial sweep and for failed searches (every
+     * attempt of a failed search would have run serially too).
+     */
+    int attemptsWasted = 0;
     ScheduleResult inner;
 };
 
@@ -45,6 +63,17 @@ PipelineResult schedulePipelined(const Kernel &kernel, BlockId block,
                                  const Machine &machine,
                                  const SchedulerOptions &options = {},
                                  int maxIiSlack = 64);
+
+/**
+ * The retry variants the II search tries, in order, at every candidate
+ * II: the options as given, then — when options.retryVariants — a
+ * wider placement window and the flipped scheduling order. Exposed so
+ * the speculative parallel search (pipeline/ii_search.hpp) enumerates
+ * exactly the serial sweep's attempt sequence; attempt index
+ * k = (ii - MII) * variants + v is the determinism key both share.
+ */
+std::vector<SchedulerOptions> iiRetryVariants(const SchedulerOptions
+                                                  &options);
 
 } // namespace cs
 

@@ -7,41 +7,44 @@
  * dependence edges, this order is also topological. Cycle order (the
  * ablation baseline) sorts by ASAP first, filling each cycle before
  * moving to the next.
+ *
+ * A free function over the Ddg so BlockSchedulingContext can compute
+ * both orders once per block and share them across every attempt.
  */
 
 #include <algorithm>
 
-#include "core/comm_scheduler.hpp"
+#include "core/sched_context.hpp"
 
 namespace cs {
 
 std::vector<OperationId>
-BlockScheduler::buildScheduleOrder() const
+buildScheduleOrder(const Ddg &ddg, bool operationOrder)
 {
-    std::vector<int> indices(ddg_.numOps());
+    std::vector<int> indices(ddg.numOps());
     for (std::size_t i = 0; i < indices.size(); ++i)
         indices[i] = static_cast<int>(i);
 
-    if (options_.operationOrder) {
+    if (operationOrder) {
         std::stable_sort(indices.begin(), indices.end(),
                          [&](int a, int b) {
-                             if (ddg_.height(a) != ddg_.height(b))
-                                 return ddg_.height(a) > ddg_.height(b);
-                             return ddg_.asap(a) < ddg_.asap(b);
+                             if (ddg.height(a) != ddg.height(b))
+                                 return ddg.height(a) > ddg.height(b);
+                             return ddg.asap(a) < ddg.asap(b);
                          });
     } else {
         std::stable_sort(indices.begin(), indices.end(),
                          [&](int a, int b) {
-                             if (ddg_.asap(a) != ddg_.asap(b))
-                                 return ddg_.asap(a) < ddg_.asap(b);
-                             return ddg_.height(a) > ddg_.height(b);
+                             if (ddg.asap(a) != ddg.asap(b))
+                                 return ddg.asap(a) < ddg.asap(b);
+                             return ddg.height(a) > ddg.height(b);
                          });
     }
 
     std::vector<OperationId> order;
     order.reserve(indices.size());
     for (int i : indices)
-        order.push_back(ddg_.opAt(i));
+        order.push_back(ddg.opAt(i));
     return order;
 }
 

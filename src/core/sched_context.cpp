@@ -1,0 +1,166 @@
+#include "core/sched_context.hpp"
+
+#include <algorithm>
+
+#include "support/bitset.hpp"
+#include "support/logging.hpp"
+
+namespace cs {
+
+BlockSchedulingContext::BlockSchedulingContext(const Kernel &kernel,
+                                              BlockId block,
+                                              const Machine &machine)
+    : kernel_(kernel),
+      block_(block),
+      machine_(machine),
+      ddg_(kernel, block, machine)
+{
+    resMii_ = ddg_.resMii();
+    recMii_ = ddg_.recMii();
+    orderByHeight_ = buildScheduleOrder(ddg_, true);
+    orderByCycle_ = buildScheduleOrder(ddg_, false);
+
+    // Issue-slot pressure per operation class, from the original
+    // operation mix (copies inserted later do not count).
+    std::array<int, kNumOpClasses> uses{};
+    for (OperationId opId : kernel.block(block).operations) {
+        OpClass cls = opcodeClass(kernel.operation(opId).opcode);
+        ++uses[static_cast<std::size_t>(cls)];
+    }
+    for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+        auto units =
+            machine.unitsForClass(static_cast<OpClass>(c)).size();
+        classPressure_[c] =
+            units == 0 ? 0.0
+                       : static_cast<double>(uses[c]) /
+                             static_cast<double>(units);
+    }
+
+    const std::size_t num_fu = machine.numFuncUnits();
+    const std::size_t num_rf = machine.numRegFiles();
+    maxInputs_ = 1;
+    for (std::size_t f = 0; f < num_fu; ++f) {
+        maxInputs_ = std::max(
+            maxInputs_,
+            machine.funcUnit(FuncUnitId(static_cast<std::uint32_t>(f)))
+                .inputs.size());
+    }
+
+    // Reader-files masks, one per reader key. A key captures
+    // everything the open write-candidate query knows about the
+    // reader: its placement (or the set of units that could run it)
+    // and which operand slot fetches the value.
+    const std::size_t num_keys = numReaderKeys();
+    std::vector<InlineBitset> readerFiles(num_keys);
+    for (auto &mask : readerFiles)
+        mask.resize(num_rf);
+
+    for (std::size_t f = 0; f < num_fu; ++f) {
+        FuncUnitId fu(static_cast<std::uint32_t>(f));
+        std::size_t arity = machine.funcUnit(fu).inputs.size();
+        for (std::size_t s = 0; s < arity; ++s) {
+            readerFiles[keyScheduled(fu, static_cast<int>(s))].orWith(
+                machine.readableMask(fu, static_cast<int>(s)));
+        }
+        readerFiles[keyScheduledCopy(fu)].orWith(
+            machine.readableAnyMask(fu));
+    }
+    for (std::size_t o = 0; o < kNumOpcodes; ++o) {
+        auto opcode = static_cast<Opcode>(o);
+        for (FuncUnitId g : machine.unitsForOpcode(opcode)) {
+            std::size_t arity = machine.funcUnit(g).inputs.size();
+            if (opcode == Opcode::Copy) {
+                readerFiles[keyUnscheduledCopy()].orWith(
+                    machine.readableAnyMask(g));
+                continue;
+            }
+            for (std::size_t s = 0; s < arity; ++s) {
+                readerFiles[keyUnscheduled(opcode,
+                                           static_cast<int>(s))]
+                    .orWith(machine.readableMask(
+                        g, static_cast<int>(s)));
+            }
+        }
+    }
+
+    // Serviceability codes per (key, register file): kStubReachable if
+    // the file is in the reader's mask, kStubServiceableOnly if only a
+    // copy chain from the file reaches some file of the mask (Section
+    // 4.5 serviceability), kStubPruned otherwise. The code depends
+    // only on the stub's target file, so a row per reader shape — not
+    // a table per (writer unit, stub) — covers every query.
+    openCode_.assign(num_keys * num_rf, kStubPruned);
+    for (std::size_t k = 0; k < num_keys; ++k) {
+        const InlineBitset &mask = readerFiles[k];
+        for (std::size_t j = 0; j < num_rf; ++j) {
+            RegFileId rf(static_cast<std::uint32_t>(j));
+            openCode_[k * num_rf + j] =
+                mask.test(j) ? kStubReachable
+                : machine.reachableFrom(rf).intersects(mask)
+                    ? kStubServiceableOnly
+                    : kStubPruned;
+        }
+    }
+
+    const int overflow = static_cast<int>(num_rf) + 3;
+    closeBase_.assign(num_rf * num_rf, 0);
+    for (std::size_t j = 0; j < num_rf; ++j) {
+        RegFileId read_rf(static_cast<std::uint32_t>(j));
+        for (std::size_t i = 0; i < num_rf; ++i) {
+            RegFileId rf(static_cast<std::uint32_t>(i));
+            closeBase_[j * num_rf + i] =
+                rf == read_rf
+                    ? kSameFile
+                    : static_cast<std::uint16_t>(std::min(
+                          2 + machine.copyDistance(rf, read_rf),
+                          overflow));
+        }
+    }
+
+    minCopiesFromFu_.assign(num_fu * num_rf, Machine::kUnreachable);
+    for (std::size_t f = 0; f < num_fu; ++f) {
+        FuncUnitId fu(static_cast<std::uint32_t>(f));
+        for (std::size_t j = 0; j < num_rf; ++j) {
+            RegFileId to(static_cast<std::uint32_t>(j));
+            int best = Machine::kUnreachable;
+            for (RegFileId w : machine.writableRegFiles(fu))
+                best = std::min(best, machine.copyDistance(w, to));
+            minCopiesFromFu_[f * num_rf + j] = best;
+        }
+    }
+}
+
+std::size_t
+BlockSchedulingContext::keyScheduled(FuncUnitId fu, int slot) const
+{
+    return fu.index() * maxInputs_ + static_cast<std::size_t>(slot);
+}
+
+std::size_t
+BlockSchedulingContext::keyScheduledCopy(FuncUnitId fu) const
+{
+    return machine_.numFuncUnits() * maxInputs_ + fu.index();
+}
+
+std::size_t
+BlockSchedulingContext::keyUnscheduled(Opcode opcode, int slot) const
+{
+    return machine_.numFuncUnits() * (maxInputs_ + 1) +
+           static_cast<std::size_t>(opcode) * maxInputs_ +
+           static_cast<std::size_t>(slot);
+}
+
+std::size_t
+BlockSchedulingContext::keyUnscheduledCopy() const
+{
+    return machine_.numFuncUnits() * (maxInputs_ + 1) +
+           kNumOpcodes * maxInputs_;
+}
+
+std::size_t
+BlockSchedulingContext::numReaderKeys() const
+{
+    return keyUnscheduledCopy() + 1;
+}
+
+} // namespace cs

@@ -101,29 +101,16 @@ BlockScheduler::readCandidatesFor(const Communication &comm,
     if (comm.writeStub)
         current_write_rf =
             machine_.writePortRegFile(comm.writeStub->writePort);
-    const std::vector<RegFileId> &writable =
-        machine_.writableRegFiles(wp.fu);
     const InlineBitset &writable_mask = machine_.writableMask(wp.fu);
 
-    // Rank depends only on the stub's register file; memoize per file
-    // so the copy-distance scan runs once per file, not per stub.
-    auto &rf_rank = rfScratch_;
-    rf_rank.assign(machine_.numRegFiles(), -1);
+    // Rank depends only on the stub's register file; the copy-distance
+    // minimum over the writer's files is a shared-context table lookup.
     auto rank_of = [&](RegFileId rf) {
-        int &slot = rf_rank[rf.index()];
-        if (slot < 0) {
-            if (rf == current_write_rf) {
-                slot = 0;
-            } else if (writable_mask.test(rf.index())) {
-                slot = 1;
-            } else {
-                int best = Machine::kUnreachable;
-                for (RegFileId w : writable)
-                    best = std::min(best, machine_.copyDistance(w, rf));
-                slot = 2 + best;
-            }
-        }
-        return slot;
+        if (rf == current_write_rf)
+            return 0;
+        if (writable_mask.test(rf.index()))
+            return 1;
+        return 2 + ctx_->minCopiesFromFu(wp.fu, rf);
     };
 
     auto &ranked = rankedRead_;
@@ -191,18 +178,21 @@ BlockScheduler::writeCandidatesFor(const Communication &comm,
     if (closing) {
         RegFileId read_rf =
             machine_.readPortRegFile(comm.readStub->readPort);
+        // Base ranks against this read file are a context table row
+        // (indexed by the stub's register file); only the bus-sharing
+        // preference (rank 0 vs 1 in the same file) depends on live
+        // reservation state.
+        std::span<const std::uint16_t> base =
+            ctx_->closeBaseRow(read_rf);
         for (std::size_t i = 0; i < all.size(); ++i) {
             const WriteStub &stub = all[i];
-            RegFileId rf = machine_.writePortRegFile(stub.writePort);
-            int rank;
-            if (rf == read_rf) {
-                // Prefer riding a bus that already broadcasts this
-                // value: the write costs no extra bus.
-                rank = bus_val[stub.bus.index()] == comm.value ? 0 : 1;
-            } else {
-                rank = std::min(2 + machine_.copyDistance(rf, read_rf),
-                                overflow);
-            }
+            std::uint16_t b =
+                base[machine_.writePortRegFile(stub.writePort)
+                         .index()];
+            int rank =
+                b == BlockSchedulingContext::kSameFile
+                    ? (bus_val[stub.bus.index()] == comm.value ? 0 : 1)
+                    : b;
             ranks[i] = rank;
             ++buckets[rank];
         }
@@ -212,39 +202,23 @@ BlockScheduler::writeCandidatesFor(const Communication &comm,
         // Preferring those files surfaces port contention *now*, while
         // the scheduler can still delay this producer; a stub into an
         // unreadable file is guaranteed to need fixing at close time.
-        InlineBitset &reader_files = readerFiles_;
-        reader_files.resize(machine_.numRegFiles());
-        if (isScheduled(comm.reader)) {
-            const Placement &rp = schedule_.placement(comm.reader);
-            reader_files.orWith(
-                kernel_.operation(comm.reader).isCopy()
-                    ? machine_.readableAnyMask(rp.fu)
-                    : machine_.readableMask(rp.fu, comm.slot));
-        } else {
-            const Operation &consumer = kernel_.operation(comm.reader);
-            for (FuncUnitId g : machine_.unitsForOpcode(
-                     consumer.opcode)) {
-                reader_files.orWith(
-                    consumer.isCopy()
-                        ? machine_.readableAnyMask(g)
-                        : machine_.readableMask(g, comm.slot));
-            }
-        }
-
-        // Per-register-file feasibility, computed once per file: bit 0
-        // = a copy chain from the file can reach some readable file
-        // (the Section 4.5 serviceability test), bit 1 = the reader
-        // can fetch from the file directly.
-        auto &rf_flags = rfScratch_;
-        rf_flags.resize(machine_.numRegFiles());
-        for (std::size_t j = 0; j < rf_flags.size(); ++j) {
-            RegFileId rf(static_cast<std::uint32_t>(j));
-            rf_flags[j] =
-                (machine_.reachableFrom(rf).intersects(reader_files)
-                     ? 1
-                     : 0) |
-                (reader_files.test(j) ? 2 : 0);
-        }
+        // The whole Section 4.5 analysis (readable-file masks x copy
+        // reachability closure) depends only on the reader's shape, so
+        // the shared context serves it as one precomputed class byte
+        // per register file.
+        const Operation &consumer = kernel_.operation(comm.reader);
+        std::span<const std::uint8_t> codes =
+            isScheduled(comm.reader)
+                ? (consumer.isCopy()
+                       ? ctx_->openCodesScheduledCopy(
+                             schedule_.placement(comm.reader).fu)
+                       : ctx_->openCodesScheduled(
+                             schedule_.placement(comm.reader).fu,
+                             comm.slot))
+                : (consumer.isCopy()
+                       ? ctx_->openCodesUnscheduledCopy()
+                       : ctx_->openCodesUnscheduled(consumer.opcode,
+                                                    comm.slot));
 
         for (std::size_t i = 0; i < all.size(); ++i) {
             const WriteStub &stub = all[i];
@@ -254,14 +228,16 @@ BlockScheduler::writeCandidatesFor(const Communication &comm,
             // Section 4.5 trap). Rejecting it here makes the
             // *producer's* placement fail instead, so the producer
             // slides to a cycle where a useful port is free.
-            RegFileId rf = machine_.writePortRegFile(stub.writePort);
-            int flags = rf_flags[rf.index()];
-            if (!(flags & 1)) {
+            std::uint8_t cls =
+                codes[machine_.writePortRegFile(stub.writePort)
+                          .index()];
+            if (cls == BlockSchedulingContext::kStubPruned) {
                 ++hot_.pruneRouteMask;
                 ranks[i] = -1;
                 continue;
             }
-            bool reachable = (flags & 2) != 0;
+            bool reachable =
+                cls == BlockSchedulingContext::kStubReachable;
             int rank;
             if (comm.writeStub && stub == *comm.writeStub) {
                 rank = reachable ? 0 : 4;
@@ -405,6 +381,12 @@ BlockScheduler::permuteReadStubsImpl(int cycle, CommId constrain,
         }
         Communication &comm = comms_.get(ids[level]);
         int reader_cycle = issueCycleOf(comm.reader);
+        // Cooperative cancellation rides the budget: zeroing it makes
+        // this expansion step take the existing exhaustion rollback,
+        // so an abort costs one relaxed load per DFS step and nothing
+        // on the candidate loop.
+        if (abortRequested())
+            budget = 0;
         bool advanced = false;
         for (int next = choice[level] + 1;
              next < static_cast<int>(candidates[level].size()); ++next) {
@@ -595,6 +577,9 @@ BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
         }
         Communication &comm = comms_.get(ids[level]);
         int write_cycle = writeStubCycleOf(comm.writer);
+        // Same cancellation-as-budget trick as the read search above.
+        if (abortRequested())
+            budget = 0;
         bool advanced = false;
         for (int next = choice[level] + 1;
              next < static_cast<int>(candidates[level].size()); ++next) {

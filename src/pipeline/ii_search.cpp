@@ -1,0 +1,150 @@
+#include "pipeline/ii_search.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "core/sched_context.hpp"
+#include "support/logging.hpp"
+
+namespace cs {
+
+PipelineResult
+schedulePipelinedParallel(const Kernel &kernel, BlockId block,
+                          const Machine &machine,
+                          const SchedulerOptions &options,
+                          int maxIiSlack, const IiSearchConfig &config)
+{
+    if (config.pool == nullptr) {
+        return schedulePipelined(kernel, block, machine, options,
+                                 maxIiSlack);
+    }
+
+    using Clock = std::chrono::steady_clock;
+
+    PipelineResult result;
+    BlockSchedulingContext context(kernel, block, machine);
+    result.resMii = context.resMii();
+    result.recMii = context.recMii();
+    const int mii = context.mii();
+
+    const std::vector<SchedulerOptions> variants =
+        iiRetryVariants(options);
+    const int num_variants = static_cast<int>(variants.size());
+    const int total = (maxIiSlack + 1) * num_variants;
+
+    int window = config.maxInFlight > 0
+                     ? config.maxInFlight
+                     : static_cast<int>(config.pool->size());
+    window = std::max(window, 1);
+
+    struct Attempt
+    {
+        std::atomic<bool> abort{false};
+        ScheduleResult result;
+        bool done = false;
+        /** Flag raised (under the controller mutex); timestamp of it. */
+        bool abortRaised = false;
+        Clock::time_point abortedAt{};
+    };
+    // deque: stable addresses for the abort flags, no moves required.
+    std::deque<Attempt> attempts(static_cast<std::size_t>(total));
+
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    int best = total; ///< smallest successful attempt index so far
+    int launched = 0;
+    int in_flight = 0;
+    std::uint64_t num_cancelled = 0;
+    std::uint64_t cancel_latency_us = 0;
+
+    auto run_attempt = [&](int k) {
+        BlockScheduler scheduler(context,
+                                 variants[k % num_variants],
+                                 mii + k / num_variants);
+        scheduler.setAbortFlag(&attempts[static_cast<std::size_t>(k)]
+                                    .abort);
+        ScheduleResult attempt_result = scheduler.run();
+        Clock::time_point finished = Clock::now();
+
+        std::lock_guard<std::mutex> lock(mutex);
+        Attempt &a = attempts[static_cast<std::size_t>(k)];
+        a.result = std::move(attempt_result);
+        a.done = true;
+        --in_flight;
+        if (a.abortRaised && a.result.cancelled) {
+            ++num_cancelled;
+            cancel_latency_us += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    finished - a.abortedAt)
+                    .count());
+        }
+        if (a.result.success && k < best) {
+            best = k;
+            // Abort the speculation past the new best. best only
+            // decreases and flags are only raised for indices above
+            // it, so the eventual winner is never aborted.
+            Clock::time_point now = Clock::now();
+            for (int j = best + 1; j < launched; ++j) {
+                Attempt &loser = attempts[static_cast<std::size_t>(j)];
+                if (!loser.done && !loser.abortRaised) {
+                    loser.abortRaised = true;
+                    loser.abortedAt = now;
+                    loser.abort.store(true, std::memory_order_relaxed);
+                }
+            }
+        }
+        done_cv.notify_all();
+    };
+
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        while (true) {
+            while (in_flight < window &&
+                   launched < std::min(total, best)) {
+                int k = launched++;
+                ++in_flight;
+                bool accepted =
+                    config.pool->submit([&run_attempt, k] {
+                        run_attempt(k);
+                    });
+                CS_ASSERT(accepted,
+                          "II-search pool rejected an attempt");
+            }
+            if (in_flight == 0 && launched >= std::min(total, best))
+                break;
+            done_cv.wait(lock);
+        }
+    }
+    // All attempts are done: the pool holds no reference to local
+    // state any more, and no further synchronization is needed.
+
+    result.attempts = launched;
+    if (best < total) {
+        Attempt &winner = attempts[static_cast<std::size_t>(best)];
+        result.success = true;
+        result.ii = mii + best / num_variants;
+        result.attemptsWasted = launched - (best + 1);
+        result.inner = std::move(winner.result);
+    } else {
+        result.inner.failure = "no feasible II within MII + " +
+                               std::to_string(maxIiSlack);
+    }
+
+    CounterSet &stats = result.inner.stats;
+    stats.bump("ii_search.attempts_launched",
+               static_cast<std::uint64_t>(launched));
+    if (result.attemptsWasted > 0) {
+        stats.bump("ii_search.attempts_wasted",
+                   static_cast<std::uint64_t>(result.attemptsWasted));
+    }
+    if (num_cancelled > 0) {
+        stats.bump("ii_search.attempts_cancelled", num_cancelled);
+        stats.bump("ii_search.cancel_latency_us", cancel_latency_us);
+    }
+    return result;
+}
+
+} // namespace cs

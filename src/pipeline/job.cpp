@@ -175,20 +175,27 @@ scheduleJobKey(const ScheduleJob &job)
 JobResult
 runScheduleJob(const ScheduleJob &job)
 {
+    return runScheduleJob(job, IiSearchConfig{});
+}
+
+JobResult
+runScheduleJob(const ScheduleJob &job, const IiSearchConfig &iiSearch)
+{
     CS_ASSERT(job.machine != nullptr, "job '", job.label,
               "' has no machine");
     auto start = std::chrono::steady_clock::now();
 
     JobResult out;
     if (job.pipelined) {
-        PipelineResult pipe = schedulePipelined(
+        PipelineResult pipe = schedulePipelinedParallel(
             job.kernel, job.block, *job.machine, job.options,
-            job.maxIiSlack);
+            job.maxIiSlack, iiSearch);
         out.success = pipe.success;
         out.ii = pipe.ii;
         out.resMii = pipe.resMii;
         out.recMii = pipe.recMii;
         out.iiAttempts = pipe.attempts;
+        out.iiAttemptsWasted = pipe.attemptsWasted;
         out.sched = std::move(pipe.inner);
     } else {
         out.sched = scheduleBlock(job.kernel, job.block, *job.machine,

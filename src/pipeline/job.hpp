@@ -31,6 +31,7 @@
 #include "core/modulo_scheduler.hpp"
 #include "ir/kernel.hpp"
 #include "machine/machine.hpp"
+#include "pipeline/ii_search.hpp"
 
 namespace cs {
 
@@ -66,7 +67,15 @@ struct JobResult
     /** II lower bounds and attempts (pipelined jobs only). */
     int resMii = 0;
     int recMii = 0;
+    /**
+     * (II, variant) attempts launched / launched-but-discarded by the
+     * II search — PipelineResult::attempts / attemptsWasted. Cached
+     * entries replay the numbers of the run that populated the cache,
+     * so a hit may report speculative attempts even when the current
+     * pipeline searches serially.
+     */
     int iiAttempts = 0;
+    int iiAttemptsWasted = 0;
     /** Schedule length in cycles (0 when !success). */
     int length = 0;
     /** Copy operations the scheduler inserted. */
@@ -90,6 +99,16 @@ struct JobResult
  * shared mutable state.
  */
 JobResult runScheduleJob(const ScheduleJob &job);
+
+/**
+ * Same, but pipelined jobs run the speculative parallel II search on
+ * @p iiSearch's worker budget (serial when its pool is null). The
+ * schedule, listing, and achieved II are byte-identical either way —
+ * only wall time and the attempt accounting differ. @p iiSearch.pool
+ * must not be the pool the caller itself runs on (see IiSearchConfig).
+ */
+JobResult runScheduleJob(const ScheduleJob &job,
+                         const IiSearchConfig &iiSearch);
 
 /** @name Content hashing (FNV-1a, 64-bit) */
 /// @{

@@ -24,6 +24,8 @@ SchedulingPipeline::SchedulingPipeline(const PipelineConfig &config)
     : pool_(resolveThreads(config.numThreads)),
       cache_(config.cacheCapacity)
 {
+    if (config.iiSearchWorkers > 0)
+        iiPool_ = std::make_unique<ThreadPool>(config.iiSearchWorkers);
 }
 
 std::vector<JobResult>
@@ -58,7 +60,9 @@ SchedulingPipeline::runOne(const ScheduleJob &job)
         return *cached;
     }
 
-    JobResult result = runScheduleJob(job);
+    IiSearchConfig ii_search;
+    ii_search.pool = iiPool_.get();
+    JobResult result = runScheduleJob(job, ii_search);
     cache_.insert(key, result);
 
     stats_.bump("pipeline.jobs");

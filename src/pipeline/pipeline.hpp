@@ -20,6 +20,7 @@
 #define CS_PIPELINE_PIPELINE_HPP
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "pipeline/job.hpp"
@@ -36,6 +37,16 @@ struct PipelineConfig
     unsigned numThreads = 0;
     /** Schedule-cache entries; 0 disables caching. */
     std::size_t cacheCapacity = 1024;
+    /**
+     * Worker budget for the speculative parallel II search of
+     * pipelined jobs. 0 keeps the serial sweep. A positive value
+     * spawns one dedicated pool of that many workers, shared by every
+     * job in the batch — dedicated because job workers block waiting
+     * for their II attempts, so running attempts on the job pool
+     * itself would deadlock it. Results are byte-identical either
+     * way; only wall time and the attempt accounting change.
+     */
+    unsigned iiSearchWorkers = 0;
 };
 
 /**
@@ -72,6 +83,8 @@ class SchedulingPipeline
     JobResult runOne(const ScheduleJob &job);
 
     ThreadPool pool_;
+    /** Dedicated II-search workers (null when iiSearchWorkers == 0). */
+    std::unique_ptr<ThreadPool> iiPool_;
     ScheduleCache cache_;
     CounterSet stats_;
 };

@@ -11,6 +11,12 @@
  * sweeps that revisit configurations, repeated service requests), and
  * a schedule is orders of magnitude more expensive to compute than to
  * copy out of a map.
+ *
+ * Entries are whole JobResults, so for pipelined jobs each entry also
+ * records the achieved II and the II-search attempt accounting
+ * (iiAttempts / iiAttemptsWasted) of the run that populated it; the
+ * serial and speculative searches produce the same schedule for the
+ * same key, so either may serve a hit for the other.
  */
 
 #ifndef CS_PIPELINE_SCHEDULE_CACHE_HPP
