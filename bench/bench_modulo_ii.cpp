@@ -41,6 +41,7 @@
 #include "machine/builders.hpp"
 #include "pipeline/ii_search.hpp"
 #include "support/logging.hpp"
+#include "support/stats.hpp"
 
 namespace {
 
@@ -95,6 +96,17 @@ struct JsonEntry
     int attempts = 0;
     int attemptsWasted = 0;
     double medianMs = 0.0;
+    CounterSet stats; ///< winning attempt's counters (last rep)
+};
+
+/** Failure-learning effort counters, grouped under "search"; the
+ *  serial and parallel modes show the cross-attempt no-good reuse
+ *  through the shared context (DESIGN.md section 5d). */
+const char *const kSearchCounters[] = {
+    "dfs_nodes",       "nogood_probes",  "nogood_hits",
+    "nogood_misses",   "nogood_inserts", "nogood_invalidations",
+    "nogood_evictions", "backjumps",     "backjump_levels_skipped",
+    "cbj_reruns",
 };
 
 double
@@ -116,7 +128,15 @@ printJsonEntry(std::ostream &os, const JsonEntry &entry)
        << "\",\"success\":" << (entry.success ? "true" : "false")
        << ",\"ii\":" << entry.ii << ",\"attempts\":" << entry.attempts
        << ",\"attempts_wasted\":" << entry.attemptsWasted
-       << ",\"median_ms\":" << entry.medianMs << "}";
+       << ",\"median_ms\":" << entry.medianMs << ",\"search\":{";
+    bool first = true;
+    for (const char *name : kSearchCounters) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << name << "\":" << entry.stats.get(name);
+    }
+    os << "}}";
 }
 
 int
@@ -201,6 +221,8 @@ runJsonMode(int reps, const std::string &filter, bool all)
                     entry.ii = result.ii;
                     entry.attempts = result.attempts;
                     entry.attemptsWasted = result.attemptsWasted;
+                    if (r == reps - 1)
+                        entry.stats = result.inner.stats;
                 }
             }
             for (std::size_t m = 0; m < 3; ++m) {

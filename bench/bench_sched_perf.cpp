@@ -28,6 +28,7 @@
 
 #include "core/list_scheduler.hpp"
 #include "core/modulo_scheduler.hpp"
+#include "core/sched_context.hpp"
 #include "ir/ddg.hpp"
 #include "kernels/kernels.hpp"
 #include "machine/builders.hpp"
@@ -155,6 +156,16 @@ const char *const kTrackedCounters[] = {
     "write_perm_bus_prechecks",
 };
 
+/** Failure-learning effort counters, grouped under "search" so the
+ *  perf trajectory records how much work the no-good cache and the
+ *  conflict-directed backjumper save (DESIGN.md section 5d). */
+const char *const kSearchCounters[] = {
+    "dfs_nodes",       "nogood_probes",  "nogood_hits",
+    "nogood_misses",   "nogood_inserts", "nogood_invalidations",
+    "nogood_evictions", "backjumps",     "backjump_levels_skipped",
+    "cbj_reruns",
+};
+
 void
 printJsonEntry(std::ostream &os, const JsonEntry &entry)
 {
@@ -164,6 +175,14 @@ printJsonEntry(std::ostream &os, const JsonEntry &entry)
        << ",\"median_ms\":" << entry.medianMs << ",\"counters\":{";
     bool first = true;
     for (const char *name : kTrackedCounters) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << name << "\":" << entry.stats.get(name);
+    }
+    os << "},\"search\":{";
+    first = true;
+    for (const char *name : kSearchCounters) {
         if (!first)
             os << ",";
         first = false;

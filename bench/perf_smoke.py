@@ -17,6 +17,16 @@ the allowed factor. The factor is deliberately loose (2x) so machine
 noise does not fail the build while a genuine complexity regression
 still does.
 
+When an entry carries a "search" stats object in both the committed
+snapshot and the fresh run, the dfs_nodes counter gates as well: it is
+deterministic for the serial paths, so a blow-up there is a genuine
+search regression even when wall time hides it in noise.
+
+Sections the committed baseline does not have yet (e.g. a snapshot
+taken before a stats field existed) are skipped with a notice rather
+than failing: the check gates regressions against what was measured,
+not the shape of the file.
+
 Usage: perf_smoke.py <bench_sched_perf-binary> <bench_modulo_ii-binary>
        <BENCH_sched.json>
 """
@@ -52,6 +62,10 @@ def check(bench, bench_filter, committed, failures):
         if not entry["success"]:
             failures.append(f"{key(entry)}: scheduling failed")
             continue
+        if "median_ms" not in ref:
+            print(f"{key(entry)}: committed entry lacks median_ms; skipping")
+            continue
+        check_search(entry, ref, failures)
         if ref["median_ms"] < MIN_GATED_MS:
             continue
         ratio = entry["median_ms"] / ref["median_ms"]
@@ -69,6 +83,24 @@ def check(bench, bench_filter, committed, failures):
             )
 
 
+def check_search(entry, ref, failures):
+    """Gate the search-efficiency counters when both sides have them."""
+    ref_search = ref.get("search")
+    new_search = entry.get("search")
+    if not ref_search or not new_search:
+        return  # snapshot predates the stats object: nothing to gate
+    ref_nodes = ref_search.get("dfs_nodes", 0)
+    new_nodes = new_search.get("dfs_nodes", 0)
+    if ref_nodes <= 0:
+        return
+    ratio = new_nodes / ref_nodes
+    if ratio > ALLOWED_FACTOR:
+        failures.append(
+            f"{key(entry)}: dfs_nodes {new_nodes} vs committed "
+            f"{ref_nodes} (x{ratio:.2f} > x{ALLOWED_FACTOR})"
+        )
+
+
 def main():
     if len(sys.argv) != 4:
         print(__doc__, file=sys.stderr)
@@ -77,7 +109,9 @@ def main():
 
     with open(committed_path) as f:
         doc = json.load(f)
-    committed_block = {key(e): e for e in doc["current"]["entries"]}
+    committed_block = {
+        key(e): e for e in doc.get("current", {}).get("entries", [])
+    }
     committed_ii = {
         key(e): e
         for e in doc.get("modulo_ii", {})
@@ -86,7 +120,10 @@ def main():
     }
 
     failures = []
-    check(bench_sched, "distributed#block", committed_block, failures)
+    if committed_block:
+        check(bench_sched, "distributed#block", committed_block, failures)
+    else:
+        print("no committed block snapshot; skipping the block gate")
     if committed_ii:
         check(bench_ii, "#serial", committed_ii, failures)
     else:

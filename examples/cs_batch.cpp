@@ -192,7 +192,17 @@ main(int argc, char **argv)
               << ",\"attempts_cancelled\":"
               << stats.get("ii_search.attempts_cancelled")
               << ",\"cancel_latency_us\":"
-              << stats.get("ii_search.cancel_latency_us") << "}}}\n";
+              << stats.get("ii_search.cancel_latency_us")
+              << "},\"search\":{\"dfs_nodes\":"
+              << stats.get("dfs_nodes")
+              << ",\"nogood_probes\":" << stats.get("nogood_probes")
+              << ",\"nogood_hits\":" << stats.get("nogood_hits")
+              << ",\"nogood_misses\":" << stats.get("nogood_misses")
+              << ",\"nogood_invalidations\":"
+              << stats.get("nogood_invalidations")
+              << ",\"backjumps\":" << stats.get("backjumps")
+              << ",\"backjump_levels_skipped\":"
+              << stats.get("backjump_levels_skipped") << "}}}\n";
 
     return failures == 0 ? 0 : 1;
 }

@@ -280,6 +280,18 @@ BlockScheduler::run()
     ScheduleResult result{false, "", Kernel("moved-out"),
                           BlockSchedule(block_, ii_), CounterSet{}};
 
+    // Seed the local no-good cache from failures earlier attempts on
+    // this context published. Signatures are self-validating (see
+    // core/nogood.hpp), so a seeded entry can only convert a search
+    // that would fail anyway into an immediate failure — schedules
+    // are unaffected on any II, variant, or thread.
+    if (options_.noGoodCache && options_.crossAttemptNoGoods) {
+        std::vector<std::uint64_t> seed;
+        ctx_->noGoods().snapshotInto(seed);
+        for (std::uint64_t sig : seed)
+            noGoods_.insert(sig);
+    }
+
     const std::vector<OperationId> &order =
         ctx_->scheduleOrder(options_.operationOrder);
     bool ok = true;
@@ -317,6 +329,15 @@ BlockScheduler::run()
             route.readStub = *comm.readStub;
             schedule_.addRoute(route);
         }
+    }
+
+    // Publish this run's learned failures for the next attempt. Valid
+    // even when cancelled: entries recorded before the abort latched
+    // are genuine (abort-induced failures are never recorded).
+    if (options_.noGoodCache && options_.crossAttemptNoGoods &&
+        !learnedNoGoods_.empty()) {
+        ctx_->noGoods().publish(learnedNoGoods_);
+        learnedNoGoods_.clear();
     }
 
     result.success = ok;
@@ -365,6 +386,22 @@ BlockScheduler::flushHotCounters()
     flush("prune_route_mask", hot_.pruneRouteMask);
     flush("table_acquires", hot_.tableAcquires);
     flush("table_releases", hot_.tableReleases);
+    flush("dfs_nodes", hot_.dfsNodes);
+    flush("nogood_probes", hot_.nogoodProbes);
+    flush("nogood_hits", hot_.nogoodHits);
+    flush("nogood_misses", hot_.nogoodMisses);
+    flush("nogood_inserts", hot_.nogoodInserts);
+    flush("nogood_invalidations", hot_.nogoodInvalidations);
+    flush("backjumps", hot_.backjumps);
+    flush("backjump_levels_skipped", hot_.backjumpLevelsSkipped);
+    flush("cbj_reruns", hot_.cbjReruns);
+    // Evictions are counted inside the table; flush the delta so a
+    // second observation of run() does not double-count.
+    std::uint64_t evictions = noGoods_.evictions() - evictionsFlushed_;
+    if (evictions) {
+        stats_.bump("nogood_evictions", evictions);
+        evictionsFlushed_ += evictions;
+    }
 }
 
 int
@@ -454,7 +491,7 @@ BlockScheduler::scheduleOp(OperationId op, int rangeLo, int rangeHi,
          static_cast<long>(rangeHi),
          static_cast<long>(lo) + window - 1});
     for (int cycle = lo; cycle <= hi_long; ++cycle) {
-        for (FuncUnitId fu : unitChoices(op, cycle)) {
+        for (FuncUnitId fu : unitChoices(op, cycle, copyDepth)) {
             if (++attemptsThisOp_ > attemptCap_) {
                 ++hot_.attemptBudgetExhausted;
                 return false;
@@ -471,11 +508,13 @@ BlockScheduler::scheduleOp(OperationId op, int rangeLo, int rangeHi,
     return false;
 }
 
-std::vector<FuncUnitId>
-BlockScheduler::unitChoices(OperationId op, int cycle) const
+std::span<const FuncUnitId>
+BlockScheduler::unitChoices(OperationId op, int cycle,
+                            int copyDepth) const
 {
     const Operation &operation = kernel_.operation(op);
-    std::vector<FuncUnitId> choices;
+    std::vector<FuncUnitId> &choices = driverFrame(copyDepth).choices;
+    choices.clear();
     for (FuncUnitId fu : machine_.unitsForOpcode(operation.opcode)) {
         if (reservations_.fuFree(fu, cycle))
             choices.push_back(fu);
@@ -493,7 +532,7 @@ BlockScheduler::unitChoices(OperationId op, int cycle) const
         if (isScheduled(producer)) {
             const auto &writable = machine_.writableRegFiles(
                 schedule_.placement(producer).fu);
-            std::vector<FuncUnitId> direct;
+            std::size_t keep = 0;
             for (FuncUnitId fu : choices) {
                 const auto &readable = machine_.readableAnySlot(fu);
                 bool ok = false;
@@ -505,9 +544,9 @@ BlockScheduler::unitChoices(OperationId op, int cycle) const
                     }
                 }
                 if (ok)
-                    direct.push_back(fu);
+                    choices[keep++] = fu;
             }
-            choices = std::move(direct);
+            choices.resize(keep);
         }
 
         // Rank remaining choices. Primary: units that can read a file
@@ -559,9 +598,8 @@ BlockScheduler::unitChoices(OperationId op, int cycle) const
             auto n = static_cast<std::uint32_t>(choices.size());
             return (fu.index() + n - op.index() % n) % n;
         };
-        std::vector<std::pair<std::pair<double, std::uint32_t>,
-                              FuncUnitId>>
-            ranked;
+        auto &ranked = driverFrame(copyDepth).ranked;
+        ranked.clear();
         ranked.reserve(choices.size());
         for (FuncUnitId fu : choices) {
             double cost = options_.commCostHeuristic
@@ -714,21 +752,24 @@ BlockScheduler::closeRoutes(OperationId op, int copyDepth)
 {
     // Gather this operation's closing communications: reads whose
     // writer is placed (or live-ins), writes whose reader is placed.
-    std::vector<CommId> closing;
-    for (CommId id : comms_.toReader(op)) {
-        const Communication &comm = comms_.get(id);
-        if (comm.closed)
+    // Scanned inline (reads first, as CommTable::toReader/fromWriter
+    // would order them) into the depth's reusable frame.
+    std::vector<CommId> &closing = driverFrame(copyDepth).closing;
+    closing.clear();
+    for (const Communication &comm : comms_.all()) {
+        if (!comm.active || comm.reader != op || comm.closed)
             continue;
         if (comm.isLiveIn() ||
             (comm.writer.valid() && isScheduled(comm.writer))) {
-            closing.push_back(id);
+            closing.push_back(comm.id);
         }
     }
-    for (CommId id : comms_.fromWriter(op)) {
-        const Communication &comm = comms_.get(id);
+    for (const Communication &comm : comms_.all()) {
+        if (!comm.active || comm.writer != op)
+            continue;
         if (!comm.closed && isScheduled(comm.reader) &&
             comm.reader != op) {
-            closing.push_back(id);
+            closing.push_back(comm.id);
         }
     }
 

@@ -19,15 +19,18 @@
 #ifndef CS_CORE_COMM_SCHEDULER_HPP
 #define CS_CORE_COMM_SCHEDULER_HPP
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/communication.hpp"
+#include "core/nogood.hpp"
 #include "core/reservation.hpp"
 #include "core/sched_context.hpp"
 #include "core/schedule.hpp"
@@ -82,6 +85,24 @@ struct SchedulerOptions
      * configuration in isolation (ablation studies).
      */
     bool retryVariants = true;
+    /**
+     * @name Failure-learning switches
+     * Exact accelerations of the permutation search: disabling any of
+     * them changes wall time, never a schedule
+     * (tests/test_search_pruning.cpp holds the listings byte-identical
+     * both ways; DESIGN.md §5d has the exactness argument).
+     */
+    /// @{
+    /** Cache signatures of definitively-failed stub searches and skip
+     *  the DFS when one recurs. */
+    bool noGoodCache = true;
+    /** Conflict-directed backjumping in the permutation DFS: unwind
+     *  straight to the deepest level the rejections actually blame. */
+    bool conflictBackjumping = true;
+    /** Migrate learned no-goods between modulo-sweep attempts and
+     *  speculative parallel II workers through the shared context. */
+    bool crossAttemptNoGoods = true;
+    /// @}
 };
 
 /** Outcome of scheduling one block. */
@@ -153,7 +174,8 @@ class BlockScheduler
     /** Latest legal issue cycle (carried readers bound it); INT_MAX
      *  when unbounded. */
     int latestCycle(OperationId op) const;
-    std::vector<FuncUnitId> unitChoices(OperationId op, int cycle) const;
+    std::span<const FuncUnitId> unitChoices(OperationId op, int cycle,
+                                            int copyDepth) const;
     /// @}
 
     /** @name Communication scheduling (Section 4.3) */
@@ -195,6 +217,30 @@ class BlockScheduler
                               RegFileId wantRf);
     bool permuteWriteStubsImpl(int cycle, CommId constrain,
                                RegFileId wantRf);
+
+    /**
+     * @name No-good signatures
+     * Hash of everything a permutation-search call reads: the sorted
+     * participant list with endpoints, placements and tentative stubs,
+     * the constrain/wantRf overrides, the permutation budget, and the
+     * content hash of the one reservation row every probe in the call
+     * touches (all participants share norm(cycle) by construction). A
+     * recurring signature therefore implies a recurring outcome; see
+     * core/nogood.hpp for why entries are self-validating.
+     */
+    /// @{
+    std::uint64_t readSearchSignature(const std::vector<CommId> &ids,
+                                      int cycle, CommId constrain,
+                                      RegFileId wantRf) const;
+    std::uint64_t writeSearchSignature(const std::vector<CommId> &ids,
+                                       int cycle, CommId constrain,
+                                       RegFileId wantRf) const;
+    /** Probe the cache; true = known failure (skip the search). */
+    bool noGoodHit(std::uint64_t sig);
+    /** Record a definitive failure (skipped when aborting: an abort
+     *  zeroes the budget, which is not a property of the inputs). */
+    void noteNoGood(std::uint64_t sig);
+    /// @}
 
     /**
      * Step 4: try to close every closing communication of @p op,
@@ -296,6 +342,17 @@ class BlockScheduler
         /** Journaled stub acquisitions / releases on the table. */
         std::uint64_t tableAcquires = 0;
         std::uint64_t tableReleases = 0;
+        /** Failure learning: DFS expansion steps actually executed,
+         *  no-good cache traffic, and backjumping activity. */
+        std::uint64_t dfsNodes = 0;
+        std::uint64_t nogoodProbes = 0;
+        std::uint64_t nogoodHits = 0;
+        std::uint64_t nogoodMisses = 0;
+        std::uint64_t nogoodInserts = 0;
+        std::uint64_t nogoodInvalidations = 0;
+        std::uint64_t backjumps = 0;
+        std::uint64_t backjumpLevelsSkipped = 0;
+        std::uint64_t cbjReruns = 0;
     };
     void flushHotCounters();
 
@@ -321,6 +378,9 @@ class BlockScheduler
         std::vector<int> choice;
         std::vector<ValueId> distinctValues;
         InlineBitset candidateBuses;
+        /** Per-level conflict sets for backjumping (bit l = "a stub
+         *  acquired at level l rejected one of my candidates"). */
+        std::vector<std::uint64_t> conflict;
     };
 
     /** RAII lease on the scratch frame at the current nesting depth. */
@@ -384,6 +444,45 @@ class BlockScheduler
     std::size_t permDepth_ = 0;
 
     /**
+     * Per-copy-depth scratch for the placement driver. scheduleOp at
+     * depth d iterates unitChoices' result and closeRoutes' closing
+     * list while copy insertion re-enters the driver at depth d+1
+     * (insertAndScheduleCopy always increments), so frames indexed by
+     * copyDepth never alias a live iteration. Reusing the frames
+     * keeps the driver's per-placement work allocation-free after
+     * warm-up.
+     */
+    struct DriverScratch
+    {
+        std::vector<FuncUnitId> choices;
+        std::vector<std::pair<std::pair<double, std::uint32_t>,
+                              FuncUnitId>>
+            ranked;
+        std::vector<CommId> closing;
+    };
+    mutable std::vector<DriverScratch> driverScratch_;
+    DriverScratch &driverFrame(int copyDepth) const
+    {
+        // Sized once for every reachable depth (copy insertion stops
+        // recursing at maxCopyDepth): the pool never reallocates
+        // afterwards, so frame references held across nested
+        // driverFrame calls stay valid.
+        if (driverScratch_.size() <= static_cast<std::size_t>(copyDepth)) {
+            driverScratch_.resize(std::max<std::size_t>(
+                copyDepth + 1, options_.maxCopyDepth + 1));
+        }
+        return driverScratch_[static_cast<std::size_t>(copyDepth)];
+    }
+
+    /** Local no-good cache (options_.noGoodCache gates every use). */
+    NoGoodTable noGoods_;
+    /** Signatures learned this run, published to the context exchange
+     *  at run() end when options_.crossAttemptNoGoods is on. */
+    std::vector<std::uint64_t> learnedNoGoods_;
+    /** Table evictions already flushed into stats_. */
+    std::uint64_t evictionsFlushed_ = 0;
+
+    /**
      * Candidate-ranking scratch. The candidate functions never nest
      * (each completes before any other scheduler code runs), so one
      * frame each suffices; mutable because ranking is a const query.
@@ -395,14 +494,102 @@ class BlockScheduler
      * bus rotation is a bucket walk), so it needs no pair vector.
      */
     mutable std::vector<std::pair<std::uint64_t, ReadStub>> rankedRead_;
-    /** Per-bus value cache, refilled per candidate query (cycle is
-     *  fixed for the whole query, so one table lookup per bus
-     *  replaces one per stub). */
+    /** Per-bus value cache, memoized against the reservation row it
+     *  was filled from: (normalized cycle, stub generation) identifies
+     *  the row's content exactly (the generation is monotone — see
+     *  ReservationTable::stubGeneration), so every candidate query of
+     *  one permutation call — and any later query against an
+     *  unmutated row — reuses a single fill. */
     mutable std::vector<ValueId> busValueScratch_;
+    mutable int busValRow_ = -1;
+    mutable std::uint32_t busValGen_ = 0;
+    mutable bool busValValid_ = false;
     /** Write-candidate counting sort: per-stub rank and bucket
      *  offsets. */
     mutable std::vector<int> stubRankScratch_;
     mutable std::vector<int> bucketScratch_;
+
+    /**
+     * @name Write-candidate emission plans
+     * writeCandidatesFor spends its time deriving, per stub, a rank
+     * from tables that depend only on the reader's shape and the
+     * writer's unit — not on live reservation state. A plan bakes
+     * that derivation once: the unit's stub list regrouped bus-major
+     * into rank-homogeneous runs (route-pruned stubs dropped), so a
+     * query reduces to walking the runs in rotated-bus order and
+     * bulk-copying each run into its rank bucket. Live state enters
+     * only per bus — does the bus already broadcast the value? — plus
+     * the single currently-held stub; the few buses where that
+     * matters are re-ranked stub-by-stub, exactly as the unplanned
+     * loop ranks them, so the emitted order is identical. Plans are
+     * keyed by the context table row's address (stable — the context
+     * is immutable and outlives the scheduler) and the writer's unit,
+     * and build lazily on first use so small blocks never pay.
+     */
+    /// @{
+    struct WriteEmitPlan
+    {
+        /** Maximal same-rank slice of one bus's stubs, in original
+         *  stub-list order. Open plans use rank 3 (reachable) and 7
+         *  (serviceable-only) — the default open ranks, refined per
+         *  query only on special buses. Closing plans store the
+         *  context's base rank; BlockSchedulingContext::kSameFile
+         *  resolves to 0/1 per query from the bus's live value. */
+        struct Run
+        {
+            std::uint16_t rank = 0;
+            std::uint32_t begin = 0;
+            std::uint32_t end = 0;
+        };
+        /** One bus with at least one usable stub: its run slice.
+         *  Ascending by bus, so the rotated emission walk is a split
+         *  at the first entry >= the start bus. Only occupied buses
+         *  appear — a unit's stubs ride few of the machine's buses,
+         *  and per-query work scales with those, not the machine. */
+        struct BusRuns
+        {
+            std::uint32_t bus = 0;
+            std::uint32_t firstRun = 0;
+            std::uint32_t endRun = 0;
+        };
+        std::vector<WriteStub> stubs; ///< bus-major, run-grouped
+        std::vector<Run> runs;
+        std::vector<BusRuns> buses;
+        /** Stubs dropped by the route mask: charged to the
+         *  prune_route_mask counter once per query, as the unplanned
+         *  loop would. */
+        std::uint32_t pruned = 0;
+    };
+    struct WritePlanKey
+    {
+        const void *row = nullptr;
+        std::uint32_t fu = 0;
+        bool operator==(const WritePlanKey &) const = default;
+    };
+    struct WritePlanKeyHash
+    {
+        std::size_t operator()(const WritePlanKey &k) const
+        {
+            auto h = reinterpret_cast<std::uintptr_t>(k.row);
+            h ^= (h >> 17) + std::uintptr_t{k.fu} *
+                                 std::uintptr_t{0x9E3779B97F4A7C15ULL};
+            return static_cast<std::size_t>(h);
+        }
+    };
+    const WriteEmitPlan &
+    openWritePlan(std::span<const std::uint8_t> codes,
+                  FuncUnitId fu) const;
+    const WriteEmitPlan &
+    closeWritePlan(std::span<const std::uint16_t> base,
+                   FuncUnitId fu) const;
+    mutable std::unordered_map<WritePlanKey, WriteEmitPlan,
+                               WritePlanKeyHash>
+        writePlans_;
+    /** Special-bus scratch for one open query: (bus, offset into
+     *  stubRankScratch_) per bus needing stub-level ranks. */
+    mutable std::vector<std::pair<std::uint32_t, std::uint32_t>>
+        specialBusScratch_;
+    /// @}
 };
 
 } // namespace cs

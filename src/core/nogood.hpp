@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Failure learning for the stub permutation search: a no-good cache of
+ * definitively-failed search subproblems, and a thread-safe exchange
+ * that migrates learned no-goods between modulo-sweep attempts and
+ * speculative parallel II workers.
+ *
+ * A "no-good" is the 64-bit signature of one permutation-search call
+ * that returned false for a reason intrinsic to its inputs (never
+ * because an abort zeroed the budget). The signature hashes every
+ * input the search reads — the participating communications with
+ * their endpoints, placements and tentative stubs, the search options,
+ * and a content hash of the one reservation row all probes in that
+ * call touch — so an entry is self-validating: whenever the same
+ * signature recurs, the same failure must recur, on any attempt, any
+ * II, any thread. Stale entries are never *wrong*, merely unreachable
+ * (their signature stops occurring); generation counters on the
+ * reservation rows only memoize the row hash, they are not needed for
+ * soundness. The one caveat is 64-bit hash collisions, which the
+ * golden-listing suite would surface as a schedule difference.
+ *
+ * The table is a fixed-stride open-addressing set of raw signatures:
+ * no buckets, no allocation per insert, growth by doubling up to a
+ * hard cap, and lossy overwrite once the cap is reached (forgetting a
+ * failure costs a re-search, never correctness).
+ */
+
+#ifndef CS_CORE_NOGOOD_HPP
+#define CS_CORE_NOGOOD_HPP
+
+#include <cstdint>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace cs {
+
+/** Open-addressing set of failed-search signatures. */
+class NoGoodTable
+{
+  public:
+    /** Initial slot count (power of two). */
+    static constexpr std::size_t kInitialSlots = 1024;
+    /** Growth stops here; beyond it inserts overwrite (lossy). */
+    static constexpr std::size_t kMaxSlots = 1u << 17;
+
+    bool
+    contains(std::uint64_t sig) const
+    {
+        if (slots_.empty())
+            return false;
+        sig = normalize(sig);
+        std::size_t mask = slots_.size() - 1;
+        for (std::size_t i = sig & mask;; i = (i + 1) & mask) {
+            if (slots_[i] == sig)
+                return true;
+            if (slots_[i] == 0)
+                return false;
+        }
+    }
+
+    /** Insert @p sig; returns true when it was not present before. */
+    bool
+    insert(std::uint64_t sig)
+    {
+        sig = normalize(sig);
+        if (slots_.empty())
+            slots_.assign(kInitialSlots, 0);
+        // Keep load below 3/4 so probe chains always hit an empty
+        // slot; at the size cap, overwrite the home slot instead.
+        if ((count_ + 1) * 4 > slots_.size() * 3) {
+            if (slots_.size() < kMaxSlots) {
+                grow();
+            } else {
+                std::size_t home = sig & (slots_.size() - 1);
+                if (slots_[home] == sig)
+                    return false;
+                ++evictions_;
+                slots_[home] = sig;
+                return true;
+            }
+        }
+        std::size_t mask = slots_.size() - 1;
+        for (std::size_t i = sig & mask;; i = (i + 1) & mask) {
+            if (slots_[i] == sig)
+                return false;
+            if (slots_[i] == 0) {
+                slots_[i] = sig;
+                ++count_;
+                return true;
+            }
+        }
+    }
+
+    std::size_t size() const { return count_; }
+    std::uint64_t evictions() const { return evictions_; }
+
+    void
+    clear()
+    {
+        slots_.clear();
+        count_ = 0;
+    }
+
+  private:
+    /** 0 marks an empty slot; remap a genuine 0 signature. */
+    static std::uint64_t
+    normalize(std::uint64_t sig)
+    {
+        return sig != 0 ? sig : 0x9e3779b97f4a7c15ULL;
+    }
+
+    void
+    grow()
+    {
+        std::vector<std::uint64_t> old = std::move(slots_);
+        slots_.assign(old.size() * 2, 0);
+        std::size_t mask = slots_.size() - 1;
+        for (std::uint64_t sig : old) {
+            if (sig == 0)
+                continue;
+            for (std::size_t i = sig & mask;; i = (i + 1) & mask) {
+                if (slots_[i] == 0) {
+                    slots_[i] = sig;
+                    break;
+                }
+            }
+        }
+    }
+
+    std::vector<std::uint64_t> slots_;
+    std::size_t count_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+/**
+ * Cross-attempt no-good exchange: schedulers publish the signatures
+ * they learned at the end of a run and seed their local table from a
+ * snapshot at the start of the next. Signatures are self-validating
+ * (see file comment), so sharing them across IIs, retry variants and
+ * speculative parallel workers never changes any schedule — a hit
+ * replaces a search that would have failed with an immediate failure.
+ * Read-mostly: one mutex-guarded copy per run boundary, nothing on
+ * the search hot path.
+ */
+class NoGoodExchange
+{
+  public:
+    /** Publishing stops once this many signatures accumulate. */
+    static constexpr std::size_t kCapacity = 1u << 15;
+
+    void
+    publish(const std::vector<std::uint64_t> &sigs)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::uint64_t sig : sigs) {
+            if (ordered_.size() >= kCapacity)
+                return;
+            if (dedup_.insert(sig))
+                ordered_.push_back(sig);
+        }
+    }
+
+    /** Copy the published signatures into @p out (replacing it). */
+    void
+    snapshotInto(std::vector<std::uint64_t> &out) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out = ordered_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return ordered_.size();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    NoGoodTable dedup_;
+    std::vector<std::uint64_t> ordered_;
+};
+
+} // namespace cs
+
+#endif // CS_CORE_NOGOOD_HPP

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/fnv.hpp"
 #include "support/logging.hpp"
 
 namespace cs {
@@ -174,6 +175,7 @@ ReservationTable::acquireWrite(const WriteStub &stub, ValueId value,
     CS_ASSERT(canAcquireWrite(stub, value, cycle),
               "conflicting write stub acquisition");
     CycleState &state = mutableStateAt(cycle);
+    ++state.stubGen;
     for (WriteUse &use : state.writes) {
         if (use.stub == stub && use.value == value) {
             ++use.refs;
@@ -189,6 +191,7 @@ ReservationTable::releaseWrite(const WriteStub &stub, ValueId value,
                                int cycle)
 {
     CycleState &state = mutableStateAt(cycle);
+    ++state.stubGen;
     for (std::size_t i = 0; i < state.writes.size(); ++i) {
         WriteUse &use = state.writes[i];
         if (use.stub == stub && use.value == value) {
@@ -258,6 +261,16 @@ ReservationTable::busHasRead(BusId bus, int cycle) const
 {
     const CycleState *state = stateAt(cycle);
     return state != nullptr && state->bus[bus.index()].readUses > 0;
+}
+
+ReservationTable::BusWriteProbe
+ReservationTable::busWriteProbe(BusId bus, int cycle) const
+{
+    const CycleState *state = stateAt(cycle);
+    if (!state)
+        return {};
+    const BusState &b = state->bus[bus.index()];
+    return {b.readUses > 0, b.value};
 }
 
 bool
@@ -343,6 +356,7 @@ ReservationTable::acquireRead(const ReadStub &stub, OperationId reader,
     CS_ASSERT(canAcquireRead(stub, reader, slot, cycle),
               "conflicting read stub acquisition");
     CycleState &state = mutableStateAt(cycle);
+    ++state.stubGen;
     for (ReadUse &use : state.reads) {
         if (use.reader == reader && use.slot == slot &&
             use.stub == stub) {
@@ -359,6 +373,7 @@ ReservationTable::releaseRead(const ReadStub &stub, OperationId reader,
                               int slot, int cycle)
 {
     CycleState &state = mutableStateAt(cycle);
+    ++state.stubGen;
     for (std::size_t i = 0; i < state.reads.size(); ++i) {
         ReadUse &use = state.reads[i];
         if (use.stub == stub && use.reader == reader &&
@@ -371,6 +386,86 @@ ReservationTable::releaseRead(const ReadStub &stub, OperationId reader,
         }
     }
     CS_PANIC("releasing unheld read stub");
+}
+
+std::uint64_t
+ReservationTable::stubStateHash(int cycle,
+                                std::uint64_t &recomputes) const
+{
+    const CycleState *state = stateAt(cycle);
+    if (state == nullptr || (state->writes.empty() &&
+                             state->reads.empty())) {
+        // Uninitialized and stub-empty rows hash alike: they answer
+        // every probe identically.
+        return kFnvOffsetBasis;
+    }
+    if (state->stubHashValid && state->stubHashGen == state->stubGen)
+        return state->stubHashMemo;
+    ++recomputes;
+
+    std::uint64_t h = kFnvOffsetBasis;
+    h = state->wOut.foldInto(h);
+    h = state->wBus.foldInto(h);
+    h = state->wPort.foldInto(h);
+    h = state->rPort.foldInto(h);
+    h = state->rBus.foldInto(h);
+    h = state->rInput.foldInto(h);
+
+    // Use lists fold commutatively (plain sums of per-use hashes):
+    // probe outcomes depend on the *set* of uses, never on list
+    // order, and erase/re-insert cycles do reorder the vectors.
+    // Refcounts are content too — they decide when a release makes a
+    // use disappear, so two rows differing only in refs diverge under
+    // the same release sequence.
+    std::uint64_t wsum = 0;
+    for (const WriteUse &use : state->writes) {
+        FnvHasher u;
+        u.u64(use.stub.output.index());
+        u.u64(use.stub.bus.index());
+        u.u64(use.stub.writePort.index());
+        u.u64(use.value.index());
+        u.i32(use.refs);
+        wsum += u.state;
+    }
+    std::uint64_t rsum = 0;
+    for (const ReadUse &use : state->reads) {
+        FnvHasher u;
+        u.u64(use.stub.readPort.index());
+        u.u64(use.stub.bus.index());
+        u.u64(use.stub.input.index());
+        u.u64(use.reader.index());
+        u.i32(use.slot);
+        u.i32(use.refs);
+        rsum += u.state;
+    }
+    h = fnvMix(h, wsum);
+    h = fnvMix(h, rsum);
+
+    state->stubHashMemo = h;
+    state->stubHashGen = state->stubGen;
+    state->stubHashValid = true;
+    return h;
+}
+
+std::uint32_t
+ReservationTable::stubGeneration(int cycle) const
+{
+    const CycleState *state = stateAt(cycle);
+    return state ? state->stubGen : 0;
+}
+
+void
+ReservationTable::fillBusWriteValues(int cycle,
+                                     std::vector<ValueId> &out) const
+{
+    const CycleState *state = stateAt(cycle);
+    if (!state) {
+        out.assign(machine_->numBuses(), ValueId());
+        return;
+    }
+    out.resize(state->bus.size());
+    for (std::size_t b = 0; b < state->bus.size(); ++b)
+        out[b] = state->bus[b].value;
 }
 
 } // namespace cs

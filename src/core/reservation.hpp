@@ -86,6 +86,18 @@ class ReservationTable
     /** True when any read stub occupies @p bus this cycle. */
     bool busHasRead(BusId bus, int cycle) const;
 
+    /**
+     * Combined write-side bus probe: busHasRead and busWriteValue in
+     * one row lookup, for the permutation search's per-candidate cut
+     * (two separate calls pay the cycle-normalization twice).
+     */
+    struct BusWriteProbe
+    {
+        bool hasRead = false;
+        ValueId value; ///< write-role value; invalid when none
+    };
+    BusWriteProbe busWriteProbe(BusId bus, int cycle) const;
+
     /** True when any write stub occupies @p bus this cycle. */
     bool busHasWrite(BusId bus, int cycle) const;
 
@@ -106,6 +118,41 @@ class ReservationTable
     void releaseRead(const ReadStub &stub, OperationId reader, int slot,
                      int cycle);
     /// @}
+
+    /**
+     * Content hash of the cycle's stub state: the occupancy-mask words
+     * plus an order-independent fold of the refcounted write/read use
+     * lists (functional-unit issue state is deliberately excluded — no
+     * stub probe reads it). Every acquire/release of a stub bumps the
+     * row's generation counter — including pure refcount moves, since
+     * refcounts decide when a release makes a use disappear — and the
+     * hash is memoized against that generation, so repeated signature
+     * computations between mutations are O(1). @p recomputes counts
+     * the cache misses (the no-good layer's "invalidations" counter).
+     *
+     * The memo is per-row mutable state without synchronization: a
+     * ReservationTable belongs to exactly one scheduler, never shared
+     * across threads (unlike the immutable BlockSchedulingContext).
+     */
+    std::uint64_t stubStateHash(int cycle,
+                                std::uint64_t &recomputes) const;
+
+    /**
+     * Generation of the cycle's stub state: bumped on every stub
+     * acquire/release of the row, 0 for untouched rows, and monotone
+     * for the table's lifetime (rollback replays inverse operations
+     * rather than restoring snapshots). (norm(cycle), generation)
+     * therefore identifies the row's stub content exactly, letting
+     * callers key caches of bus/stub-derived state on it.
+     */
+    std::uint32_t stubGeneration(int cycle) const;
+
+    /**
+     * Fill @p out (resized to the bus count) with each bus's
+     * write-role value this cycle: busWriteValue for every bus in a
+     * single row lookup instead of one per bus.
+     */
+    void fillBusWriteValues(int cycle, std::vector<ValueId> &out) const;
 
   private:
     struct WriteUse
@@ -148,6 +195,13 @@ class ReservationTable
         std::vector<BusState> bus;
         int busesOccupied = 0;
         bool initialized = false;
+
+        /** Bumped on every stub acquire/release (not on fu moves). */
+        std::uint32_t stubGen = 0;
+        /** stubStateHash memo, valid while stubHashGen == stubGen. */
+        mutable std::uint64_t stubHashMemo = 0;
+        mutable std::uint32_t stubHashGen = 0;
+        mutable bool stubHashValid = false;
 
         void init(const Machine &machine);
     };

@@ -22,9 +22,11 @@
  */
 
 #include <algorithm>
+#include <bit>
 #include <climits>
 
 #include "core/comm_scheduler.hpp"
+#include "support/fnv.hpp"
 #include "support/logging.hpp"
 
 namespace cs {
@@ -46,7 +48,141 @@ packCommOrderKey(bool open, int copyRange)
            (static_cast<std::uint32_t>(copyRange) ^ 0x80000000u);
 }
 
+/** Ids hash with +1 so "absent" (0) never collides with index 0. */
+std::uint64_t
+presenceOf(std::uint32_t index, bool valid)
+{
+    return valid ? static_cast<std::uint64_t>(index) + 1 : 0;
+}
+
+void
+hashReadStub(FnvHasher &h, const std::optional<ReadStub> &stub)
+{
+    if (!stub) {
+        h.u64(0);
+        return;
+    }
+    h.u64(stub->readPort.index() + 1);
+    h.u64(stub->bus.index());
+    h.u64(stub->input.index());
+}
+
+void
+hashWriteStub(FnvHasher &h, const std::optional<WriteStub> &stub)
+{
+    if (!stub) {
+        h.u64(0);
+        return;
+    }
+    h.u64(stub->writePort.index() + 1);
+    h.u64(stub->bus.index());
+    h.u64(stub->output.index());
+}
+
 } // namespace
+
+std::uint64_t
+BlockScheduler::readSearchSignature(const std::vector<CommId> &ids,
+                                    int cycle, CommId constrain,
+                                    RegFileId wantRf) const
+{
+    FnvHasher h;
+    h.u64(0x52); // direction tag: 'R'
+    h.u64(presenceOf(constrain.index(), constrain.valid()));
+    h.u64(presenceOf(wantRf.index(), wantRf.valid()));
+    h.i32(options_.permutationBudget);
+    for (CommId id : ids) {
+        const Communication &comm = comms_.get(id);
+        h.u64(id.index());
+        h.u64(comm.value.index());
+        h.u64(comm.reader.index());
+        h.i32(comm.slot);
+        h.i32(comm.distance * ii_);
+        hashReadStub(h, comm.readStub);
+        const Placement &rp = schedule_.placement(comm.reader);
+        h.u64(rp.fu.index());
+        h.i32(issueCycleOf(comm.reader));
+        h.boolean(kernel_.operation(comm.reader).isCopy());
+        h.boolean(comm.isLiveIn());
+        bool writer_scheduled =
+            comm.writer.valid() && isScheduled(comm.writer);
+        h.boolean(writer_scheduled);
+        if (writer_scheduled) {
+            h.u64(schedule_.placement(comm.writer).fu.index());
+            h.i32(issueCycleOf(comm.writer));
+            h.i32(latencyOf(comm.writer));
+            hashWriteStub(h, comm.writeStub);
+        }
+    }
+    h.u64(reservations_.stubStateHash(cycle, hot_.nogoodInvalidations));
+    return h.state;
+}
+
+std::uint64_t
+BlockScheduler::writeSearchSignature(const std::vector<CommId> &ids,
+                                     int cycle, CommId constrain,
+                                     RegFileId wantRf) const
+{
+    FnvHasher h;
+    h.u64(0x57); // direction tag: 'W'
+    h.u64(presenceOf(constrain.index(), constrain.valid()));
+    h.u64(presenceOf(wantRf.index(), wantRf.valid()));
+    h.i32(options_.permutationBudget);
+    for (CommId id : ids) {
+        const Communication &comm = comms_.get(id);
+        h.u64(id.index());
+        h.u64(comm.value.index());
+        h.u64(comm.writer.index());
+        h.u64(schedule_.placement(comm.writer).fu.index());
+        h.i32(writeStubCycleOf(comm.writer));
+        hashWriteStub(h, comm.writeStub);
+        h.u64(comm.reader.index());
+        h.i32(comm.slot);
+        h.i32(comm.distance * ii_);
+        const Operation &consumer = kernel_.operation(comm.reader);
+        h.i32(static_cast<int>(consumer.opcode));
+        h.boolean(consumer.isCopy());
+        hashReadStub(h, comm.readStub);
+        bool reader_scheduled = isScheduled(comm.reader);
+        h.boolean(reader_scheduled);
+        if (reader_scheduled) {
+            h.u64(schedule_.placement(comm.reader).fu.index());
+            h.i32(issueCycleOf(comm.reader));
+        }
+    }
+    h.u64(reservations_.stubStateHash(cycle, hot_.nogoodInvalidations));
+    return h.state;
+}
+
+bool
+BlockScheduler::noGoodHit(std::uint64_t sig)
+{
+    ++hot_.nogoodProbes;
+    if (noGoods_.contains(sig)) {
+        ++hot_.nogoodHits;
+        return true;
+    }
+    ++hot_.nogoodMisses;
+    return false;
+}
+
+void
+BlockScheduler::noteNoGood(std::uint64_t sig)
+{
+    if (aborted_) {
+        // The failure was (or may have been) induced by the abort
+        // zeroing the budget; that is not a property of the inputs,
+        // so it must not be learned.
+        return;
+    }
+    if (noGoods_.insert(sig)) {
+        ++hot_.nogoodInserts;
+        if (options_.crossAttemptNoGoods &&
+            learnedNoGoods_.size() < NoGoodExchange::kCapacity) {
+            learnedNoGoods_.push_back(sig);
+        }
+    }
+}
 
 BlockScheduler::ScratchGuard::ScratchGuard(BlockScheduler &owner)
     : owner_(owner),
@@ -132,6 +268,113 @@ BlockScheduler::readCandidatesFor(const Communication &comm,
     return storage;
 }
 
+const BlockScheduler::WriteEmitPlan &
+BlockScheduler::openWritePlan(std::span<const std::uint8_t> codes,
+                              FuncUnitId fu) const
+{
+    auto [it, fresh] =
+        writePlans_.try_emplace(WritePlanKey{codes.data(), fu.index()});
+    WriteEmitPlan &plan = it->second;
+    if (!fresh)
+        return plan;
+    const std::vector<WriteStub> &all = machine_.writeStubs(fu);
+    const auto &groups = machine_.writeStubsByBus(fu);
+    std::size_t n = machine_.numBuses();
+    plan.stubs.reserve(all.size());
+    for (std::size_t b = 0; b < n; ++b) {
+        auto first_run = static_cast<std::uint32_t>(plan.runs.size());
+        // Reachable stubs of the bus first, then serviceable-only:
+        // within a bucket the unplanned loop keeps one bus's stubs in
+        // list order, and no bucket mixes the two classes (reachable
+        // ranks 0-3 and serviceable ranks 4-7 are disjoint), so the
+        // regrouping never reorders a bucket.
+        auto begin = static_cast<std::uint32_t>(plan.stubs.size());
+        for (std::uint32_t idx : groups[b]) {
+            std::uint8_t cls =
+                codes[machine_.writePortRegFile(all[idx].writePort)
+                          .index()];
+            if (cls == BlockSchedulingContext::kStubPruned)
+                ++plan.pruned;
+            else if (cls == BlockSchedulingContext::kStubReachable)
+                plan.stubs.push_back(all[idx]);
+        }
+        auto mid = static_cast<std::uint32_t>(plan.stubs.size());
+        for (std::uint32_t idx : groups[b]) {
+            std::uint8_t cls =
+                codes[machine_.writePortRegFile(all[idx].writePort)
+                          .index()];
+            if (cls == BlockSchedulingContext::kStubServiceableOnly)
+                plan.stubs.push_back(all[idx]);
+        }
+        auto end = static_cast<std::uint32_t>(plan.stubs.size());
+        if (mid > begin)
+            plan.runs.push_back({3, begin, mid});
+        if (end > mid)
+            plan.runs.push_back({7, mid, end});
+        auto end_run = static_cast<std::uint32_t>(plan.runs.size());
+        if (end_run > first_run) {
+            plan.buses.push_back({static_cast<std::uint32_t>(b),
+                                  first_run, end_run});
+        }
+    }
+    return plan;
+}
+
+const BlockScheduler::WriteEmitPlan &
+BlockScheduler::closeWritePlan(std::span<const std::uint16_t> base,
+                               FuncUnitId fu) const
+{
+    auto [it, fresh] =
+        writePlans_.try_emplace(WritePlanKey{base.data(), fu.index()});
+    WriteEmitPlan &plan = it->second;
+    if (!fresh)
+        return plan;
+    const std::vector<WriteStub> &all = machine_.writeStubs(fu);
+    const auto &groups = machine_.writeStubsByBus(fu);
+    std::size_t n = machine_.numBuses();
+    plan.stubs.reserve(all.size());
+    // Group one bus's stubs by base rank, each group in list order
+    // (run order within a bus is irrelevant: every run feeds its own
+    // bucket). Quadratic in the bus's stub count with tiny factors,
+    // and paid once per (read file, unit) pair.
+    for (std::size_t b = 0; b < n; ++b) {
+        auto first_run = static_cast<std::uint32_t>(plan.runs.size());
+        const std::vector<std::uint32_t> &group = groups[b];
+        for (std::size_t i = 0; i < group.size(); ++i) {
+            std::uint16_t rank =
+                base[machine_
+                         .writePortRegFile(all[group[i]].writePort)
+                         .index()];
+            bool seen = false;
+            for (std::size_t j = 0; j < i && !seen; ++j) {
+                seen = base[machine_
+                                .writePortRegFile(
+                                    all[group[j]].writePort)
+                                .index()] == rank;
+            }
+            if (seen)
+                continue;
+            auto begin = static_cast<std::uint32_t>(plan.stubs.size());
+            for (std::size_t j = i; j < group.size(); ++j) {
+                if (base[machine_
+                             .writePortRegFile(
+                                 all[group[j]].writePort)
+                             .index()] == rank) {
+                    plan.stubs.push_back(all[group[j]]);
+                }
+            }
+            auto end = static_cast<std::uint32_t>(plan.stubs.size());
+            plan.runs.push_back({rank, begin, end});
+        }
+        auto end_run = static_cast<std::uint32_t>(plan.runs.size());
+        if (end_run > first_run) {
+            plan.buses.push_back({static_cast<std::uint32_t>(b),
+                                  first_run, end_run});
+        }
+    }
+    return plan;
+}
+
 std::span<const WriteStub>
 BlockScheduler::writeCandidatesFor(const Communication &comm,
                                    std::vector<WriteStub> &storage) const
@@ -139,25 +382,35 @@ BlockScheduler::writeCandidatesFor(const Communication &comm,
     CS_ASSERT(comm.writer.valid(), "write candidates need a writer");
     const Placement &wp = schedule_.placement(comm.writer);
     CS_ASSERT(wp.scheduled, "write candidates need a placed writer");
-    const std::vector<WriteStub> &all = machine_.writeStubs(wp.fu);
     int cycle = writeStubCycleOf(comm.writer);
 
     // Per-bus value cache for this (value, cycle) query. bus_val[b]
     // is the value bus b currently broadcasts in write role (invalid
     // when idle, and writes of different values never share a bus),
-    // so a single compare replaces a reservation-table call per stub.
+    // so a single compare decides a whole bus's rank treatment. The
+    // fill is memoized against the row's stub generation: all the
+    // candidate queries of one permutation call see the same row, so
+    // only the first pays the per-bus walk.
     auto n = static_cast<std::uint32_t>(machine_.numBuses());
     auto &bus_val = busValueScratch_;
-    bus_val.resize(n);
-    for (std::uint32_t b = 0; b < n; ++b)
-        bus_val[b] = reservations_.busWriteValue(BusId(b), cycle);
+    {
+        int row = reservations_.norm(cycle);
+        std::uint32_t gen = reservations_.stubGeneration(cycle);
+        if (!busValValid_ || busValRow_ != row || busValGen_ != gen) {
+            reservations_.fillBusWriteValues(cycle, bus_val);
+            busValRow_ = row;
+            busValGen_ = gen;
+            busValValid_ = true;
+        }
+    }
 
     // The preference order is (rank, rotated bus, list index), where
-    // rank is a small integer: a counting sort. Pass 1 computes each
-    // stub's rank bucket (-1 = pruned); pass 2 walks the per-bus stub
-    // groups in rotated-bus order, appending each stub at its
-    // bucket's cursor — which lays the buckets out contiguously in
-    // exactly the order a stable comparison sort would produce.
+    // rank is a small integer: a counting sort over the precompiled
+    // emission plan. Pass 1 sizes the rank buckets from the plan's
+    // runs; pass 2 walks the runs in rotated-bus order, bulk-copying
+    // each run at its bucket's cursor — which lays the buckets out
+    // contiguously in exactly the order a stable comparison sort over
+    // the raw stub list would produce.
     //
     // The rotation (every stub of one value tries buses in the same
     // order, different values start from different buses) becomes the
@@ -167,8 +420,6 @@ BlockScheduler::writeCandidatesFor(const Communication &comm,
     // so every rank above `overflow` is the single kUnreachable
     // sentinel and may share one bucket without reordering.
     const int overflow = static_cast<int>(machine_.numRegFiles()) + 3;
-    auto &ranks = stubRankScratch_;
-    ranks.resize(all.size());
     auto &buckets = bucketScratch_;
     buckets.assign(static_cast<std::size_t>(std::max(overflow, 7)) + 1,
                    0);
@@ -181,104 +432,178 @@ BlockScheduler::writeCandidatesFor(const Communication &comm,
         // Base ranks against this read file are a context table row
         // (indexed by the stub's register file); only the bus-sharing
         // preference (rank 0 vs 1 in the same file) depends on live
-        // reservation state.
-        std::span<const std::uint16_t> base =
-            ctx_->closeBaseRow(read_rf);
-        for (std::size_t i = 0; i < all.size(); ++i) {
-            const WriteStub &stub = all[i];
-            std::uint16_t b =
-                base[machine_.writePortRegFile(stub.writePort)
-                         .index()];
-            int rank =
-                b == BlockSchedulingContext::kSameFile
-                    ? (bus_val[stub.bus.index()] == comm.value ? 0 : 1)
-                    : b;
-            ranks[i] = rank;
-            ++buckets[rank];
+        // reservation state, and it is uniform across a bus.
+        const WriteEmitPlan &plan =
+            closeWritePlan(ctx_->closeBaseRow(read_rf), wp.fu);
+        auto rank_of = [&](const WriteEmitPlan::Run &run,
+                           std::uint32_t b) {
+            return run.rank == BlockSchedulingContext::kSameFile
+                       ? (bus_val[b] == comm.value ? 0 : 1)
+                       : static_cast<int>(run.rank);
+        };
+        for (const WriteEmitPlan::BusRuns &br : plan.buses) {
+            for (std::uint32_t r = br.firstRun; r < br.endRun; ++r) {
+                const WriteEmitPlan::Run &run = plan.runs[r];
+                buckets[rank_of(run, br.bus)] +=
+                    static_cast<int>(run.end - run.begin);
+            }
         }
-    } else {
-        // Open: the reader is not placed yet, but the set of register
-        // files any capable unit could read the operand from is known.
-        // Preferring those files surfaces port contention *now*, while
-        // the scheduler can still delay this producer; a stub into an
-        // unreadable file is guaranteed to need fixing at close time.
-        // The whole Section 4.5 analysis (readable-file masks x copy
-        // reachability closure) depends only on the reader's shape, so
-        // the shared context serves it as one precomputed class byte
-        // per register file.
-        const Operation &consumer = kernel_.operation(comm.reader);
-        std::span<const std::uint8_t> codes =
-            isScheduled(comm.reader)
-                ? (consumer.isCopy()
-                       ? ctx_->openCodesScheduledCopy(
-                             schedule_.placement(comm.reader).fu)
-                       : ctx_->openCodesScheduled(
-                             schedule_.placement(comm.reader).fu,
-                             comm.slot))
-                : (consumer.isCopy()
-                       ? ctx_->openCodesUnscheduledCopy()
-                       : ctx_->openCodesUnscheduled(consumer.opcode,
-                                                    comm.slot));
+        int total = 0;
+        for (int &c : buckets) {
+            int width = c;
+            c = total;
+            total += width;
+        }
+        storage.resize(static_cast<std::size_t>(total));
+        std::uint32_t start = comm.value.index() % n;
+        std::size_t nb = plan.buses.size();
+        std::size_t split = 0;
+        while (split < nb && plan.buses[split].bus < start)
+            ++split;
+        for (std::size_t k = 0; k < nb; ++k) {
+            std::size_t i = split + k;
+            if (i >= nb)
+                i -= nb;
+            const WriteEmitPlan::BusRuns &br = plan.buses[i];
+            for (std::uint32_t r = br.firstRun; r < br.endRun; ++r) {
+                const WriteEmitPlan::Run &run = plan.runs[r];
+                auto len = run.end - run.begin;
+                int &cursor = buckets[rank_of(run, br.bus)];
+                std::copy_n(plan.stubs.data() + run.begin, len,
+                            storage.data() + cursor);
+                cursor += static_cast<int>(len);
+            }
+        }
+        return storage;
+    }
 
-        for (std::size_t i = 0; i < all.size(); ++i) {
-            const WriteStub &stub = all[i];
-            // A stub into a file that cannot reach the reader even
-            // through copies can never serve this communication:
-            // accepting one tentatively strands the value (the
-            // Section 4.5 trap). Rejecting it here makes the
-            // *producer's* placement fail instead, so the producer
-            // slides to a cycle where a useful port is free.
-            std::uint8_t cls =
-                codes[machine_.writePortRegFile(stub.writePort)
-                          .index()];
-            if (cls == BlockSchedulingContext::kStubPruned) {
-                ++hot_.pruneRouteMask;
-                ranks[i] = -1;
-                continue;
+    // Open: the reader is not placed yet, but the set of register
+    // files any capable unit could read the operand from is known.
+    // Preferring those files surfaces port contention *now*, while
+    // the scheduler can still delay this producer; a stub into an
+    // unreadable file is guaranteed to need fixing at close time, and
+    // a stub into a file that cannot reach the reader even through
+    // copies would strand the value (the Section 4.5 trap) — the plan
+    // drops those outright, making the *producer's* placement fail so
+    // it slides to a cycle where a useful port is free. The whole
+    // Section 4.5 analysis (readable-file masks x copy reachability
+    // closure) depends only on the reader's shape, so the plan bakes
+    // it into default ranks (3 reachable / 7 serviceable-only); only
+    // "special" buses — one already broadcasting this value, or the
+    // one holding the tentative stub — need stub-level ranks.
+    const Operation &consumer = kernel_.operation(comm.reader);
+    std::span<const std::uint8_t> codes =
+        isScheduled(comm.reader)
+            ? (consumer.isCopy()
+                   ? ctx_->openCodesScheduledCopy(
+                         schedule_.placement(comm.reader).fu)
+                   : ctx_->openCodesScheduled(
+                         schedule_.placement(comm.reader).fu,
+                         comm.slot))
+            : (consumer.isCopy()
+                   ? ctx_->openCodesUnscheduledCopy()
+                   : ctx_->openCodesUnscheduled(consumer.opcode,
+                                                comm.slot));
+    const WriteEmitPlan &plan = openWritePlan(codes, wp.fu);
+    hot_.pruneRouteMask += plan.pruned;
+
+    std::uint32_t ws_bus = comm.writeStub
+                               ? comm.writeStub->bus.index()
+                               : UINT32_MAX;
+    auto is_special = [&](std::uint32_t b) {
+        return b == ws_bus || bus_val[b] == comm.value;
+    };
+    // Rank the special buses' stubs once (the scratch is reused by
+    // the emission pass) and size their buckets; everything else
+    // contributes whole runs at the default ranks.
+    auto &sranks = stubRankScratch_;
+    sranks.clear();
+    auto &special = specialBusScratch_;
+    special.clear();
+    for (const WriteEmitPlan::BusRuns &br : plan.buses) {
+        if (!is_special(br.bus))
+            continue;
+        special.emplace_back(
+            br.bus, static_cast<std::uint32_t>(sranks.size()));
+        bool carrying = bus_val[br.bus] == comm.value;
+        for (std::uint32_t r = br.firstRun; r < br.endRun; ++r) {
+            const WriteEmitPlan::Run &run = plan.runs[r];
+            bool reachable = run.rank == 3;
+            for (std::uint32_t i = run.begin; i < run.end; ++i) {
+                const WriteStub &stub = plan.stubs[i];
+                int rank;
+                if (comm.writeStub && stub == *comm.writeStub) {
+                    rank = reachable ? 0 : 4;
+                } else if (carrying) {
+                    // The bus already broadcasts this value; an
+                    // identical reservation (sharable stub) ranks
+                    // above merely riding the bus through another
+                    // port. A write of the same value on another bus
+                    // never has an identical stub, so the bus compare
+                    // is an exact prefilter.
+                    rank = reservations_.hasIdenticalWrite(
+                               stub, comm.value, cycle)
+                               ? (reachable ? 1 : 5)
+                               : (reachable ? 2 : 6);
+                } else {
+                    rank = reachable ? 3 : 7;
+                }
+                sranks.push_back(rank);
+                ++buckets[rank];
             }
-            bool reachable =
-                cls == BlockSchedulingContext::kStubReachable;
-            int rank;
-            if (comm.writeStub && stub == *comm.writeStub) {
-                rank = reachable ? 0 : 4;
-            } else if (bus_val[stub.bus.index()] == comm.value) {
-                // The bus already broadcasts this value; an identical
-                // reservation (sharable stub) ranks above merely
-                // riding the bus through another port. A write of the
-                // same value on another bus never has an identical
-                // stub, so the bus compare is an exact prefilter.
-                rank = reservations_.hasIdenticalWrite(stub, comm.value,
-                                                       cycle)
-                           ? (reachable ? 1 : 5)
-                           : (reachable ? 2 : 6);
-            } else {
-                rank = reachable ? 3 : 7;
-            }
-            ranks[i] = rank;
-            ++buckets[rank];
+        }
+    }
+    for (const WriteEmitPlan::BusRuns &br : plan.buses) {
+        if (is_special(br.bus))
+            continue;
+        for (std::uint32_t r = br.firstRun; r < br.endRun; ++r) {
+            const WriteEmitPlan::Run &run = plan.runs[r];
+            buckets[run.rank] += static_cast<int>(run.end - run.begin);
         }
     }
 
     // Bucket counts -> start offsets.
     int total = 0;
-    for (int &b : buckets) {
-        int c = b;
-        b = total;
-        total += c;
+    for (int &c : buckets) {
+        int width = c;
+        c = total;
+        total += width;
     }
 
     storage.resize(static_cast<std::size_t>(total));
-    const auto &groups = machine_.writeStubsByBus(wp.fu);
     std::uint32_t start = comm.value.index() % n;
-    for (std::uint32_t k = 0; k < n; ++k) {
-        std::uint32_t b = start + k;
-        if (b >= n)
-            b -= n;
-        for (std::uint32_t idx : groups[b]) {
-            int rank = ranks[idx];
-            if (rank < 0)
-                continue;
-            storage[buckets[rank]++] = all[idx];
+    std::size_t nb = plan.buses.size();
+    std::size_t split = 0;
+    while (split < nb && plan.buses[split].bus < start)
+        ++split;
+    for (std::size_t k = 0; k < nb; ++k) {
+        std::size_t bi = split + k;
+        if (bi >= nb)
+            bi -= nb;
+        const WriteEmitPlan::BusRuns &br = plan.buses[bi];
+        if (is_special(br.bus)) {
+            std::uint32_t offset = 0;
+            for (const auto &[sb, so] : special) {
+                if (sb == br.bus) {
+                    offset = so;
+                    break;
+                }
+            }
+            for (std::uint32_t r = br.firstRun; r < br.endRun; ++r) {
+                const WriteEmitPlan::Run &run = plan.runs[r];
+                for (std::uint32_t i = run.begin; i < run.end; ++i)
+                    storage[static_cast<std::size_t>(
+                        buckets[sranks[offset++]]++)] = plan.stubs[i];
+            }
+            continue;
+        }
+        for (std::uint32_t r = br.firstRun; r < br.endRun; ++r) {
+            const WriteEmitPlan::Run &run = plan.runs[r];
+            auto len = run.end - run.begin;
+            int &cursor = buckets[run.rank];
+            std::copy_n(plan.stubs.data() + run.begin, len,
+                        storage.data() + cursor);
+            cursor += static_cast<int>(len);
         }
     }
     return storage;
@@ -337,6 +662,26 @@ BlockScheduler::permuteReadStubsImpl(int cycle, CommId constrain,
     for (std::size_t i = 0; i < ids.size(); ++i)
         ids[i] = order[i].second;
 
+    // No-good probe. A failed search call is observationally pure
+    // (its undo pairs cancel and no stub field changes), so when a
+    // failure's signature recurs the DFS may be skipped outright. The
+    // signature is taken against the pre-release state; the released
+    // previous assignments are part of it, so the post-release state
+    // the search actually probes is fully determined by it. While the
+    // table is empty a probe cannot hit, so the signature is deferred
+    // to failure time — legal because a failed search restores that
+    // exact pre-release state (the row hash is order-independent, so
+    // use-list reordering from the undo pairs cannot change it) —
+    // and successful searches then pay nothing for the cache.
+    std::uint64_t sig = 0;
+    bool sigValid = false;
+    if (options_.noGoodCache && noGoods_.size() != 0) {
+        sig = readSearchSignature(ids, cycle, constrain, wantRf);
+        sigValid = true;
+        if (noGoodHit(sig))
+            return false;
+    }
+
     // Release current assignments; remember them for rollback.
     auto &previous = sc.prevRead;
     previous.assign(ids.size(), std::nullopt);
@@ -368,81 +713,171 @@ BlockScheduler::permuteReadStubsImpl(int cycle, CommId constrain,
         }
     }
 
-    // Bounded depth-first search.
-    int budget = options_.permutationBudget;
+    // Bounded depth-first search. On success every level's acquisition
+    // is held and choice[] names it; on failure everything acquired is
+    // released again (the shared failure path below restores the
+    // previous assignments). With useCbj the search consults the same
+    // candidates in the same order and charges the budget at the same
+    // per-candidate points, but a dead level unwinds straight to the
+    // deepest level its rejections actually blame; the skipped
+    // subtrees are provably solution-free, so a false result is exact,
+    // and a success reached through a multi-level jump is re-run in
+    // plain chronological mode so the committed winner is always the
+    // legacy one (DESIGN.md §5d).
     auto &choice = sc.choice;
-    choice.assign(ids.size(), -1);
-    std::size_t level = 0;
-    bool success = false;
-    while (true) {
-        if (level == ids.size()) {
-            success = true;
-            break;
+    auto &conflict = sc.conflict;
+    auto release_all = [&](std::size_t level) {
+        while (level > 0) {
+            --level;
+            Communication &held = comms_.get(ids[level]);
+            doReleaseRead(candidates[level][choice[level]], held.reader,
+                          held.slot, issueCycleOf(held.reader));
         }
-        Communication &comm = comms_.get(ids[level]);
-        int reader_cycle = issueCycleOf(comm.reader);
-        // Cooperative cancellation rides the budget: zeroing it makes
-        // this expansion step take the existing exhaustion rollback,
-        // so an abort costs one relaxed load per DFS step and nothing
-        // on the candidate loop.
-        if (abortRequested())
-            budget = 0;
-        bool advanced = false;
-        for (int next = choice[level] + 1;
-             next < static_cast<int>(candidates[level].size()); ++next) {
-            if (--budget <= 0)
-                break;
-            const ReadStub &stub = candidates[level][next];
-            // A write stub on this bus rejects any read outright; skip
-            // the probe (the probe's own first check, made O(1) here).
-            if (reservations_.busHasWrite(stub.bus, reader_cycle)) {
-                ++hot_.pruneReadBus;
+    };
+    auto run_dfs = [&](bool useCbj, bool &jumped) -> bool {
+        int budget = options_.permutationBudget;
+        choice.assign(ids.size(), -1);
+        conflict.assign(ids.size(), 0);
+        std::size_t level = 0;
+        while (true) {
+            if (level == ids.size())
+                return true;
+            Communication &comm = comms_.get(ids[level]);
+            int reader_cycle = issueCycleOf(comm.reader);
+            // Cooperative cancellation rides the budget: zeroing it
+            // makes this expansion step take the existing exhaustion
+            // rollback, so an abort costs one relaxed load per DFS
+            // step and nothing on the candidate loop.
+            if (abortRequested())
+                budget = 0;
+            ++hot_.dfsNodes;
+            bool advanced = false;
+            for (int next = choice[level] + 1;
+                 next < static_cast<int>(candidates[level].size());
+                 ++next) {
+                if (--budget <= 0)
+                    break;
+                const ReadStub &stub = candidates[level][next];
+                // A write stub on this bus rejects any read outright;
+                // skip the probe (the probe's own first check, made
+                // O(1) here). Writes only come from the base row —
+                // this search acquires reads — so no level is blamed.
+                if (reservations_.busHasWrite(stub.bus, reader_cycle)) {
+                    ++hot_.pruneReadBus;
+                    continue;
+                }
+                ++hot_.probeReads;
+                if (reservations_.canAcquireRead(stub, comm.reader,
+                                                 comm.slot,
+                                                 reader_cycle)) {
+                    doAcquireRead(stub, comm.reader, comm.slot,
+                                  reader_cycle);
+                    choice[level] = next;
+                    ++level;
+                    advanced = true;
+                    break;
+                }
+                if (useCbj) {
+                    // Blame the deepest acquired level whose stub
+                    // rejects this candidate under the pairwise
+                    // sharing rules (one culprit suffices: every
+                    // rejection rule is a two-party violation). No
+                    // culprit means the base row alone rejects it —
+                    // permanently, since the DFS only adds
+                    // reservations and rejections are monotone.
+                    for (std::size_t l = level; l-- > 0;) {
+                        const Communication &other = comms_.get(ids[l]);
+                        const ReadStub &held = candidates[l][choice[l]];
+                        if (readStubsShareResource(held, stub) ||
+                            (other.reader == comm.reader &&
+                             other.slot == comm.slot)) {
+                            conflict[level] |= std::uint64_t{1} << l;
+                            break;
+                        }
+                    }
+                }
+            }
+            if (advanced)
                 continue;
+            if (budget <= 0) {
+                ++hot_.permBudgetExhausted;
+                release_all(level);
+                return false;
             }
-            ++hot_.probeReads;
-            if (reservations_.canAcquireRead(stub, comm.reader,
-                                             comm.slot, reader_cycle)) {
-                doAcquireRead(stub, comm.reader, comm.slot,
-                              reader_cycle);
-                choice[level] = next;
-                ++level;
-                advanced = true;
-                break;
+            if (level == 0)
+                return false;
+            std::uint64_t mask = useCbj
+                                     ? conflict[level]
+                                     : std::uint64_t{1} << (level - 1);
+            if (mask == 0) {
+                // Every candidate of this level fell to base-row
+                // content alone: no assignment of the other levels can
+                // revive it, so the whole search is infeasible.
+                release_all(level);
+                return false;
             }
-        }
-        if (advanced)
-            continue;
-        if (budget <= 0) {
-            ++hot_.permBudgetExhausted;
-        }
-        if (level == 0 || budget <= 0) {
-            // Roll back anything acquired, restore previous stubs.
-            while (level > 0) {
+            auto target =
+                static_cast<std::size_t>(std::bit_width(mask)) - 1;
+            if (useCbj) {
+                conflict[target] |=
+                    mask & ~(std::uint64_t{1} << target);
+                if (target + 1 < level) {
+                    ++hot_.backjumps;
+                    hot_.backjumpLevelsSkipped += level - 1 - target;
+                    jumped = true;
+                }
+            }
+            choice[level] = -1;
+            conflict[level] = 0;
+            while (true) {
                 --level;
                 Communication &held = comms_.get(ids[level]);
                 doReleaseRead(candidates[level][choice[level]],
                               held.reader, held.slot,
                               issueCycleOf(held.reader));
+                ++hot_.permBacktracks;
+                if (level == target)
+                    break; // resume its candidate scan at choice + 1
                 choice[level] = -1;
+                conflict[level] = 0;
             }
-            for (std::size_t i = 0; i < ids.size(); ++i) {
-                Communication &held = comms_.get(ids[i]);
-                if (previous[i]) {
-                    doAcquireRead(*previous[i], held.reader, held.slot,
-                                  issueCycleOf(held.reader));
-                }
-            }
-            return false;
         }
-        choice[level] = -1;
-        --level;
-        Communication &held = comms_.get(ids[level]);
-        doReleaseRead(candidates[level][choice[level]], held.reader,
-                      held.slot, issueCycleOf(held.reader));
-        ++hot_.permBacktracks;
+    };
+
+    bool use_cbj = options_.conflictBackjumping && ids.size() <= 64;
+    bool jumped = false;
+    bool success = run_dfs(use_cbj, jumped);
+    if (success && jumped) {
+        // The solution was reached through at least one multi-level
+        // jump, which spends less budget than stepwise unwinding would
+        // have: the chronological search might have exhausted its
+        // budget first. Re-run it plain (fresh budget, identical
+        // inputs) and let that outcome stand — by construction it is
+        // exactly the legacy result.
+        release_all(ids.size());
+        ++hot_.cbjReruns;
+        success = run_dfs(false, jumped);
+    }
+    if (!success) {
+        // Restore previous stubs (everything acquired is already
+        // released) and learn the failure unless an abort caused it.
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            Communication &held = comms_.get(ids[i]);
+            if (previous[i]) {
+                doAcquireRead(*previous[i], held.reader, held.slot,
+                              issueCycleOf(held.reader));
+            }
+        }
+        if (options_.noGoodCache) {
+            // State is restored; the signature computed now equals the
+            // one a probe at entry would have seen.
+            if (!sigValid)
+                sig = readSearchSignature(ids, cycle, constrain, wantRf);
+            noteNoGood(sig);
+        }
+        return false;
     }
 
-    CS_ASSERT(success, "unreachable");
     for (std::size_t i = 0; i < ids.size(); ++i)
         setReadStub(ids[i], candidates[i][choice[i]]);
     ++hot_.readPermsFound;
@@ -487,6 +922,19 @@ BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
               });
     for (std::size_t i = 0; i < ids.size(); ++i)
         ids[i] = order[i].second;
+
+    // No-good probe; see the read search for the exactness and the
+    // lazy-signature arguments. The bus-usability precheck below is
+    // also covered: it reads only hashed inputs (candidate stubs,
+    // values) and the hashed row.
+    std::uint64_t sig = 0;
+    bool sigValid = false;
+    if (options_.noGoodCache && noGoods_.size() != 0) {
+        sig = writeSearchSignature(ids, cycle, constrain, wantRf);
+        sigValid = true;
+        if (noGoodHit(sig))
+            return false;
+    }
 
     auto &previous = sc.prevWrite;
     previous.assign(ids.size(), std::nullopt);
@@ -561,86 +1009,178 @@ BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
                                    writeStubCycleOf(held.writer));
                 }
             }
+            if (options_.noGoodCache) {
+                if (!sigValid) {
+                    sig = writeSearchSignature(ids, cycle, constrain,
+                                               wantRf);
+                }
+                noteNoGood(sig);
+            }
             return false;
         }
     }
 
-    int budget = options_.permutationBudget;
+    // Bounded depth-first search; structure and exactness argument as
+    // in the read search above. The write-side conflict attribution
+    // mirrors canAcquireWrite's sharing rules: against an acquired
+    // stub of the same value, only an identical stub is shareable
+    // (same output port, no same-file clash); against a different
+    // value, any shared resource rejects.
     auto &choice = sc.choice;
-    choice.assign(ids.size(), -1);
-    std::size_t level = 0;
-    bool success = false;
-    while (true) {
-        if (level == ids.size()) {
-            success = true;
-            break;
+    auto &conflict = sc.conflict;
+    auto release_all = [&](std::size_t level) {
+        while (level > 0) {
+            --level;
+            Communication &held = comms_.get(ids[level]);
+            doReleaseWrite(candidates[level][choice[level]], held.value,
+                           writeStubCycleOf(held.writer));
         }
-        Communication &comm = comms_.get(ids[level]);
-        int write_cycle = writeStubCycleOf(comm.writer);
-        // Same cancellation-as-budget trick as the read search above.
-        if (abortRequested())
-            budget = 0;
-        bool advanced = false;
-        for (int next = choice[level] + 1;
-             next < static_cast<int>(candidates[level].size()); ++next) {
-            if (--budget <= 0)
-                break;
-            const WriteStub &stub = candidates[level][next];
-            // A read stub on the bus, or a different value already in
-            // write role there, rejects this stub no matter what else
-            // is reserved; both are O(1) against the bus counters.
-            if (reservations_.busHasRead(stub.bus, write_cycle)) {
-                ++hot_.pruneWriteBus;
+    };
+    auto run_dfs = [&](bool useCbj, bool &jumped) -> bool {
+        int budget = options_.permutationBudget;
+        choice.assign(ids.size(), -1);
+        conflict.assign(ids.size(), 0);
+        std::size_t level = 0;
+        while (true) {
+            if (level == ids.size())
+                return true;
+            Communication &comm = comms_.get(ids[level]);
+            int write_cycle = writeStubCycleOf(comm.writer);
+            // Same cancellation-as-budget trick as the read search.
+            if (abortRequested())
+                budget = 0;
+            ++hot_.dfsNodes;
+            bool advanced = false;
+            for (int next = choice[level] + 1;
+                 next < static_cast<int>(candidates[level].size());
+                 ++next) {
+                if (--budget <= 0)
+                    break;
+                const WriteStub &stub = candidates[level][next];
+                // A read stub on the bus rejects this stub no matter
+                // what else is reserved, and reads only come from the
+                // base row (this search acquires writes): static.
+                ReservationTable::BusWriteProbe bus_probe =
+                    reservations_.busWriteProbe(stub.bus, write_cycle);
+                if (bus_probe.hasRead) {
+                    ++hot_.pruneWriteBus;
+                    continue;
+                }
+                ValueId on_bus = bus_probe.value;
+                if (on_bus.valid() && on_bus != comm.value) {
+                    ++hot_.pruneWriteBus;
+                    if (useCbj) {
+                        // The clashing write may be an acquired level
+                        // (then blame the deepest such) or base
+                        // content (then static).
+                        for (std::size_t l = level; l-- > 0;) {
+                            if (candidates[l][choice[l]].bus ==
+                                stub.bus) {
+                                conflict[level] |= std::uint64_t{1}
+                                                   << l;
+                                break;
+                            }
+                        }
+                    }
+                    continue;
+                }
+                ++hot_.probeWrites;
+                if (reservations_.canAcquireWrite(stub, comm.value,
+                                                  write_cycle)) {
+                    doAcquireWrite(stub, comm.value, write_cycle);
+                    choice[level] = next;
+                    ++level;
+                    advanced = true;
+                    break;
+                }
+                if (useCbj) {
+                    for (std::size_t l = level; l-- > 0;) {
+                        const Communication &other = comms_.get(ids[l]);
+                        const WriteStub &held = candidates[l][choice[l]];
+                        bool clash;
+                        if (other.value == comm.value) {
+                            clash = held != stub &&
+                                    (sameResultWriteStubsConflict(
+                                         machine_, held, stub) ||
+                                     held.output != stub.output);
+                        } else {
+                            clash = writeStubsShareResource(held, stub);
+                        }
+                        if (clash) {
+                            conflict[level] |= std::uint64_t{1} << l;
+                            break;
+                        }
+                    }
+                }
+            }
+            if (advanced)
                 continue;
+            if (budget <= 0) {
+                ++hot_.permBudgetExhausted;
+                release_all(level);
+                return false;
             }
-            ValueId on_bus =
-                reservations_.busWriteValue(stub.bus, write_cycle);
-            if (on_bus.valid() && on_bus != comm.value) {
-                ++hot_.pruneWriteBus;
-                continue;
+            if (level == 0)
+                return false;
+            std::uint64_t mask = useCbj
+                                     ? conflict[level]
+                                     : std::uint64_t{1} << (level - 1);
+            if (mask == 0) {
+                release_all(level);
+                return false;
             }
-            ++hot_.probeWrites;
-            if (reservations_.canAcquireWrite(stub, comm.value,
-                                              write_cycle)) {
-                doAcquireWrite(stub, comm.value, write_cycle);
-                choice[level] = next;
-                ++level;
-                advanced = true;
-                break;
+            auto target =
+                static_cast<std::size_t>(std::bit_width(mask)) - 1;
+            if (useCbj) {
+                conflict[target] |=
+                    mask & ~(std::uint64_t{1} << target);
+                if (target + 1 < level) {
+                    ++hot_.backjumps;
+                    hot_.backjumpLevelsSkipped += level - 1 - target;
+                    jumped = true;
+                }
             }
-        }
-        if (advanced)
-            continue;
-        if (budget <= 0) {
-            ++hot_.permBudgetExhausted;
-        }
-        if (level == 0 || budget <= 0) {
-            while (level > 0) {
+            choice[level] = -1;
+            conflict[level] = 0;
+            while (true) {
                 --level;
                 Communication &held = comms_.get(ids[level]);
                 doReleaseWrite(candidates[level][choice[level]],
                                held.value,
                                writeStubCycleOf(held.writer));
+                ++hot_.permBacktracks;
+                if (level == target)
+                    break;
                 choice[level] = -1;
+                conflict[level] = 0;
             }
-            for (std::size_t i = 0; i < ids.size(); ++i) {
-                Communication &held = comms_.get(ids[i]);
-                if (previous[i]) {
-                    doAcquireWrite(*previous[i], held.value,
-                                   writeStubCycleOf(held.writer));
-                }
-            }
-            return false;
         }
-        choice[level] = -1;
-        --level;
-        Communication &held = comms_.get(ids[level]);
-        doReleaseWrite(candidates[level][choice[level]], held.value,
-                       writeStubCycleOf(held.writer));
-        ++hot_.permBacktracks;
+    };
+
+    bool use_cbj = options_.conflictBackjumping && ids.size() <= 64;
+    bool jumped = false;
+    bool success = run_dfs(use_cbj, jumped);
+    if (success && jumped) {
+        release_all(ids.size());
+        ++hot_.cbjReruns;
+        success = run_dfs(false, jumped);
+    }
+    if (!success) {
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            Communication &held = comms_.get(ids[i]);
+            if (previous[i]) {
+                doAcquireWrite(*previous[i], held.value,
+                               writeStubCycleOf(held.writer));
+            }
+        }
+        if (options_.noGoodCache) {
+            if (!sigValid)
+                sig = writeSearchSignature(ids, cycle, constrain, wantRf);
+            noteNoGood(sig);
+        }
+        return false;
     }
 
-    CS_ASSERT(success, "unreachable");
     for (std::size_t i = 0; i < ids.size(); ++i)
         setWriteStub(ids[i], candidates[i][choice[i]]);
     ++hot_.writePermsFound;

@@ -17,11 +17,6 @@ Ddg::Ddg(const Kernel &kernel, BlockId block, const Machine &machine)
     for (std::size_t i = 0; i < ops_.size(); ++i)
         indexOf_[ops_[i].index()] = static_cast<int>(i);
 
-    succs_.assign(ops_.size(), {});
-    preds_.assign(ops_.size(), {});
-    succEdges_.assign(ops_.size(), {});
-    predEdges_.assign(ops_.size(), {});
-
     // Data edges from operand references.
     for (std::size_t i = 0; i < ops_.size(); ++i) {
         const Operation &op = kernel.operation(ops_[i]);
@@ -57,6 +52,8 @@ Ddg::Ddg(const Kernel &kernel, BlockId block, const Machine &machine)
         }
     }
 
+    buildAdjacency();
+
     // Topological order over distance-0 edges (Kahn's algorithm).
     std::vector<int> in_degree(ops_.size(), 0);
     for (const DepEdge &edge : edges_) {
@@ -75,7 +72,7 @@ Ddg::Ddg(const Kernel &kernel, BlockId block, const Machine &machine)
         std::sort(ready.begin() + head, ready.end());
         int n = ready[head++];
         topo_.push_back(n);
-        for (int e : succEdges_[n]) {
+        for (int e : succEdgesOf(n)) {
             if (edges_[e].distance != 0)
                 continue;
             int m = indexOf_[edges_[e].to.index()];
@@ -121,17 +118,43 @@ Ddg::Ddg(const Kernel &kernel, BlockId block, const Machine &machine)
 void
 Ddg::addEdge(DepEdge edge)
 {
-    int from = indexOf_[edge.from.index()];
-    int to = indexOf_[edge.to.index()];
-    CS_ASSERT(from >= 0 && to >= 0, "edge endpoints outside block");
-    int e = static_cast<int>(edges_.size());
+    CS_ASSERT(indexOf_[edge.from.index()] >= 0 &&
+                  indexOf_[edge.to.index()] >= 0,
+              "edge endpoints outside block");
     edges_.push_back(edge);
-    succs_[from].push_back(to);
-    preds_[to].push_back(from);
-    succEdges_[from].push_back(e);
-    predEdges_[to].push_back(e);
     if (edge.distance > 0)
         hasCarried_ = true;
+}
+
+void
+Ddg::buildAdjacency()
+{
+    const std::size_t n = ops_.size();
+    const std::size_t m = edges_.size();
+    succOff_.assign(n + 1, 0);
+    predOff_.assign(n + 1, 0);
+    for (const DepEdge &edge : edges_) {
+        ++succOff_[indexOf_[edge.from.index()] + 1];
+        ++predOff_[indexOf_[edge.to.index()] + 1];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        succOff_[i + 1] += succOff_[i];
+        predOff_[i + 1] += predOff_[i];
+    }
+    succAdj_.resize(m);
+    predAdj_.resize(m);
+    succEdgeAdj_.resize(m);
+    predEdgeAdj_.resize(m);
+    std::vector<int> sfill(succOff_.begin(), succOff_.end() - 1);
+    std::vector<int> pfill(predOff_.begin(), predOff_.end() - 1);
+    for (std::size_t e = 0; e < m; ++e) {
+        int from = indexOf_[edges_[e].from.index()];
+        int to = indexOf_[edges_[e].to.index()];
+        succAdj_[sfill[from]] = to;
+        succEdgeAdj_[sfill[from]++] = static_cast<int>(e);
+        predAdj_[pfill[to]] = from;
+        predEdgeAdj_[pfill[to]++] = static_cast<int>(e);
+    }
 }
 
 int

@@ -12,6 +12,7 @@
 #ifndef CS_IR_DDG_HPP
 #define CS_IR_DDG_HPP
 
+#include <span>
 #include <vector>
 
 #include "ir/kernel.hpp"
@@ -46,23 +47,31 @@ class Ddg
     int indexOf(OperationId op) const;
 
     const std::vector<DepEdge> &edges() const { return edges_; }
-    const std::vector<int> &succsOf(int index) const
+
+    /**
+     * Adjacency is stored CSR-style: one flat edge-index array per
+     * direction plus offsets, built in one counting pass after edge
+     * collection (the graph is immutable once constructed). Spans into
+     * the flat arrays replace the former vector-of-vectors — two
+     * allocations per direction instead of two per operation.
+     */
+    std::span<const int> succsOf(int index) const
     {
-        return succs_[index];
+        return slice(succAdj_, succOff_, index);
     }
-    const std::vector<int> &predsOf(int index) const
+    std::span<const int> predsOf(int index) const
     {
-        return preds_[index];
+        return slice(predAdj_, predOff_, index);
     }
     /** Edge list index for succ/pred adjacency entries. */
     const DepEdge &edge(int edgeIndex) const { return edges_[edgeIndex]; }
-    const std::vector<int> &succEdgesOf(int index) const
+    std::span<const int> succEdgesOf(int index) const
     {
-        return succEdges_[index];
+        return slice(succEdgeAdj_, succOff_, index);
     }
-    const std::vector<int> &predEdgesOf(int index) const
+    std::span<const int> predEdgesOf(int index) const
     {
-        return predEdges_[index];
+        return slice(predEdgeAdj_, predOff_, index);
     }
 
     /** Topological order over distance-0 edges. */
@@ -96,15 +105,27 @@ class Ddg
 
   private:
     void addEdge(DepEdge edge);
+    void buildAdjacency();
     bool feasibleII(int ii) const;
+
+    static std::span<const int> slice(const std::vector<int> &adj,
+                                      const std::vector<int> &off,
+                                      int index)
+    {
+        return {adj.data() + off[index],
+                adj.data() + off[index + 1]};
+    }
 
     const Kernel &kernel_;
     const Machine &machine_;
     std::vector<OperationId> ops_;
     std::vector<int> indexOf_;
     std::vector<DepEdge> edges_;
-    std::vector<std::vector<int>> succs_, preds_;
-    std::vector<std::vector<int>> succEdges_, predEdges_;
+    /** CSR adjacency: per-node [off[i], off[i+1]) ranges into the
+     *  flat arrays; entries keep edge insertion order per node. */
+    std::vector<int> succOff_, predOff_;
+    std::vector<int> succAdj_, predAdj_;
+    std::vector<int> succEdgeAdj_, predEdgeAdj_;
     std::vector<int> topo_;
     std::vector<int> asap_;
     std::vector<int> height_;

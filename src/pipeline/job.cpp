@@ -155,6 +155,9 @@ hashOptions(const SchedulerOptions &options)
     h.u64(options.perOpAttemptBudget);
     h.u64(options.copyAttemptBudget);
     h.boolean(options.retryVariants);
+    h.boolean(options.noGoodCache);
+    h.boolean(options.conflictBackjumping);
+    h.boolean(options.crossAttemptNoGoods);
     return h.state;
 }
 
