@@ -41,6 +41,7 @@
 #include "machine/builders.hpp"
 #include "pipeline/ii_search.hpp"
 #include "support/logging.hpp"
+#include "support/metrics.hpp"
 #include "support/stats.hpp"
 
 namespace {
@@ -128,15 +129,9 @@ printJsonEntry(std::ostream &os, const JsonEntry &entry)
        << "\",\"success\":" << (entry.success ? "true" : "false")
        << ",\"ii\":" << entry.ii << ",\"attempts\":" << entry.attempts
        << ",\"attempts_wasted\":" << entry.attemptsWasted
-       << ",\"median_ms\":" << entry.medianMs << ",\"search\":{";
-    bool first = true;
-    for (const char *name : kSearchCounters) {
-        if (!first)
-            os << ",";
-        first = false;
-        os << "\"" << name << "\":" << entry.stats.get(name);
-    }
-    os << "}}";
+       << ",\"median_ms\":" << entry.medianMs << ",\"search\":";
+    writeCounterObject(os, entry.stats, kSearchCounters);
+    os << "}";
 }
 
 int

@@ -33,6 +33,7 @@
 #include "kernels/kernels.hpp"
 #include "machine/builders.hpp"
 #include "support/logging.hpp"
+#include "support/metrics.hpp"
 #include "support/stats.hpp"
 
 namespace {
@@ -172,23 +173,11 @@ printJsonEntry(std::ostream &os, const JsonEntry &entry)
     os << "    {\"kernel\":\"" << entry.kernel << "\",\"machine\":\""
        << entry.machineName << "\",\"mode\":\"" << entry.mode
        << "\",\"success\":" << (entry.success ? "true" : "false")
-       << ",\"median_ms\":" << entry.medianMs << ",\"counters\":{";
-    bool first = true;
-    for (const char *name : kTrackedCounters) {
-        if (!first)
-            os << ",";
-        first = false;
-        os << "\"" << name << "\":" << entry.stats.get(name);
-    }
-    os << "},\"search\":{";
-    first = true;
-    for (const char *name : kSearchCounters) {
-        if (!first)
-            os << ",";
-        first = false;
-        os << "\"" << name << "\":" << entry.stats.get(name);
-    }
-    os << "}}";
+       << ",\"median_ms\":" << entry.medianMs << ",\"counters\":";
+    writeCounterObject(os, entry.stats, kTrackedCounters);
+    os << ",\"search\":";
+    writeCounterObject(os, entry.stats, kSearchCounters);
+    os << "}";
 }
 
 int

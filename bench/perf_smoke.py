@@ -17,6 +17,14 @@ the allowed factor. The factor is deliberately loose (2x) so machine
 noise does not fail the build while a genuine complexity regression
 still does.
 
+A third, tighter aggregate gate bounds the cost of the span tracer:
+the bench binaries are built with tracing compiled in but disabled
+(the shipping configuration), so the SUM of the gated medians must
+stay within TRACE_OVERHEAD_FACTOR (2%) of the committed sum. The
+aggregate — not per-entry — comparison keeps single-kernel timer
+noise from failing the build while a real always-on cost (a hot
+disabled-check that stopped being one relaxed load) still trips it.
+
 When an entry carries a "search" stats object in both the committed
 snapshot and the fresh run, the dfs_nodes counter gates as well: it is
 deterministic for the serial paths, so a blow-up there is a genuine
@@ -36,6 +44,9 @@ import subprocess
 import sys
 
 ALLOWED_FACTOR = 2.0
+# Disabled-tracer overhead budget over the summed gated medians
+# (DESIGN.md section 5e).
+TRACE_OVERHEAD_FACTOR = 1.02
 REPS = 3
 # Sub-millisecond entries are dominated by timer and allocator noise;
 # only entries at least this slow in the committed snapshot gate.
@@ -46,7 +57,7 @@ def key(entry):
     return (entry["kernel"], entry["machine"], entry["mode"])
 
 
-def check(bench, bench_filter, committed, failures):
+def check(bench, bench_filter, committed, failures, sums):
     raw = subprocess.run(
         [bench, "--json", "--reps", str(REPS), "--filter", bench_filter],
         check=True,
@@ -68,6 +79,8 @@ def check(bench, bench_filter, committed, failures):
         check_search(entry, ref, failures)
         if ref["median_ms"] < MIN_GATED_MS:
             continue
+        sums[0] += ref["median_ms"]
+        sums[1] += entry["median_ms"]
         ratio = entry["median_ms"] / ref["median_ms"]
         marker = " REGRESSION" if ratio > ALLOWED_FACTOR else ""
         print(
@@ -120,14 +133,37 @@ def main():
     }
 
     failures = []
+    sums = [0.0, 0.0]  # [committed, fresh] over the gated entries
     if committed_block:
-        check(bench_sched, "distributed#block", committed_block, failures)
+        check(
+            bench_sched, "distributed#block", committed_block, failures,
+            sums,
+        )
     else:
         print("no committed block snapshot; skipping the block gate")
     if committed_ii:
-        check(bench_ii, "#serial", committed_ii, failures)
+        check(bench_ii, "#serial", committed_ii, failures, sums)
     else:
         print("no committed modulo_ii snapshot; skipping the II gate")
+
+    # Tracing-overhead gate: compiled-in-but-disabled tracer, summed
+    # over every gated entry so per-kernel timer noise averages out.
+    if sums[0] > 0.0:
+        ratio = sums[1] / sums[0]
+        marker = (
+            " TRACING OVERHEAD" if ratio > TRACE_OVERHEAD_FACTOR else ""
+        )
+        print(
+            f"{'aggregate (tracing off)':43s} {sums[0]:8.2f} -> "
+            f"{sums[1]:8.2f} ms  x{ratio:.3f}{marker}"
+        )
+        if ratio > TRACE_OVERHEAD_FACTOR:
+            failures.append(
+                f"aggregate: {sums[1]:.2f} ms vs committed "
+                f"{sums[0]:.2f} ms (x{ratio:.3f} > "
+                f"x{TRACE_OVERHEAD_FACTOR}) — disabled tracing must stay "
+                f"within {(TRACE_OVERHEAD_FACTOR - 1) * 100:.0f}%"
+            )
 
     if failures:
         print("perf smoke FAILED:", file=sys.stderr)

@@ -7,7 +7,7 @@
  * prints a summary table and a JSON stats line.
  *
  *   cs_batch [--threads N] [--repeat R] [--cache N] [--plain]
- *            [--ii-workers N]
+ *            [--ii-workers N] [--trace=FILE] [--metrics=FILE]
  *
  *   --threads N     worker threads (default: hardware concurrency)
  *   --repeat R      submit the whole batch R times (default 1); repeats
@@ -17,11 +17,17 @@
  *   --ii-workers N  dedicated workers for the speculative parallel II
  *                   search of pipelined jobs (default 0 = serial sweep;
  *                   schedules are byte-identical either way)
+ *   --trace=FILE    enable the span tracer and write a Chrome
+ *                   trace_event JSON file (load in chrome://tracing or
+ *                   Perfetto) covering the whole batch
+ *   --metrics=FILE  write the unified metrics registry (counters,
+ *                   timers, histograms) as JSON
  */
 
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -30,8 +36,10 @@
 #include "machine/builders.hpp"
 #include "pipeline/pipeline.hpp"
 #include "support/logging.hpp"
+#include "support/metrics.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -42,6 +50,8 @@ struct Args
     std::size_t cacheCapacity = 1024;
     bool pipelined = true;
     unsigned iiWorkers = 0; // 0 = serial II sweep
+    std::string traceFile;
+    std::string metricsFile;
 };
 
 Args
@@ -55,6 +65,21 @@ parseArgs(int argc, char **argv)
                 CS_FATAL(flag, " needs a value");
             return std::atoi(argv[++i]);
         };
+        // --flag=VALUE or --flag VALUE, for the file-taking flags.
+        auto strValue = [&](const char *flag,
+                            const std::string &inline_value) {
+            if (!inline_value.empty())
+                return inline_value;
+            if (i + 1 >= argc)
+                CS_FATAL(flag, " needs a value");
+            return std::string(argv[++i]);
+        };
+        std::string inlineValue;
+        std::size_t eq = arg.find('=');
+        if (eq != std::string::npos && arg.rfind("--", 0) == 0) {
+            inlineValue = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+        }
         if (arg == "--threads") {
             args.threads = static_cast<unsigned>(intValue("--threads"));
         } else if (arg == "--repeat") {
@@ -67,6 +92,10 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--ii-workers") {
             args.iiWorkers =
                 static_cast<unsigned>(intValue("--ii-workers"));
+        } else if (arg == "--trace") {
+            args.traceFile = strValue("--trace", inlineValue);
+        } else if (arg == "--metrics") {
+            args.metricsFile = strValue("--metrics", inlineValue);
         } else {
             CS_FATAL("unknown argument '", arg, "'");
         }
@@ -87,9 +116,13 @@ main(int argc, char **argv)
     } catch (const FatalError &) {
         // CS_FATAL already printed the diagnostic.
         std::cerr << "usage: cs_batch [--threads N] [--repeat R] "
-                     "[--cache N] [--plain] [--ii-workers N]\n";
+                     "[--cache N] [--plain] [--ii-workers N] "
+                     "[--trace=FILE] [--metrics=FILE]\n";
         return 2;
     }
+
+    if (!args.traceFile.empty())
+        trace::setEnabled(true);
 
     // The paper's four register-file architectures (Section 5).
     std::vector<std::pair<std::string, Machine>> machines;
@@ -123,6 +156,7 @@ main(int argc, char **argv)
                     " submission(s) on " +
                     std::to_string(pipeline.numThreads()) + " thread(s)");
 
+    MetricsRegistry metrics;
     double totalMs = 0.0;
     std::vector<JobResult> results;
     for (int round = 0; round < args.repeat; ++round) {
@@ -133,6 +167,7 @@ main(int argc, char **argv)
             std::chrono::duration<double, std::milli>(end - start)
                 .count();
         totalMs += ms;
+        metrics.recordTimeMs("batch.round", ms);
         std::cout << "round " << (round + 1) << ": "
                   << TextTable::num(ms, 1) << " ms, "
                   << TextTable::num(1000.0 * batch.size() / ms, 1)
@@ -167,7 +202,35 @@ main(int argc, char **argv)
               << " entries, hit rate "
               << TextTable::num(100.0 * cache.hitRate(), 1) << "%\n";
 
-    // Machine-readable one-line summary (the bench suite's JSON idiom).
+    // Machine-readable one-line summary (the bench suite's JSON idiom,
+    // counter groups emitted through the shared metrics writer).
+    static const char *const kSchedulerCounters[] = {
+        "ops_scheduled",
+        "copies_inserted",
+    };
+    static const char *const kIiSearchCounters[] = {
+        "workers",
+        "attempts_launched",
+        "attempts_wasted",
+        "attempts_cancelled",
+        "cancel_latency_us",
+    };
+    static const char *const kSearchCounters[] = {
+        "dfs_nodes",
+        "nogood_probes",
+        "nogood_hits",
+        "nogood_misses",
+        "nogood_invalidations",
+        "backjumps",
+        "backjump_levels_skipped",
+    };
+    CounterSet iiStats;
+    iiStats.bump("workers", args.iiWorkers);
+    for (const char *name : {"attempts_launched", "attempts_wasted",
+                             "attempts_cancelled", "cancel_latency_us"}) {
+        iiStats.bump(name,
+                     stats.get(std::string("ii_search.") + name));
+    }
     std::cout << "{\"batch\":{\"jobs\":" << results.size() * args.repeat
               << ",\"unique_jobs\":" << results.size()
               << ",\"threads\":" << pipeline.numThreads()
@@ -181,28 +244,47 @@ main(int argc, char **argv)
               << ",\"misses\":" << cache.misses
               << ",\"evictions\":" << cache.evictions
               << ",\"hit_rate\":" << TextTable::num(cache.hitRate(), 3)
-              << "},\"scheduler\":{\"ops_scheduled\":"
-              << stats.get("ops_scheduled")
-              << ",\"copies_inserted\":" << stats.get("copies_inserted")
-              << "},\"ii_search\":{\"workers\":" << args.iiWorkers
-              << ",\"attempts_launched\":"
-              << stats.get("ii_search.attempts_launched")
-              << ",\"attempts_wasted\":"
-              << stats.get("ii_search.attempts_wasted")
-              << ",\"attempts_cancelled\":"
-              << stats.get("ii_search.attempts_cancelled")
-              << ",\"cancel_latency_us\":"
-              << stats.get("ii_search.cancel_latency_us")
-              << "},\"search\":{\"dfs_nodes\":"
-              << stats.get("dfs_nodes")
-              << ",\"nogood_probes\":" << stats.get("nogood_probes")
-              << ",\"nogood_hits\":" << stats.get("nogood_hits")
-              << ",\"nogood_misses\":" << stats.get("nogood_misses")
-              << ",\"nogood_invalidations\":"
-              << stats.get("nogood_invalidations")
-              << ",\"backjumps\":" << stats.get("backjumps")
-              << ",\"backjump_levels_skipped\":"
-              << stats.get("backjump_levels_skipped") << "}}}\n";
+              << "},\"scheduler\":";
+    writeCounterObject(std::cout, stats, kSchedulerCounters);
+    std::cout << ",\"ii_search\":";
+    writeCounterObject(std::cout, iiStats, kIiSearchCounters);
+    std::cout << ",\"search\":";
+    writeCounterObject(std::cout, stats, kSearchCounters);
+    std::cout << "}}\n";
+
+    if (!args.metricsFile.empty()) {
+        metrics.counters().merge(stats);
+        metrics.counters().bump("batch.jobs",
+                                results.size() * args.repeat);
+        metrics.counters().bump("batch.failures",
+                                static_cast<std::uint64_t>(failures));
+        metrics.counters().bump("cache.hits", cache.hits);
+        metrics.counters().bump("cache.misses", cache.misses);
+        metrics.counters().bump("cache.evictions", cache.evictions);
+        for (const JobResult &r : results)
+            metrics.recordTimeMs("job.wall", r.wallMs);
+        std::ofstream out(args.metricsFile);
+        if (!out) {
+            std::cerr << "cs_batch: cannot write metrics file '"
+                      << args.metricsFile << "'\n";
+            return 2;
+        }
+        metrics.writeJson(out);
+        out << "\n";
+        std::cout << "metrics written to " << args.metricsFile << "\n";
+    }
+
+    if (!args.traceFile.empty()) {
+        std::ofstream out(args.traceFile);
+        if (!out) {
+            std::cerr << "cs_batch: cannot write trace file '"
+                      << args.traceFile << "'\n";
+            return 2;
+        }
+        trace::exportChromeTrace(out);
+        out << "\n";
+        std::cout << "trace written to " << args.traceFile << "\n";
+    }
 
     return failures == 0 ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <climits>
 
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace cs {
 
@@ -274,9 +275,31 @@ BlockScheduler::doInsertCopy(ValueId value, OperationId reader, int slot)
     return copy_op;
 }
 
+void
+BlockScheduler::noteReject(RejectReason reason)
+{
+    ++hot_.rejects[static_cast<std::size_t>(reason)];
+#ifndef CS_TRACE_DISABLED
+    if (trace::enabled()) {
+        // One interned event name per reason ("reject.bus_conflict",
+        // ...), resolved once for the whole process.
+        static const auto ids = [] {
+            std::array<std::uint16_t, kNumRejectReasons> out{};
+            for (std::size_t i = 0; i < kNumRejectReasons; ++i) {
+                out[i] = trace::internName(
+                    std::string("reject.") + kRejectReasonNames[i]);
+            }
+            return out;
+        }();
+        trace::emitInstant(ids[static_cast<std::size_t>(reason)]);
+    }
+#endif
+}
+
 ScheduleResult
 BlockScheduler::run()
 {
+    CS_TRACE_SPAN1("schedule_block", "ii", ii_);
     ScheduleResult result{false, "", Kernel("moved-out"),
                           BlockSchedule(block_, ii_), CounterSet{}};
 
@@ -296,6 +319,7 @@ BlockScheduler::run()
         ctx_->scheduleOrder(options_.operationOrder);
     bool ok = true;
     for (OperationId op : order) {
+        CS_TRACE_SPAN1("schedule_op", "op", op.index());
         attemptsThisOp_ = 0;
         attemptCap_ = options_.perOpAttemptBudget;
         if (!scheduleOp(op, 0, INT_MAX, 0)) {
@@ -395,6 +419,10 @@ BlockScheduler::flushHotCounters()
     flush("backjumps", hot_.backjumps);
     flush("backjump_levels_skipped", hot_.backjumpLevelsSkipped);
     flush("cbj_reruns", hot_.cbjReruns);
+    for (std::size_t i = 0; i < kNumRejectReasons; ++i) {
+        flush((std::string("reject.") + kRejectReasonNames[i]).c_str(),
+              hot_.rejects[i]);
+    }
     // Evictions are counted inside the table; flush the delta so a
     // second observation of run() does not double-count.
     std::uint64_t evictions = noGoods_.evictions() - evictionsFlushed_;
@@ -494,6 +522,7 @@ BlockScheduler::scheduleOp(OperationId op, int rangeLo, int rangeHi,
         for (FuncUnitId fu : unitChoices(op, cycle, copyDepth)) {
             if (++attemptsThisOp_ > attemptCap_) {
                 ++hot_.attemptBudgetExhausted;
+                noteReject(RejectReason::BudgetExhausted);
                 return false;
             }
             if (abortRequested())
@@ -837,6 +866,7 @@ BlockScheduler::closeRoutes(OperationId op, int copyDepth)
         // the placement loop to a cycle where its home unit is free.
         if (kernel_.operation(comms_.get(id).reader).isCopy()) {
             ++hot_.copyFeedUnroutable;
+            noteReject(RejectReason::RouteInfeasible);
             return false;
         }
         if (!insertAndScheduleCopy(id, copyDepth))

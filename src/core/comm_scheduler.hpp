@@ -31,6 +31,7 @@
 
 #include "core/communication.hpp"
 #include "core/nogood.hpp"
+#include "core/reject.hpp"
 #include "core/reservation.hpp"
 #include "core/sched_context.hpp"
 #include "core/schedule.hpp"
@@ -353,8 +354,18 @@ class BlockScheduler
         std::uint64_t backjumps = 0;
         std::uint64_t backjumpLevelsSkipped = 0;
         std::uint64_t cbjReruns = 0;
+        /** Placement rejections by RejectReason (core/reject.hpp),
+         *  flushed as the "reject.<name>" counters. */
+        std::array<std::uint64_t, kNumRejectReasons> rejects{};
     };
     void flushHotCounters();
+
+    /**
+     * Classify one placement rejection: counts it per reason and,
+     * when tracing is enabled, emits an instant event so the timeline
+     * shows which constraint killed which placement.
+     */
+    void noteReject(RejectReason reason);
 
     /**
      * Reusable buffers for one stub-permutation search, pooled by
@@ -411,8 +422,13 @@ class BlockScheduler
         if (aborted_)
             return true;
         if (abortFlag_ != nullptr &&
-            abortFlag_->load(std::memory_order_relaxed))
+            abortFlag_->load(std::memory_order_relaxed)) {
             aborted_ = true;
+            // Classified once, at the latch transition: everything the
+            // unwind rejects afterwards is a casualty of this abort,
+            // not a scheduling fact worth counting per-site.
+            noteReject(RejectReason::Aborted);
+        }
         return aborted_;
     }
     /** External cancellation request (null when disarmed). */

@@ -10,6 +10,7 @@
 
 #include "core/comm_scheduler.hpp"
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace cs {
 
@@ -65,10 +66,12 @@ BlockScheduler::tryReuseExistingCopy(CommId commId)
 bool
 BlockScheduler::insertAndScheduleCopy(CommId commId, int copyDepth)
 {
+    CS_TRACE_SPAN1("copy_insertion", "depth", copyDepth);
     if (tryReuseExistingCopy(commId))
         return true;
     if (copyDepth >= options_.maxCopyDepth) {
         ++hot_.copyDepthExhausted;
+        noteReject(RejectReason::RouteInfeasible);
         return false;
     }
 
@@ -89,6 +92,7 @@ BlockScheduler::insertAndScheduleCopy(CommId commId, int copyDepth)
              copy_latency;
     if (lo > hi) {
         ++hot_.copyRangeEmpty;
+        noteReject(RejectReason::RouteInfeasible);
         return false;
     }
 
@@ -125,6 +129,8 @@ BlockScheduler::insertAndScheduleCopy(CommId commId, int copyDepth)
     if (ok)
         return true;
     ++hot_.copyScheduleFailures;
+    if (!aborted_)
+        noteReject(RejectReason::RouteInfeasible);
     return false;
 }
 

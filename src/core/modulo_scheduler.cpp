@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace cs {
 
@@ -38,7 +39,9 @@ schedulePipelined(const Kernel &kernel, BlockId block,
 
     std::vector<SchedulerOptions> variants = iiRetryVariants(options);
     for (int ii = mii; ii <= mii + maxIiSlack; ++ii) {
-        for (const SchedulerOptions &variant : variants) {
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            const SchedulerOptions &variant = variants[v];
+            CS_TRACE_SPAN2("ii_attempt", "ii", ii, "variant", v);
             ++result.attempts;
             BlockScheduler scheduler(context, variant, ii);
             ScheduleResult attempt = scheduler.run();

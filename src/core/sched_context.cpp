@@ -4,6 +4,7 @@
 
 #include "support/bitset.hpp"
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace cs {
 
@@ -15,6 +16,8 @@ BlockSchedulingContext::BlockSchedulingContext(const Kernel &kernel,
       machine_(machine),
       ddg_(kernel, block, machine)
 {
+    CS_TRACE_SPAN1("block_analysis", "ops",
+                   kernel.block(block).operations.size());
     resMii_ = ddg_.resMii();
     recMii_ = ddg_.recMii();
     orderByHeight_ = buildScheduleOrder(ddg_, true);

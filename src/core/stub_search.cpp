@@ -28,6 +28,7 @@
 #include "core/comm_scheduler.hpp"
 #include "support/fnv.hpp"
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace cs {
 
@@ -635,6 +636,7 @@ BlockScheduler::permuteReadStubsImpl(int cycle, CommId constrain,
     }
     if (ids.empty())
         return true;
+    CS_TRACE_SPAN1("perm_search.read", "comms", ids.size());
 
     // Order: closing before open, smallest copy range first. Keys are
     // computed once per communication, not once per comparison.
@@ -678,8 +680,10 @@ BlockScheduler::permuteReadStubsImpl(int cycle, CommId constrain,
     if (options_.noGoodCache && noGoods_.size() != 0) {
         sig = readSearchSignature(ids, cycle, constrain, wantRf);
         sigValid = true;
-        if (noGoodHit(sig))
+        if (noGoodHit(sig)) {
+            noteReject(RejectReason::NoGoodHit);
             return false;
+        }
     }
 
     // Release current assignments; remember them for rollback.
@@ -846,6 +850,7 @@ BlockScheduler::permuteReadStubsImpl(int cycle, CommId constrain,
 
     bool use_cbj = options_.conflictBackjumping && ids.size() <= 64;
     bool jumped = false;
+    std::uint64_t budgetExhaustedBefore = hot_.permBudgetExhausted;
     bool success = run_dfs(use_cbj, jumped);
     if (success && jumped) {
         // The solution was reached through at least one multi-level
@@ -859,6 +864,14 @@ BlockScheduler::permuteReadStubsImpl(int cycle, CommId constrain,
         success = run_dfs(false, jumped);
     }
     if (!success) {
+        // Classify the rejection. An aborted search was already noted
+        // at the latch; a budget trip is a search-policy limit, not a
+        // port fact; everything else exhausted the read-port space.
+        if (!aborted_) {
+            noteReject(hot_.permBudgetExhausted > budgetExhaustedBefore
+                           ? RejectReason::BudgetExhausted
+                           : RejectReason::ReadPortConflict);
+        }
         // Restore previous stubs (everything acquired is already
         // released) and learn the failure unless an abort caused it.
         for (std::size_t i = 0; i < ids.size(); ++i) {
@@ -898,6 +911,7 @@ BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
     }
     if (ids.empty())
         return true;
+    CS_TRACE_SPAN1("perm_search.write", "comms", ids.size());
 
     auto &order = sc.orderKeys;
     order.clear();
@@ -932,8 +946,10 @@ BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
     if (options_.noGoodCache && noGoods_.size() != 0) {
         sig = writeSearchSignature(ids, cycle, constrain, wantRf);
         sigValid = true;
-        if (noGoodHit(sig))
+        if (noGoodHit(sig)) {
+            noteReject(RejectReason::NoGoodHit);
             return false;
+        }
     }
 
     auto &previous = sc.prevWrite;
@@ -1002,6 +1018,7 @@ BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
         }
         if (distinct.size() > usable_count) {
             ++hot_.writePermBusPrechecks;
+            noteReject(RejectReason::BusConflict);
             for (std::size_t i = 0; i < ids.size(); ++i) {
                 const Communication &held = comms_.get(ids[i]);
                 if (previous[i]) {
@@ -1159,6 +1176,7 @@ BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
 
     bool use_cbj = options_.conflictBackjumping && ids.size() <= 64;
     bool jumped = false;
+    std::uint64_t budgetExhaustedBefore = hot_.permBudgetExhausted;
     bool success = run_dfs(use_cbj, jumped);
     if (success && jumped) {
         release_all(ids.size());
@@ -1166,6 +1184,21 @@ BlockScheduler::permuteWriteStubsImpl(int cycle, CommId constrain,
         success = run_dfs(false, jumped);
     }
     if (!success) {
+        // Classify: abort already noted at the latch; a communication
+        // with no candidate write stubs at all is the "no serviceable
+        // write stub" case (nothing the other levels choose can fix
+        // an empty list); a budget trip is a policy limit; the rest
+        // exhausted the write-port space.
+        if (!aborted_) {
+            bool emptyList = false;
+            for (const auto &list : candidates)
+                emptyList = emptyList || list.empty();
+            noteReject(
+                emptyList ? RejectReason::NoServiceableWriteStub
+                : hot_.permBudgetExhausted > budgetExhaustedBefore
+                    ? RejectReason::BudgetExhausted
+                    : RejectReason::WritePortConflict);
+        }
         for (std::size_t i = 0; i < ids.size(); ++i) {
             Communication &held = comms_.get(ids[i]);
             if (previous[i]) {

@@ -8,6 +8,7 @@
 
 #include "core/sched_context.hpp"
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace cs {
 
@@ -61,6 +62,11 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
     std::uint64_t cancel_latency_us = 0;
 
     auto run_attempt = [&](int k) {
+        // The span shows the speculative wavefront on the timeline:
+        // concurrent ii_attempt spans on different worker tids, keyed
+        // (ii, variant), the cancelled ones ending early.
+        CS_TRACE_SPAN2("ii_attempt", "ii", mii + k / num_variants,
+                       "variant", k % num_variants);
         BlockScheduler scheduler(context,
                                  variants[k % num_variants],
                                  mii + k / num_variants);
@@ -76,10 +82,13 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
         --in_flight;
         if (a.abortRaised && a.result.cancelled) {
             ++num_cancelled;
-            cancel_latency_us += static_cast<std::uint64_t>(
+            std::uint64_t latency_us = static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::microseconds>(
                     finished - a.abortedAt)
                     .count());
+            cancel_latency_us += latency_us;
+            CS_TRACE_INSTANT2("ii_cancel", "attempt", k, "latency_us",
+                              latency_us);
         }
         if (a.result.success && k < best) {
             best = k;

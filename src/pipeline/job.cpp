@@ -7,6 +7,7 @@
 #include "core/list_scheduler.hpp"
 #include "core/schedule.hpp"
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace cs {
 
@@ -186,6 +187,16 @@ runScheduleJob(const ScheduleJob &job, const IiSearchConfig &iiSearch)
 {
     CS_ASSERT(job.machine != nullptr, "job '", job.label,
               "' has no machine");
+#ifndef CS_TRACE_DISABLED
+    // The job label is dynamic, so it is interned per distinct label
+    // (bounded by the batch's job count) instead of per call site.
+    trace::Scope traceSpan(
+        trace::enabled()
+            ? trace::internName(job.label.empty()
+                                    ? std::string("schedule_job")
+                                    : "schedule_job:" + job.label)
+            : std::uint16_t{0});
+#endif
     auto start = std::chrono::steady_clock::now();
 
     JobResult out;

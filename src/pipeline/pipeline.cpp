@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace cs {
 
@@ -48,6 +49,7 @@ SchedulingPipeline::runOne(const ScheduleJob &job)
     std::uint64_t key = scheduleJobKey(job);
 
     if (std::optional<JobResult> cached = cache_.lookup(key)) {
+        CS_TRACE_INSTANT1("cache_probe", "hit", 1);
         cached->cacheHit = true;
         auto end = std::chrono::steady_clock::now();
         cached->wallMs =
@@ -60,6 +62,7 @@ SchedulingPipeline::runOne(const ScheduleJob &job)
         return *cached;
     }
 
+    CS_TRACE_INSTANT1("cache_probe", "hit", 0);
     IiSearchConfig ii_search;
     ii_search.pool = iiPool_.get();
     JobResult result = runScheduleJob(job, ii_search);

@@ -1,0 +1,155 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace cs {
+
+namespace {
+
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[idx];
+}
+
+std::map<std::string, DistributionStats>
+summarizeAll(const std::map<std::string, std::vector<double>> &samples)
+{
+    std::map<std::string, DistributionStats> out;
+    for (const auto &[name, values] : samples)
+        out.emplace(name, summarizeDistribution(values));
+    return out;
+}
+
+void
+writeDistributionObject(std::ostream &os,
+                        const std::map<std::string, DistributionStats> &m,
+                        const char *unitSuffix)
+{
+    os << "{";
+    bool first = true;
+    for (const auto &[name, d] : m) {
+        if (!first)
+            os << ",";
+        first = false;
+        writeJsonQuoted(os, name);
+        os << ":{\"count\":" << d.count << ",\"total" << unitSuffix
+           << "\":" << d.total << ",\"p50" << unitSuffix << "\":" << d.p50
+           << ",\"p95" << unitSuffix << "\":" << d.p95 << ",\"max"
+           << unitSuffix << "\":" << d.max << "}";
+    }
+    os << "}";
+}
+
+} // namespace
+
+DistributionStats
+summarizeDistribution(std::vector<double> samples)
+{
+    DistributionStats stats;
+    if (samples.empty())
+        return stats;
+    std::sort(samples.begin(), samples.end());
+    stats.count = samples.size();
+    for (double v : samples)
+        stats.total += v;
+    stats.p50 = percentile(samples, 0.50);
+    stats.p95 = percentile(samples, 0.95);
+    stats.max = samples.back();
+    return stats;
+}
+
+void
+MetricsRegistry::recordTimeMs(const std::string &name, double ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    timers_[name].push_back(ms);
+}
+
+void
+MetricsRegistry::recordValue(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    histograms_[name].push_back(value);
+}
+
+std::map<std::string, DistributionStats>
+MetricsRegistry::timerSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return summarizeAll(timers_);
+}
+
+std::map<std::string, DistributionStats>
+MetricsRegistry::histogramSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return summarizeAll(histograms_);
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    os << "{\"counters\":";
+    writeAllCounters(os, counters_);
+    os << ",\"timers\":";
+    writeDistributionObject(os, timerSnapshot(), "_ms");
+    os << ",\"histograms\":";
+    writeDistributionObject(os, histogramSnapshot(), "");
+    os << "}";
+}
+
+void
+writeJsonQuoted(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                const char *hex = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+writeCounterObject(std::ostream &os, const CounterSet &stats,
+                   const char *const *names, std::size_t count)
+{
+    os << "{";
+    for (std::size_t i = 0; i < count; ++i) {
+        if (i)
+            os << ",";
+        os << "\"" << names[i] << "\":" << stats.get(names[i]);
+    }
+    os << "}";
+}
+
+void
+writeAllCounters(std::ostream &os, const CounterSet &stats)
+{
+    os << "{";
+    bool first = true;
+    stats.forEach([&](const std::string &name, std::uint64_t value) {
+        if (!first)
+            os << ",";
+        first = false;
+        writeJsonQuoted(os, name);
+        os << ":" << value;
+    });
+    os << "}";
+}
+
+} // namespace cs

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unified metrics surface for the front-ends and benches: one
+ * registry holding named counters (a CounterSet), timers, and value
+ * histograms behind a single snapshot/JSON API, plus the low-level
+ * JSON writers the bench harnesses use so nobody hand-rolls stats
+ * blocks.
+ *
+ * Counters are monotonically increasing integers ("ops_scheduled").
+ * Timers and histograms are both sample distributions — a timer's
+ * samples are milliseconds, a histogram's are dimensionless values —
+ * summarized as count/total/p50/p95/max on export.
+ */
+
+#ifndef CS_SUPPORT_METRICS_HPP
+#define CS_SUPPORT_METRICS_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace cs {
+
+/** Five-number summary of one timer or histogram. */
+struct DistributionStats
+{
+    std::uint64_t count = 0;
+    double total = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double max = 0.0;
+};
+
+class MetricsRegistry
+{
+  public:
+    /** The counter side; bump via counters().bump(...) or merge a
+     * scheduler's CounterSet in wholesale. */
+    CounterSet &counters() { return counters_; }
+    const CounterSet &counters() const { return counters_; }
+
+    /** Record one timer sample, in milliseconds. */
+    void recordTimeMs(const std::string &name, double ms);
+
+    /** Record one histogram sample (dimensionless). */
+    void recordValue(const std::string &name, double value);
+
+    /** Consistent summaries of every timer, keyed by name. */
+    std::map<std::string, DistributionStats> timerSnapshot() const;
+
+    /** Consistent summaries of every histogram, keyed by name. */
+    std::map<std::string, DistributionStats> histogramSnapshot() const;
+
+    /**
+     * Emit the whole registry as one JSON object:
+     *
+     *   {"counters":{...},
+     *    "timers":{"name":{"count":..,"total_ms":..,"p50_ms":..,
+     *                      "p95_ms":..,"max_ms":..},...},
+     *    "histograms":{"name":{"count":..,"total":..,"p50":..,
+     *                          "p95":..,"max":..},...}}
+     */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    CounterSet counters_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::vector<double>> timers_;
+    std::map<std::string, std::vector<double>> histograms_;
+};
+
+/** Summarize one sample set (sorts a copy). */
+DistributionStats summarizeDistribution(std::vector<double> samples);
+
+/** JSON-escape and quote @p s onto @p os. */
+void writeJsonQuoted(std::ostream &os, const std::string &s);
+
+/**
+ * Write the named counters of @p stats as a JSON object in exactly
+ * the given order: {"a":1,"b":2}. Absent counters print as 0. This is
+ * the bench harnesses' stable emission format — BENCH_sched.json and
+ * bench/perf_smoke.py parse it — so the byte layout must not change.
+ */
+void writeCounterObject(std::ostream &os, const CounterSet &stats,
+                        const char *const *names, std::size_t count);
+
+template <std::size_t N>
+void
+writeCounterObject(std::ostream &os, const CounterSet &stats,
+                   const char *const (&names)[N])
+{
+    writeCounterObject(os, stats, names, N);
+}
+
+/** Write every counter of @p stats, in name order, as a JSON object. */
+void writeAllCounters(std::ostream &os, const CounterSet &stats);
+
+} // namespace cs
+
+#endif // CS_SUPPORT_METRICS_HPP

@@ -34,12 +34,11 @@ double maxOf(const std::vector<double> &values);
  * of these so tests and benches can observe effort (operations scheduled,
  * copies inserted, permutations searched, backtracks taken, ...).
  *
- * Thread safety: bump(), get(), merge(), snapshot(), and clear() are
- * safe to call concurrently from multiple threads (the pipeline layer
- * aggregates job statistics into one shared CounterSet). all() returns
- * an unguarded reference and may only be used once concurrent writers
- * have quiesced — the existing single-threaded call sites keep working
- * unchanged.
+ * Thread safety: every member is safe to call concurrently from
+ * multiple threads (the pipeline layer aggregates job statistics into
+ * one shared CounterSet). Iteration goes through forEach() or
+ * snapshot(), both of which hold the lock — there is no unguarded
+ * accessor.
  */
 class CounterSet
 {
@@ -64,12 +63,15 @@ class CounterSet
     std::map<std::string, std::uint64_t> snapshot() const;
 
     /**
-     * All counters in name order, for printing. Not safe against
-     * concurrent bump()s; use snapshot() when writers may be live.
+     * Visit every counter in name order under the lock. @p fn must
+     * not call back into this CounterSet (the lock is held).
      */
-    const std::map<std::string, std::uint64_t> &all() const
+    template <typename Fn>
+    void forEach(Fn &&fn) const
     {
-        return counters_;
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[name, value] : counters_)
+            fn(name, value);
     }
 
   private:

@@ -11,6 +11,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -288,6 +290,47 @@ TEST(CounterSet, ConcurrentBumpsSumExactly)
     merged.merge(stats);
     EXPECT_EQ(merged.snapshot().at("shared"),
               2ull * kThreads * kBumps);
+}
+
+TEST(CounterSet, ForEachVisitsEveryCounter)
+{
+    CounterSet stats;
+    stats.bump("a", 1);
+    stats.bump("b", 2);
+    stats.bump("c", 3);
+    std::map<std::string, std::uint64_t> seen;
+    stats.forEach([&seen](const std::string &name,
+                          std::uint64_t value) { seen[name] = value; });
+    EXPECT_EQ(seen, stats.snapshot());
+    EXPECT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen.at("b"), 2u);
+}
+
+TEST(CounterSet, ForEachRacesWithWriters)
+{
+    // forEach iterates under the set's own lock, so it must be safe
+    // against concurrent bumps (the TSan build pins this).
+    CounterSet stats;
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        int i = 0;
+        do
+            stats.bump("w" + std::to_string(i++ % 16));
+        while (!stop.load(std::memory_order_relaxed));
+    });
+    for (int round = 0; round < 200; ++round) {
+        std::uint64_t total = 0;
+        stats.forEach([&total](const std::string &,
+                               std::uint64_t value) { total += value; });
+    }
+    stop.store(true);
+    writer.join();
+    std::uint64_t total = 0;
+    stats.forEach(
+        [&total](const std::string &, std::uint64_t value) {
+            total += value;
+        });
+    EXPECT_GT(total, 0u);
 }
 
 } // namespace
