@@ -1,0 +1,235 @@
+/**
+ * @file
+ * cs_serve request-latency benchmark: an in-process ScheduleServer on
+ * a temporary Unix-domain socket, driven open-loop — requests are
+ * launched on a fixed arrival schedule regardless of completions, so
+ * queueing delay under load shows up in the numbers instead of being
+ * hidden by a closed feedback loop. Each request runs on its own
+ * client connection (the protocol multiplexes per connection, but a
+ * fresh connection per request measures the full serve path).
+ *
+ * Two phases per repetition, fresh server each repetition:
+ *
+ *   cold - every job is distinct (kernel x maxDelay variants), so each
+ *          request pays real scheduling work
+ *   warm - the identical arrival schedule again, now answered from the
+ *          schedule cache
+ *
+ * Reported per phase: p50/p99 latency from the *scheduled* arrival
+ * time (open-loop convention) and achieved throughput. --json emits
+ * the capture bench/run_perf.sh stores under "serve_latency" in
+ * BENCH_sched.json.
+ */
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "kernels/kernels.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "support/logging.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace cs;
+
+/** Distinct one-job sets: every Table-1 kernel x maxDelay variants on
+ *  the central machine, block mode. */
+std::vector<serve::JobSet>
+buildJobSets(int delayVariants)
+{
+    std::vector<serve::JobSet> sets;
+    for (const KernelSpec &spec : allKernels()) {
+        for (int v = 0; v < delayVariants; ++v) {
+            serve::JobSet set;
+            set.machines.push_back(makeCentral());
+            set.kernels.push_back(spec.build());
+            serve::JobDescription job;
+            job.label = spec.name + "/d" + std::to_string(v);
+            job.pipelined = false;
+            job.options.maxDelay = 2048 - v;
+            set.jobs.push_back(std::move(job));
+            sets.push_back(std::move(set));
+        }
+    }
+    return sets;
+}
+
+/**
+ * One open-loop pass: request i is due at start + i * arrival; its
+ * latency is measured from that due time, so a request stuck behind a
+ * slow predecessor is charged the wait.
+ */
+std::vector<double>
+runPhase(const std::string &socketPath,
+         const std::vector<serve::JobSet> &sets, double arrivalMs)
+{
+    std::vector<double> latencies(sets.size(), -1.0);
+    std::vector<std::thread> threads;
+    auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        auto due = start + std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   arrivalMs * static_cast<double>(i)));
+        std::this_thread::sleep_until(due);
+        threads.emplace_back([&, i, due] {
+            serve::ScheduleClient client;
+            std::string error;
+            if (!client.connect(socketPath, &error)) {
+                CS_INFORM("bench_serve_latency: ", error);
+                return;
+            }
+            serve::Response response;
+            if (!client.schedule(sets[i], 0, &response, &error) ||
+                response.status != serve::ResponseStatus::Ok) {
+                CS_INFORM("bench_serve_latency: request failed: ",
+                          error.empty() ? response.message : error);
+                return;
+            }
+            auto end = std::chrono::steady_clock::now();
+            latencies[i] =
+                std::chrono::duration<double, std::milli>(end - due)
+                    .count();
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    std::vector<double> ok;
+    for (double ms : latencies) {
+        CS_ASSERT(ms >= 0.0, "request failed during benchmark");
+        ok.push_back(ms);
+    }
+    return ok;
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+struct PhaseStats
+{
+    std::size_t requests = 0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double maxMs = 0.0;
+};
+
+PhaseStats
+summarize(const std::vector<double> &samples)
+{
+    PhaseStats stats;
+    stats.requests = samples.size();
+    stats.p50 = percentile(samples, 50.0);
+    stats.p99 = percentile(samples, 99.0);
+    for (double ms : samples)
+        stats.maxMs = std::max(stats.maxMs, ms);
+    return stats;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerboseLogging(false);
+    bool json = false;
+    int reps = 3;
+    double arrivalMs = 5.0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--reps" && i + 1 < argc) {
+            reps = std::atoi(argv[++i]);
+        } else if (arg == "--arrival-ms" && i + 1 < argc) {
+            arrivalMs = std::atof(argv[++i]);
+        } else {
+            std::cerr << "usage: bench_serve_latency [--json] "
+                         "[--reps N] [--arrival-ms MS]\n";
+            return 2;
+        }
+    }
+
+    std::vector<serve::JobSet> sets = buildJobSets(4);
+    std::vector<double> cold;
+    std::vector<double> warm;
+    for (int rep = 0; rep < reps; ++rep) {
+        // Fresh server (and cache) per repetition so every cold pass
+        // really is cold.
+        serve::ServerConfig config;
+        config.socketPath = "/tmp/cs_bench_serve_" +
+                            std::to_string(::getpid()) + "_" +
+                            std::to_string(rep) + ".sock";
+        config.workerThreads = 2;
+        config.cacheCapacity = 2 * sets.size();
+        config.maxInFlight = sets.size();
+        serve::ScheduleServer server(config);
+        CS_ASSERT(server.start(), "server failed to start");
+
+        std::vector<double> c =
+            runPhase(config.socketPath, sets, arrivalMs);
+        cold.insert(cold.end(), c.begin(), c.end());
+        std::vector<double> w =
+            runPhase(config.socketPath, sets, arrivalMs);
+        warm.insert(warm.end(), w.begin(), w.end());
+        server.stop();
+    }
+
+    PhaseStats coldStats = summarize(cold);
+    PhaseStats warmStats = summarize(warm);
+
+    if (json) {
+        auto entry = [&](const char *phase, const PhaseStats &stats) {
+            return std::string("{\"phase\":\"") + phase +
+                   "\",\"requests\":" +
+                   std::to_string(stats.requests) +
+                   ",\"arrival_ms\":" + TextTable::num(arrivalMs, 2) +
+                   ",\"p50_ms\":" + TextTable::num(stats.p50, 3) +
+                   ",\"p99_ms\":" + TextTable::num(stats.p99, 3) +
+                   ",\"max_ms\":" + TextTable::num(stats.maxMs, 3) +
+                   "}";
+        };
+        std::cout << "{\"bench\":\"serve_latency\",\"entries\":["
+                  << entry("cold", coldStats) << ","
+                  << entry("warm", warmStats) << "]}\n";
+        return 0;
+    }
+
+    printBanner(std::cout,
+                "cs_serve open-loop latency: " +
+                    std::to_string(sets.size()) +
+                    " distinct jobs/pass, arrival every " +
+                    TextTable::num(arrivalMs, 1) + " ms, " +
+                    std::to_string(reps) + " reps");
+    TextTable table(
+        {"phase", "requests", "p50 ms", "p99 ms", "max ms"});
+    table.addRow({"cold", std::to_string(coldStats.requests),
+                  TextTable::num(coldStats.p50, 3),
+                  TextTable::num(coldStats.p99, 3),
+                  TextTable::num(coldStats.maxMs, 3)});
+    table.addRow({"warm", std::to_string(warmStats.requests),
+                  TextTable::num(warmStats.p50, 3),
+                  TextTable::num(warmStats.p99, 3),
+                  TextTable::num(warmStats.maxMs, 3)});
+    table.print(std::cout);
+    return 0;
+}

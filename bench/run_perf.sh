@@ -6,7 +6,9 @@
 # pipelined subset) and stores the capture as the "current" snapshot
 # in BENCH_sched.json at the repo root, then runs bench_modulo_ii
 # --json (the II-search suite: cold vs serial vs speculative parallel)
-# into the "modulo_ii" section the same way. The first capture of each
+# into the "modulo_ii" section the same way, and bench_serve_latency
+# --json (open-loop p50/p99 through the cs_serve daemon, cold vs warm
+# cache) into the "serve_latency" section. The first capture of each
 # section also becomes its "baseline" snapshot; later runs keep the
 # committed baseline so the two can be diffed release-over-release.
 #
@@ -23,33 +25,39 @@ build_dir=${1:-${BUILD_DIR:-$repo_root/build}}
 reps=${REPS:-5}
 bench="$build_dir/bench/bench_sched_perf"
 bench_ii="$build_dir/bench/bench_modulo_ii"
+bench_serve="$build_dir/bench/bench_serve_latency"
 out="$repo_root/BENCH_sched.json"
 
-for binary in "$bench" "$bench_ii"; do
+for binary in "$bench" "$bench_ii" "$bench_serve"; do
     if [ ! -x "$binary" ]; then
         echo "run_perf.sh: $binary not found; build the bench targets" \
              "first (cmake --build $build_dir --target" \
-             "bench_sched_perf bench_modulo_ii)" >&2
+             "bench_sched_perf bench_modulo_ii" \
+             "bench_serve_latency)" >&2
         exit 1
     fi
 done
 
 tmp=$(mktemp)
 tmp_ii=$(mktemp)
-trap 'rm -f "$tmp" "$tmp_ii"' EXIT
+tmp_serve=$(mktemp)
+trap 'rm -f "$tmp" "$tmp_ii" "$tmp_serve"' EXIT
 "$bench" --json --reps "$reps" > "$tmp"
 "$bench_ii" --json --reps "$reps" > "$tmp_ii"
+"$bench_serve" --json --reps "$reps" > "$tmp_serve"
 
-python3 - "$tmp" "$tmp_ii" "$out" <<'EOF'
+python3 - "$tmp" "$tmp_ii" "$tmp_serve" "$out" <<'EOF'
 import json
 import statistics
 import sys
 
-capture_path, capture_ii_path, out_path = sys.argv[1:4]
+capture_path, capture_ii_path, capture_serve_path, out_path = sys.argv[1:5]
 with open(capture_path) as f:
     capture = json.load(f)
 with open(capture_ii_path) as f:
     capture_ii = json.load(f)
+with open(capture_serve_path) as f:
+    capture_serve = json.load(f)
 
 try:
     with open(out_path) as f:
@@ -65,6 +73,11 @@ modulo_ii = doc.setdefault("modulo_ii", {})
 if "baseline" not in modulo_ii:
     modulo_ii["baseline"] = capture_ii
 modulo_ii["current"] = capture_ii
+
+serve_latency = doc.setdefault("serve_latency", {})
+if "baseline" not in serve_latency:
+    serve_latency["baseline"] = capture_serve
+serve_latency["current"] = capture_serve
 
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=1)
@@ -89,4 +102,10 @@ if ratios:
     print(f"modulo_ii: {len(capture_ii['entries'])} entries, median "
           f"cold/serial x{statistics.median(ratios):.2f} "
           f"(shared-context reuse, single-threaded)")
+
+phases = {e["phase"]: e for e in capture_serve["entries"]}
+if "cold" in phases and "warm" in phases:
+    print(f"serve_latency: cold p50 {phases['cold']['p50_ms']:.2f} ms / "
+          f"warm p50 {phases['warm']['p50_ms']:.2f} ms "
+          f"({phases['cold']['requests']} open-loop requests per phase)")
 EOF

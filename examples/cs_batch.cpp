@@ -7,7 +7,8 @@
  * prints a summary table and a JSON stats line.
  *
  *   cs_batch [--threads N] [--repeat R] [--cache N] [--plain]
- *            [--ii-workers N] [--trace=FILE] [--metrics=FILE]
+ *            [--ii-workers N] [--jobs FILE] [--cache-dir DIR]
+ *            [--trace=FILE] [--metrics=FILE] [--help]
  *
  *   --threads N     worker threads (default: hardware concurrency)
  *   --repeat R      submit the whole batch R times (default 1); repeats
@@ -17,6 +18,14 @@
  *   --ii-workers N  dedicated workers for the speculative parallel II
  *                   search of pipelined jobs (default 0 = serial sweep;
  *                   schedules are byte-identical either way)
+ *   --jobs FILE     schedule the jobset description in FILE (the text
+ *                   format of serve/proto.hpp) instead of the built-in
+ *                   Table-1 x 4-machine matrix; the same files drive
+ *                   cs_client, so batch and served runs are comparable
+ *                   byte for byte
+ *   --cache-dir DIR persistent schedule-cache directory: results
+ *                   survive restarts and reload warm (disk tier of
+ *                   pipeline/persistent_cache.hpp)
  *   --trace=FILE    enable the span tracer and write a Chrome
  *                   trace_event JSON file (load in chrome://tracing or
  *                   Perfetto) covering the whole batch
@@ -35,6 +44,7 @@
 #include "kernels/kernels.hpp"
 #include "machine/builders.hpp"
 #include "pipeline/pipeline.hpp"
+#include "serve/proto.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
 #include "support/stats.hpp"
@@ -52,7 +62,17 @@ struct Args
     unsigned iiWorkers = 0; // 0 = serial II sweep
     std::string traceFile;
     std::string metricsFile;
+    std::string jobsFile;
+    std::string dumpJobsFile;
+    std::string cacheDir;
+    bool help = false;
 };
+
+const char *const kUsage =
+    "usage: cs_batch [--threads N] [--repeat R] [--cache N] [--plain]\n"
+    "                [--ii-workers N] [--jobs FILE] [--dump-jobs FILE]\n"
+    "                [--cache-dir DIR] [--trace=FILE] [--metrics=FILE]\n"
+    "                [--help]\n";
 
 Args
 parseArgs(int argc, char **argv)
@@ -96,6 +116,14 @@ parseArgs(int argc, char **argv)
             args.traceFile = strValue("--trace", inlineValue);
         } else if (arg == "--metrics") {
             args.metricsFile = strValue("--metrics", inlineValue);
+        } else if (arg == "--jobs") {
+            args.jobsFile = strValue("--jobs", inlineValue);
+        } else if (arg == "--dump-jobs") {
+            args.dumpJobsFile = strValue("--dump-jobs", inlineValue);
+        } else if (arg == "--cache-dir") {
+            args.cacheDir = strValue("--cache-dir", inlineValue);
+        } else if (arg == "--help" || arg == "-h") {
+            args.help = true;
         } else {
             CS_FATAL("unknown argument '", arg, "'");
         }
@@ -115,10 +143,12 @@ main(int argc, char **argv)
         args = parseArgs(argc, argv);
     } catch (const FatalError &) {
         // CS_FATAL already printed the diagnostic.
-        std::cerr << "usage: cs_batch [--threads N] [--repeat R] "
-                     "[--cache N] [--plain] [--ii-workers N] "
-                     "[--trace=FILE] [--metrics=FILE]\n";
+        std::cerr << kUsage;
         return 2;
+    }
+    if (args.help) {
+        std::cout << kUsage;
+        return 0;
     }
 
     if (!args.traceFile.empty())
@@ -131,16 +161,71 @@ main(int argc, char **argv)
     machines.emplace_back("Clustered (4)", makeClustered({}, 4));
     machines.emplace_back("Distributed", makeDistributed());
 
+    // --dump-jobs: export the built-in matrix as a jobset description
+    // (the serving stack's ingestion format) and exit. Round-tripping
+    // it through --jobs or cs_client reproduces byte-identical
+    // listings.
+    if (!args.dumpJobsFile.empty()) {
+        serve::JobSet set;
+        for (auto &[machineName, machine] : machines)
+            set.machines.push_back(std::move(machine));
+        std::vector<KernelSpec> specs = allKernels();
+        for (const KernelSpec &spec : specs)
+            set.kernels.push_back(spec.build());
+        for (std::uint32_t m = 0; m < set.machines.size(); ++m) {
+            for (std::uint32_t k = 0; k < set.kernels.size(); ++k) {
+                serve::JobDescription job;
+                job.label = specs[k].name + "@" + machines[m].first;
+                job.machineIndex = m;
+                job.kernelIndex = k;
+                job.pipelined = args.pipelined;
+                set.jobs.push_back(std::move(job));
+            }
+        }
+        std::ofstream out(args.dumpJobsFile);
+        if (!out) {
+            std::cerr << "cs_batch: cannot write '" << args.dumpJobsFile
+                      << "'\n";
+            return 2;
+        }
+        serve::printJobSet(out, set);
+        std::cout << "jobset (" << set.jobs.size() << " jobs) written to "
+                  << args.dumpJobsFile << "\n";
+        return 0;
+    }
+
+    // --jobs: schedule a parsed jobset description instead of the
+    // built-in matrix. The set owns the machines/kernels the jobs
+    // point into, so it must outlive the batch.
+    std::optional<serve::JobSet> jobSet;
     std::vector<ScheduleJob> batch;
-    for (const auto &[machineName, machine] : machines) {
-        for (const KernelSpec &spec : allKernels()) {
-            ScheduleJob job;
-            job.label = spec.name + "@" + machineName;
-            job.kernel = spec.build();
-            job.block = BlockId(0);
-            job.machine = &machine;
-            job.pipelined = args.pipelined;
-            batch.push_back(std::move(job));
+    if (!args.jobsFile.empty()) {
+        std::ifstream in(args.jobsFile);
+        if (!in) {
+            std::cerr << "cs_batch: cannot read '" << args.jobsFile
+                      << "'\n";
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::string error;
+        if (!serve::parseJobSetText(text.str(), &jobSet, &error)) {
+            std::cerr << "cs_batch: " << args.jobsFile << ": " << error
+                      << "\n";
+            return 2;
+        }
+        batch = serve::jobSetToScheduleJobs(*jobSet);
+    } else {
+        for (const auto &[machineName, machine] : machines) {
+            for (const KernelSpec &spec : allKernels()) {
+                ScheduleJob job;
+                job.label = spec.name + "@" + machineName;
+                job.kernel = spec.build();
+                job.block = BlockId(0);
+                job.machine = &machine;
+                job.pipelined = args.pipelined;
+                batch.push_back(std::move(job));
+            }
         }
     }
 
@@ -148,6 +233,7 @@ main(int argc, char **argv)
     config.numThreads = args.threads;
     config.cacheCapacity = args.cacheCapacity;
     config.iiSearchWorkers = args.iiWorkers;
+    config.cacheDirectory = args.cacheDir;
     SchedulingPipeline pipeline(config);
 
     printBanner(std::cout,
@@ -174,8 +260,11 @@ main(int argc, char **argv)
                   << " jobs/s\n";
     }
 
-    TextTable table({"Job", args.pipelined ? "II" : "len", "MII",
-                     "copies", "verified", "cache", "ms"});
+    TextTable table({"Job",
+                     !args.jobsFile.empty()
+                         ? "II/len"
+                         : (args.pipelined ? "II" : "len"),
+                     "MII", "copies", "verified", "cache", "ms"});
     int failures = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
         const JobResult &r = results[i];
@@ -183,7 +272,8 @@ main(int argc, char **argv)
             ++failures;
         table.addRow({
             batch[i].label,
-            r.success ? std::to_string(args.pipelined ? r.ii : r.length)
+            r.success ? std::to_string(batch[i].pipelined ? r.ii
+                                                          : r.length)
                       : "FAIL",
             std::to_string(std::max(r.resMii, r.recMii)),
             std::to_string(r.copiesInserted),
@@ -195,12 +285,20 @@ main(int argc, char **argv)
     table.print(std::cout);
 
     ScheduleCache::Stats cache = pipeline.cache().stats();
+    PersistentScheduleCache::DiskStats disk =
+        pipeline.cache().diskStats();
     CounterSet stats = pipeline.statsSnapshot();
     std::cout << "\ncache: " << cache.hits << " hit(s), " << cache.misses
               << " miss(es), " << cache.evictions << " eviction(s), "
               << cache.entries << "/" << cache.capacity
               << " entries, hit rate "
               << TextTable::num(100.0 * cache.hitRate(), 1) << "%\n";
+    if (pipeline.cache().persistent()) {
+        std::cout << "cache disk: " << disk.loadedEntries
+                  << " loaded, " << disk.hits << " hit(s), "
+                  << disk.writes << " write(s) in "
+                  << pipeline.cache().directory() << "\n";
+    }
 
     // Machine-readable one-line summary (the bench suite's JSON idiom,
     // counter groups emitted through the shared metrics writer).
@@ -240,11 +338,17 @@ main(int argc, char **argv)
               << ",\"jobs_per_sec\":"
               << TextTable::num(
                      1000.0 * results.size() * args.repeat / totalMs, 2)
-              << ",\"cache\":{\"hits\":" << cache.hits
-              << ",\"misses\":" << cache.misses
-              << ",\"evictions\":" << cache.evictions
-              << ",\"hit_rate\":" << TextTable::num(cache.hitRate(), 3)
-              << "},\"scheduler\":";
+              << ",\"cache\":";
+    // Counter groups ride the shared metrics emitter rather than
+    // hand-rolled JSON, so every front-end prints the same shape.
+    writeCounterObject(std::cout, toCounterSet(cache),
+                       kMemoryCacheCounters);
+    if (pipeline.cache().persistent()) {
+        std::cout << ",\"cache_disk\":";
+        writeCounterObject(std::cout, toCounterSet(disk),
+                           kDiskCacheCounters);
+    }
+    std::cout << ",\"scheduler\":";
     writeCounterObject(std::cout, stats, kSchedulerCounters);
     std::cout << ",\"ii_search\":";
     writeCounterObject(std::cout, iiStats, kIiSearchCounters);

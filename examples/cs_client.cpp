@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Command-line client for cs_serve.
+ *
+ *   cs_client --socket PATH ping
+ *   cs_client --socket PATH stats
+ *   cs_client --socket PATH schedule --jobs FILE [--deadline MS]
+ *             [--listings]
+ *
+ * "schedule" reads a jobset description (the text format of
+ * serve/proto.hpp; see cs_batch --jobs for the same ingestion) and
+ * submits each job as one request, printing a summary line per reply.
+ * --deadline applies the same relative deadline to every request; a
+ * negative value exercises the already-expired fast path.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "serve/client.hpp"
+#include "support/logging.hpp"
+
+namespace {
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: cs_client --socket PATH ping\n"
+          "       cs_client --socket PATH stats\n"
+          "       cs_client --socket PATH schedule --jobs FILE\n"
+          "                 [--deadline MS] [--listings]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cs;
+
+    std::string socketPath;
+    std::string command;
+    std::string jobsFile;
+    std::int64_t deadlineMs = 0;
+    bool listings = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "cs_client: " << flag << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            socketPath = value("--socket");
+        } else if (arg == "--jobs") {
+            jobsFile = value("--jobs");
+        } else if (arg == "--deadline") {
+            deadlineMs = std::atoll(value("--deadline").c_str());
+        } else if (arg == "--listings") {
+            listings = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "ping" || arg == "stats" ||
+                   arg == "schedule") {
+            command = arg;
+        } else {
+            std::cerr << "cs_client: unknown argument '" << arg << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+    if (socketPath.empty() || command.empty()) {
+        usage(std::cerr);
+        return 2;
+    }
+
+    serve::ScheduleClient client;
+    std::string error;
+    if (!client.connect(socketPath, &error)) {
+        std::cerr << "cs_client: " << error << "\n";
+        return 1;
+    }
+
+    if (command == "ping") {
+        if (!client.ping(&error)) {
+            std::cerr << "cs_client: " << error << "\n";
+            return 1;
+        }
+        std::cout << "ok\n";
+        return 0;
+    }
+    if (command == "stats") {
+        std::string json;
+        if (!client.stats(&json, &error)) {
+            std::cerr << "cs_client: " << error << "\n";
+            return 1;
+        }
+        std::cout << json << "\n";
+        return 0;
+    }
+
+    // schedule
+    if (jobsFile.empty()) {
+        std::cerr << "cs_client: schedule needs --jobs FILE\n";
+        return 2;
+    }
+    std::ifstream in(jobsFile);
+    if (!in) {
+        std::cerr << "cs_client: cannot read '" << jobsFile << "'\n";
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::optional<serve::JobSet> set;
+    if (!serve::parseJobSetText(text.str(), &set, &error)) {
+        std::cerr << "cs_client: " << jobsFile << ": " << error << "\n";
+        return 1;
+    }
+
+    int failures = 0;
+    for (std::size_t i = 0; i < set->jobs.size(); ++i) {
+        // One request per job: narrow the set to the single machine
+        // and kernel that job references.
+        const serve::JobDescription &desc = set->jobs[i];
+        serve::JobSet one;
+        one.machines.push_back(set->machines[desc.machineIndex]);
+        one.kernels.push_back(set->kernels[desc.kernelIndex]);
+        serve::JobDescription d = desc;
+        d.machineIndex = 0;
+        d.kernelIndex = 0;
+        one.jobs.push_back(std::move(d));
+
+        serve::Response response;
+        if (!client.schedule(one, deadlineMs, &response, &error)) {
+            std::cerr << "cs_client: " << error << "\n";
+            return 1;
+        }
+        std::string label = desc.label.empty()
+                                ? "job" + std::to_string(i)
+                                : desc.label;
+        std::cout << label << ": "
+                  << serve::statusName(response.status);
+        if (response.status == serve::ResponseStatus::Ok) {
+            std::cout << " " << (desc.pipelined ? "ii=" : "len=")
+                      << (desc.pipelined ? response.ii
+                                         : response.length)
+                      << " copies=" << response.copiesInserted
+                      << (response.cacheHit ? " (cache)" : "");
+        } else if (!response.message.empty()) {
+            std::cout << " (" << response.message << ")";
+        }
+        std::cout << "\n";
+        if (response.status != serve::ResponseStatus::Ok)
+            ++failures;
+        else if (listings)
+            std::cout << response.listing;
+    }
+    return failures == 0 ? 0 : 1;
+}

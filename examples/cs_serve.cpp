@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The cs_serve daemon: scheduling as a service over a Unix-domain
+ * socket (serve/server.hpp). Runs until SIGTERM/SIGINT, then drains
+ * gracefully — in-flight jobs finish and reply, new requests get
+ * ShuttingDown.
+ *
+ *   cs_serve --socket PATH [--threads N] [--cache N]
+ *            [--cache-dir DIR] [--cache-shards N] [--max-inflight N]
+ *            [--ii-workers N]
+ *
+ *   --socket PATH     Unix-domain socket to listen on (required)
+ *   --threads N       pipeline worker threads (default: hw concurrency)
+ *   --cache N         memory-tier cache entries (default 1024)
+ *   --cache-dir DIR   persistent cache directory; restarts start warm
+ *   --cache-shards N  shard files for the persistent tier (default 8)
+ *   --max-inflight N  admission bound before RejectedOverload (default 64)
+ *   --ii-workers N    dedicated speculative II-search workers (default 0)
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "support/logging.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: cs_serve --socket PATH [--threads N] [--cache N]\n"
+          "                [--cache-dir DIR] [--cache-shards N]\n"
+          "                [--max-inflight N] [--ii-workers N]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cs;
+    setVerboseLogging(true);
+
+    serve::ServerConfig config;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "cs_serve: " << flag << " needs a value\n";
+                usage(std::cerr);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            config.socketPath = value("--socket");
+        } else if (arg == "--threads") {
+            config.workerThreads = static_cast<unsigned>(
+                std::atoi(value("--threads").c_str()));
+        } else if (arg == "--cache") {
+            config.cacheCapacity = static_cast<std::size_t>(
+                std::atoi(value("--cache").c_str()));
+        } else if (arg == "--cache-dir") {
+            config.cacheDirectory = value("--cache-dir");
+        } else if (arg == "--cache-shards") {
+            config.cacheShards =
+                std::atoi(value("--cache-shards").c_str());
+        } else if (arg == "--max-inflight") {
+            config.maxInFlight = static_cast<std::size_t>(
+                std::atoi(value("--max-inflight").c_str()));
+        } else if (arg == "--ii-workers") {
+            config.iiSearchWorkers = static_cast<unsigned>(
+                std::atoi(value("--ii-workers").c_str()));
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "cs_serve: unknown argument '" << arg << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+    if (config.socketPath.empty()) {
+        usage(std::cerr);
+        return 2;
+    }
+
+    serve::ScheduleServer server(config);
+    if (!server.start())
+        return 1;
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    while (!g_stop.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::cout << "cs_serve: draining...\n";
+    server.stop();
+    std::cout << server.statsJson() << "\n";
+    return 0;
+}

@@ -161,6 +161,19 @@ class BlockScheduler
      */
     void setAbortFlag(const std::atomic<bool> *flag) { abortFlag_ = flag; }
 
+    /**
+     * Arm a second, independent cancellation flag with the same
+     * contract as setAbortFlag. The two compose: the II search owns
+     * the per-attempt flag (raised when a better attempt wins) while a
+     * caller-supplied flag — a serving deadline, a client disconnect —
+     * rides along untouched (pipeline/job.hpp plumbs it through).
+     */
+    void
+    setExternalAbortFlag(const std::atomic<bool> *flag)
+    {
+        externalAbortFlag_ = flag;
+    }
+
     /** Run to completion; the result owns the kernel and schedule. */
     ScheduleResult run();
 
@@ -421,8 +434,10 @@ class BlockScheduler
     {
         if (aborted_)
             return true;
-        if (abortFlag_ != nullptr &&
-            abortFlag_->load(std::memory_order_relaxed)) {
+        if ((abortFlag_ != nullptr &&
+             abortFlag_->load(std::memory_order_relaxed)) ||
+            (externalAbortFlag_ != nullptr &&
+             externalAbortFlag_->load(std::memory_order_relaxed))) {
             aborted_ = true;
             // Classified once, at the latch transition: everything the
             // unwind rejects afterwards is a casualty of this abort,
@@ -433,6 +448,9 @@ class BlockScheduler
     }
     /** External cancellation request (null when disarmed). */
     const std::atomic<bool> *abortFlag_ = nullptr;
+    /** Second cancellation source (serving deadlines); see
+     *  setExternalAbortFlag. */
+    const std::atomic<bool> *externalAbortFlag_ = nullptr;
     /** Latched locally so unwinding never re-reads the atomic. */
     bool aborted_ = false;
 

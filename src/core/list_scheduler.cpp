@@ -4,9 +4,11 @@ namespace cs {
 
 ScheduleResult
 scheduleBlock(const Kernel &kernel, BlockId block, const Machine &machine,
-              const SchedulerOptions &options)
+              const SchedulerOptions &options,
+              const std::atomic<bool> *abort)
 {
     BlockScheduler scheduler(kernel, block, machine, options, 0);
+    scheduler.setExternalAbortFlag(abort);
     return scheduler.run();
 }
 

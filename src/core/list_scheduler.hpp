@@ -25,7 +25,8 @@ namespace cs {
  */
 ScheduleResult scheduleBlock(const Kernel &kernel, BlockId block,
                              const Machine &machine,
-                             const SchedulerOptions &options = {});
+                             const SchedulerOptions &options = {},
+                             const std::atomic<bool> *abort = nullptr);
 
 } // namespace cs
 

@@ -29,7 +29,8 @@ iiRetryVariants(const SchedulerOptions &options)
 PipelineResult
 schedulePipelined(const Kernel &kernel, BlockId block,
                   const Machine &machine,
-                  const SchedulerOptions &options, int maxIiSlack)
+                  const SchedulerOptions &options, int maxIiSlack,
+                  const std::atomic<bool> *abort)
 {
     PipelineResult result;
     BlockSchedulingContext context(kernel, block, machine);
@@ -44,10 +45,15 @@ schedulePipelined(const Kernel &kernel, BlockId block,
             CS_TRACE_SPAN2("ii_attempt", "ii", ii, "variant", v);
             ++result.attempts;
             BlockScheduler scheduler(context, variant, ii);
+            scheduler.setExternalAbortFlag(abort);
             ScheduleResult attempt = scheduler.run();
             if (attempt.success) {
                 result.success = true;
                 result.ii = ii;
+                result.inner = std::move(attempt);
+                return result;
+            }
+            if (attempt.cancelled) {
                 result.inner = std::move(attempt);
                 return result;
             }

@@ -62,7 +62,8 @@ struct PipelineResult
 PipelineResult schedulePipelined(const Kernel &kernel, BlockId block,
                                  const Machine &machine,
                                  const SchedulerOptions &options = {},
-                                 int maxIiSlack = 64);
+                                 int maxIiSlack = 64,
+                                 const std::atomic<bool> *abort = nullptr);
 
 /**
  * The retry variants the II search tries, in order, at every candidate

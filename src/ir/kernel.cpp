@@ -161,6 +161,35 @@ Kernel::retargetUse(OperationId user, int slot, ValueId to)
     values_[to.index()].uses.emplace_back(user, slot);
 }
 
+void
+Kernel::setOpAnnotations(OperationId op, int aliasClass, int iterStride)
+{
+    Operation &o = mutableOperation(op);
+    o.aliasClass = aliasClass;
+    o.iterStride = iterStride;
+}
+
+bool
+Kernel::setBlockOperations(BlockId block, std::vector<OperationId> ops)
+{
+    if (!block.valid() || block.index() >= blocks_.size())
+        return false;
+    std::vector<OperationId> current = blocks_[block.index()].operations;
+    std::vector<OperationId> proposed = ops;
+    std::sort(current.begin(), current.end(),
+              [](OperationId a, OperationId b) {
+                  return a.index() < b.index();
+              });
+    std::sort(proposed.begin(), proposed.end(),
+              [](OperationId a, OperationId b) {
+                  return a.index() < b.index();
+              });
+    if (current != proposed)
+        return false;
+    blocks_[block.index()].operations = std::move(ops);
+    return true;
+}
+
 const Block &
 Kernel::block(BlockId id) const
 {

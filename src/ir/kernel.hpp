@@ -75,6 +75,25 @@ class Kernel
     void retargetUse(OperationId user, int slot, ValueId to);
     /// @}
 
+    /** @name Deserialization support (ir/serialize.cpp)
+     * addOperation appends to the block's operation list, but
+     * insertCopy places copies *before* their earliest consumer, so a
+     * deserialized kernel must restore the recorded block order after
+     * replaying the operations in id order.
+     */
+    /// @{
+    /** Set the memory annotations addOperation does not take. */
+    void setOpAnnotations(OperationId op, int aliasClass, int iterStride);
+
+    /**
+     * Replace a block's operation order. Returns false (and leaves the
+     * block untouched) unless @p ops is a permutation of the block's
+     * current list — parser input, so this validates rather than
+     * asserts.
+     */
+    bool setBlockOperations(BlockId block, std::vector<OperationId> ops);
+    /// @}
+
     /** @name Access */
     /// @{
     std::size_t numBlocks() const { return blocks_.size(); }

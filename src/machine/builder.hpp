@@ -44,6 +44,11 @@ class MachineBuilder
     FuncUnitId addFuncUnit(const std::string &name,
                            std::initializer_list<OpClass> classes,
                            int numInputs, bool hasOutput = true);
+
+    /** Same, with a runtime class list (used by machine/serialize). */
+    FuncUnitId addFuncUnit(const std::string &name,
+                           const std::vector<OpClass> &classes,
+                           int numInputs, bool hasOutput = true);
     /// @}
 
     /** @name Port handles */

@@ -81,6 +81,15 @@ MachineBuilder::addFuncUnit(const std::string &name,
                             std::initializer_list<OpClass> classes,
                             int numInputs, bool hasOutput)
 {
+    return addFuncUnit(name, std::vector<OpClass>(classes), numInputs,
+                       hasOutput);
+}
+
+FuncUnitId
+MachineBuilder::addFuncUnit(const std::string &name,
+                            const std::vector<OpClass> &classes,
+                            int numInputs, bool hasOutput)
+{
     CS_ASSERT(numInputs >= 0, "negative input count");
     FuncUnit fu;
     fu.name = name;

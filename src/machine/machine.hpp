@@ -222,6 +222,48 @@ class Machine
      */
     int busEndpointCount(BusId bus) const;
 
+    /** @name Raw connectivity
+     * The builder-authored edge lists, in insertion order. The
+     * precomputed stub lists are the *product* of these edges; the
+     * serializer (machine/serialize.hpp) emits the edges themselves so
+     * a parsed machine replays the exact builder wiring — including
+     * edge order, which fixes stub enumeration order and therefore
+     * candidate order and schedules.
+     */
+    /// @{
+    const std::vector<BusId> &
+    busesFromOutput(OutputPortId id) const
+    {
+        CS_ASSERT(id.valid() && id.index() < outputToBuses_.size(),
+                  "bad output port id ", id);
+        return outputToBuses_[id.index()];
+    }
+
+    const std::vector<WritePortId> &
+    writePortsOnBus(BusId id) const
+    {
+        CS_ASSERT(id.valid() && id.index() < busToWritePorts_.size(),
+                  "bad bus id ", id);
+        return busToWritePorts_[id.index()];
+    }
+
+    const std::vector<BusId> &
+    busesToReadPort(ReadPortId id) const
+    {
+        CS_ASSERT(id.valid() && id.index() < readPortToBuses_.size(),
+                  "bad read port id ", id);
+        return readPortToBuses_[id.index()];
+    }
+
+    const std::vector<InputPortId> &
+    inputsOnBus(BusId id) const
+    {
+        CS_ASSERT(id.valid() && id.index() < busToInputs_.size(),
+                  "bad bus id ", id);
+        return busToInputs_[id.index()];
+    }
+    /// @}
+
   private:
     friend class MachineBuilder;
     Machine() = default;

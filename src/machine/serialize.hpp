@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Serializable machine descriptions: a human-readable text format and a
+ * compact binary format, both round-tripping exactly.
+ *
+ * The formats serialize the *builder wiring* (entity declarations plus
+ * raw connectivity edges), not the derived stub tables. Replaying the
+ * wiring through MachineBuilder reproduces identical global entity ids,
+ * identical per-entity edge order, and therefore identical stub
+ * enumeration order — so a parsed machine yields byte-identical
+ * schedules and listings to its in-process original (DESIGN.md §5f).
+ *
+ * Parsers never crash on malformed input: every id, count, and range is
+ * validated before any builder call, and the final build() runs under a
+ * catch of FatalError/PanicError as a safety net, converting structural
+ * errors (unconnected outputs, unreadable slots) into parse errors.
+ */
+
+#ifndef CS_MACHINE_SERIALIZE_HPP
+#define CS_MACHINE_SERIALIZE_HPP
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "machine/machine.hpp"
+#include "support/wire.hpp"
+
+namespace cs {
+
+/** Emit the text form: "machine { ... }" with trailing newline. */
+void printMachine(std::ostream &os, const Machine &machine);
+
+/** Text form as a string. */
+std::string printMachineToString(const Machine &machine);
+
+/**
+ * Parse one "machine { ... }" block from the scanner. On success the
+ * machine is emplaced into @p out and true is returned; on failure the
+ * scanner latches a diagnostic (scanner.error()) and false is returned.
+ */
+bool parseMachine(wire::TextScanner &scanner, std::optional<Machine> *out);
+
+/** Parse a complete text document containing exactly one machine. */
+bool parseMachineText(std::string_view text, std::optional<Machine> *out,
+                      std::string *error);
+
+/** Append the binary form to the writer. */
+void encodeMachine(wire::ByteWriter &writer, const Machine &machine);
+
+/**
+ * Decode one binary machine. On failure the reader latches a
+ * diagnostic (reader.error()) and false is returned.
+ */
+bool decodeMachine(wire::ByteReader &reader, std::optional<Machine> *out);
+
+} // namespace cs
+
+#endif // CS_MACHINE_SERIALIZE_HPP

@@ -20,7 +20,7 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
 {
     if (config.pool == nullptr) {
         return schedulePipelined(kernel, block, machine, options,
-                                 maxIiSlack);
+                                 maxIiSlack, config.abort);
     }
 
     using Clock = std::chrono::steady_clock;
@@ -72,6 +72,9 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
                                  mii + k / num_variants);
         scheduler.setAbortFlag(&attempts[static_cast<std::size_t>(k)]
                                     .abort);
+        // Attempts poll the caller's flag directly: an external abort
+        // needs no per-attempt flag propagation from the controller.
+        scheduler.setExternalAbortFlag(config.abort);
         ScheduleResult attempt_result = scheduler.run();
         Clock::time_point finished = Clock::now();
 
@@ -108,11 +111,17 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
         done_cv.notify_all();
     };
 
+    auto externally_aborted = [&config] {
+        return config.abort != nullptr &&
+               config.abort->load(std::memory_order_relaxed);
+    };
+
     {
         std::unique_lock<std::mutex> lock(mutex);
         while (true) {
             while (in_flight < window &&
-                   launched < std::min(total, best)) {
+                   launched < std::min(total, best) &&
+                   !externally_aborted()) {
                 int k = launched++;
                 ++in_flight;
                 bool accepted =
@@ -122,8 +131,10 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
                 CS_ASSERT(accepted,
                           "II-search pool rejected an attempt");
             }
-            if (in_flight == 0 && launched >= std::min(total, best))
+            if (in_flight == 0 && (launched >= std::min(total, best) ||
+                                   externally_aborted())) {
                 break;
+            }
             done_cv.wait(lock);
         }
     }
@@ -137,6 +148,9 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
         result.ii = mii + best / num_variants;
         result.attemptsWasted = launched - (best + 1);
         result.inner = std::move(winner.result);
+    } else if (externally_aborted()) {
+        result.inner.failure = "cancelled";
+        result.inner.cancelled = true;
     } else {
         result.inner.failure = "no feasible II within MII + " +
                                std::to_string(maxIiSlack);

@@ -48,6 +48,15 @@ struct IiSearchConfig
      * wasted work for latency on machines with many idle cores.
      */
     int maxInFlight = 0;
+    /**
+     * External cancellation (a serving deadline, a dropped client):
+     * when raised, in-flight attempts unwind at their checkpoints, no
+     * further attempts launch, and — unless a winner already emerged —
+     * the search returns a result with inner.cancelled = true. Armed
+     * but never raised, it does not perturb the search. Not owned;
+     * must outlive the call. nullptr disarms.
+     */
+    const std::atomic<bool> *abort = nullptr;
 };
 
 /**

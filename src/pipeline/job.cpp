@@ -201,9 +201,12 @@ runScheduleJob(const ScheduleJob &job, const IiSearchConfig &iiSearch)
 
     JobResult out;
     if (job.pipelined) {
+        IiSearchConfig search = iiSearch;
+        if (job.abortFlag != nullptr)
+            search.abort = job.abortFlag;
         PipelineResult pipe = schedulePipelinedParallel(
             job.kernel, job.block, *job.machine, job.options,
-            job.maxIiSlack, iiSearch);
+            job.maxIiSlack, search);
         out.success = pipe.success;
         out.ii = pipe.ii;
         out.resMii = pipe.resMii;
@@ -213,9 +216,10 @@ runScheduleJob(const ScheduleJob &job, const IiSearchConfig &iiSearch)
         out.sched = std::move(pipe.inner);
     } else {
         out.sched = scheduleBlock(job.kernel, job.block, *job.machine,
-                                  job.options);
+                                  job.options, job.abortFlag);
         out.success = out.sched.success;
     }
+    out.cancelled = out.sched.cancelled;
 
     if (out.success) {
         const Kernel &scheduled = out.sched.kernel;

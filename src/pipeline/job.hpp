@@ -54,6 +54,15 @@ struct ScheduleJob
     bool pipelined = true;
     /** II search slack past MII (pipelined jobs only). */
     int maxIiSlack = 64;
+    /**
+     * Cooperative cancellation (deadlines, dropped clients): when the
+     * flag becomes true the job unwinds at the scheduler's budget
+     * checkpoints and returns with cancelled = true. Armed but never
+     * raised, results stay byte-identical to an unarmed run. Not owned;
+     * must outlive the job. Not hashed: cancellation is an execution
+     * concern, not part of the job's content address.
+     */
+    const std::atomic<bool> *abortFlag = nullptr;
 };
 
 /** Outcome of one job. */
@@ -91,6 +100,11 @@ struct JobResult
     std::string listing;
     /** Wall time this job took (cache lookups included). */
     double wallMs = 0.0;
+    /**
+     * The job was cut short by its abort flag (ScheduleJob::abortFlag).
+     * Implies !success; cancelled results are never cached.
+     */
+    bool cancelled = false;
 };
 
 /**

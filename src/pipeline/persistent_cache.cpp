@@ -1,0 +1,284 @@
+#include "pipeline/persistent_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+#include "pipeline/result_io.hpp"
+#include "support/logging.hpp"
+
+namespace cs {
+
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x43535243u; // "CSRC"
+constexpr std::size_t kHeaderBytes = 4 + 8 + 4;
+constexpr std::size_t kTrailerBytes = 8;
+/** Cap a single record's payload; shields the open-scan and reads
+ *  from hostile/corrupt lengths. */
+constexpr std::uint32_t kMaxPayload = 256u << 20;
+
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t size)
+{
+    std::uint64_t state = 14695981039346656037ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        state ^= data[i];
+        state *= 1099511628211ull;
+    }
+    return state;
+}
+
+std::uint32_t
+readU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+readU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+} // namespace
+
+PersistentScheduleCache::PersistentScheduleCache(
+    std::size_t memoryCapacity, std::string directory, int shards)
+    : memory_(memoryCapacity), directory_(std::move(directory))
+{
+    if (directory_.empty() || memoryCapacity == 0)
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(directory_, ec);
+    if (ec) {
+        CS_WARN("schedule cache: cannot create '", directory_, "': ",
+                ec.message(), "; disk tier disabled");
+        directory_.clear();
+        return;
+    }
+    shards_.reserve(static_cast<std::size_t>(std::max(shards, 1)));
+    for (int i = 0; i < std::max(shards, 1); ++i) {
+        auto shard = std::make_unique<Shard>();
+        shard->path =
+            directory_ + "/shard-" + std::to_string(i) + ".bin";
+        shards_.push_back(std::move(shard));
+    }
+    openShards();
+}
+
+void
+PersistentScheduleCache::openShards()
+{
+    for (auto &shard : shards_) {
+        std::ifstream in(shard->path, std::ios::binary);
+        if (!in)
+            continue; // fresh shard: created on first insert
+        std::vector<std::uint8_t> bytes(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        in.close();
+
+        std::size_t pos = 0;
+        std::uint64_t loaded = 0;
+        while (pos + kHeaderBytes + kTrailerBytes <= bytes.size()) {
+            const std::uint8_t *p = bytes.data() + pos;
+            if (readU32(p) != kRecordMagic)
+                break;
+            std::uint64_t key = readU64(p + 4);
+            std::uint32_t length = readU32(p + 12);
+            if (length > kMaxPayload ||
+                pos + kHeaderBytes + length + kTrailerBytes >
+                    bytes.size()) {
+                break; // torn tail: record written partially
+            }
+            const std::uint8_t *payload = p + kHeaderBytes;
+            std::uint64_t check = readU64(payload + length);
+            if (fnv1a(payload, length) != check)
+                break;
+            shard->index[key] = {pos + kHeaderBytes, length};
+            ++loaded;
+            pos += kHeaderBytes + length + kTrailerBytes;
+        }
+        if (pos < bytes.size()) {
+            // Self-heal: drop the invalid tail so the next append
+            // starts from a clean record boundary.
+            std::error_code ec;
+            std::filesystem::resize_file(shard->path, pos, ec);
+            if (ec) {
+                CS_WARN("schedule cache: cannot truncate torn tail of '",
+                        shard->path, "': ", ec.message());
+            }
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            diskStats_.truncatedBytes += bytes.size() - pos;
+        }
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        diskStats_.loadedEntries += loaded;
+    }
+}
+
+PersistentScheduleCache::Shard &
+PersistentScheduleCache::shardFor(std::uint64_t key)
+{
+    return *shards_[key % shards_.size()];
+}
+
+std::optional<JobResult>
+PersistentScheduleCache::lookup(std::uint64_t key)
+{
+    std::optional<JobResult> hit = memory_.lookup(key);
+    if (hit.has_value() || shards_.empty())
+        return hit;
+
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        std::lock_guard<std::mutex> slock(statsMutex_);
+        ++diskStats_.misses;
+        return std::nullopt;
+    }
+    auto [offset, length] = it->second;
+    std::vector<std::uint8_t> payload(length + kTrailerBytes);
+    std::ifstream in(shard.path, std::ios::binary);
+    bool ok = static_cast<bool>(in);
+    if (ok) {
+        in.seekg(static_cast<std::streamoff>(offset));
+        in.read(reinterpret_cast<char *>(payload.data()),
+                static_cast<std::streamsize>(payload.size()));
+        ok = static_cast<bool>(in);
+    }
+    // Validate again at read time: the open-scan vouched for the
+    // record once, but the file may have been rewritten or damaged
+    // since. Any failure degrades to a miss.
+    JobResult result;
+    if (ok) {
+        std::uint64_t check = readU64(payload.data() + length);
+        ok = fnv1a(payload.data(), length) == check;
+    }
+    if (ok) {
+        wire::ByteReader reader(
+            std::span<const std::uint8_t>(payload.data(), length));
+        ok = decodeJobResult(reader, &result) && reader.atEnd();
+    }
+    std::lock_guard<std::mutex> slock(statsMutex_);
+    if (!ok) {
+        shard.index.erase(it);
+        ++diskStats_.readErrors;
+        ++diskStats_.misses;
+        return std::nullopt;
+    }
+    ++diskStats_.hits;
+    memory_.insert(key, result); // promote to the front tier
+    return result;
+}
+
+void
+PersistentScheduleCache::insert(std::uint64_t key,
+                                const JobResult &result)
+{
+    memory_.insert(key, result);
+    if (shards_.empty())
+        return;
+
+    std::vector<std::uint8_t> payload;
+    {
+        wire::ByteWriter writer(payload);
+        encodeJobResult(writer, result);
+    }
+    if (payload.size() > kMaxPayload) {
+        CS_WARN("schedule cache: result too large to persist (",
+                payload.size(), " bytes)");
+        return;
+    }
+
+    std::vector<std::uint8_t> record;
+    record.reserve(kHeaderBytes + payload.size() + kTrailerBytes);
+    putU32(record, kRecordMagic);
+    putU64(record, key);
+    putU32(record, static_cast<std::uint32_t>(payload.size()));
+    record.insert(record.end(), payload.begin(), payload.end());
+    putU64(record, fnv1a(payload.data(), payload.size()));
+
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::error_code ec;
+    std::uint64_t size = std::filesystem::file_size(shard.path, ec);
+    if (ec)
+        size = 0;
+    std::ofstream out(shard.path,
+                      std::ios::binary | std::ios::app);
+    bool ok = static_cast<bool>(out);
+    if (ok) {
+        out.write(reinterpret_cast<const char *>(record.data()),
+                  static_cast<std::streamsize>(record.size()));
+        out.flush();
+        ok = static_cast<bool>(out);
+    }
+    std::lock_guard<std::mutex> slock(statsMutex_);
+    if (!ok) {
+        ++diskStats_.writeErrors;
+        CS_WARN("schedule cache: failed to append to '", shard.path,
+                "'");
+        return;
+    }
+    ++diskStats_.writes;
+    shard.index[key] = {size + kHeaderBytes,
+                       static_cast<std::uint32_t>(payload.size())};
+}
+
+PersistentScheduleCache::DiskStats
+PersistentScheduleCache::diskStats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    return diskStats_;
+}
+
+void
+PersistentScheduleCache::clear()
+{
+    memory_.clear();
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->index.clear();
+    }
+}
+
+CounterSet
+toCounterSet(const PersistentScheduleCache::DiskStats &stats)
+{
+    CounterSet out;
+    out.bump("loaded_entries", stats.loadedEntries);
+    out.bump("truncated_bytes", stats.truncatedBytes);
+    out.bump("hits", stats.hits);
+    out.bump("misses", stats.misses);
+    out.bump("read_errors", stats.readErrors);
+    out.bump("writes", stats.writes);
+    out.bump("write_errors", stats.writeErrors);
+    return out;
+}
+
+} // namespace cs

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Disk-backed, sharded schedule cache: the in-memory LRU ScheduleCache
+ * stays the fast front tier, and a directory of shard files holds every
+ * result so the cache survives restarts and loads warm.
+ *
+ * On-disk layout: N shard files named shard-<i>.bin; a key routes to
+ * shard key % N. Each shard is a sequence of appended records:
+ *
+ *   magic   u32  (0x43535243, "CSRC")
+ *   key     u64  content hash (scheduleJobKey)
+ *   length  u32  payload byte count
+ *   payload      encodeJobResult bytes
+ *   check   u64  FNV-1a over the payload
+ *
+ * Crash safety without a journal: records are append-only, and a torn
+ * or corrupt tail is detected on open by a sequential scan — the scan
+ * stops at the first record whose magic, length, or checksum does not
+ * hold, truncates the shard there, and indexes only the valid prefix.
+ * Reads validate the checksum (and decode) again, so even a record
+ * corrupted after open degrades to a miss, never a crash. Duplicate
+ * keys are legal (re-insertions append); the scan keeps the last
+ * occurrence, matching insertion order.
+ *
+ * Thread safety: all operations are safe from any thread. Each shard
+ * has its own mutex, so concurrent traffic to different shards does
+ * not serialize; the memory tier has its own lock.
+ */
+
+#ifndef CS_PIPELINE_PERSISTENT_CACHE_HPP
+#define CS_PIPELINE_PERSISTENT_CACHE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pipeline/schedule_cache.hpp"
+
+namespace cs {
+
+/** Two-tier (memory LRU + sharded disk) schedule cache. */
+class PersistentScheduleCache
+{
+  public:
+    /**
+     * @param memoryCapacity  front-tier LRU entries; 0 disables both
+     *                        tiers (every lookup misses, inserts drop)
+     * @param directory       shard directory, created if missing;
+     *                        empty disables the disk tier (the cache
+     *                        degenerates to the plain memory LRU)
+     * @param shards          shard file count (clamped to >= 1)
+     */
+    PersistentScheduleCache(std::size_t memoryCapacity,
+                            std::string directory, int shards = 8);
+
+    /**
+     * Memory tier first, then disk. A disk hit validates, decodes, and
+     * promotes the record into the memory tier. Counts one hit or miss
+     * on the tier that answered (a disk hit counts a memory miss too:
+     * per-tier counters stay truthful).
+     */
+    std::optional<JobResult> lookup(std::uint64_t key);
+
+    /**
+     * Insert into both tiers. The disk write is flushed before the
+     * call returns; a record that fails to write (disk full, directory
+     * vanished) is dropped with a warning — the memory tier still
+     * holds it, and correctness never depends on the disk tier.
+     */
+    void insert(std::uint64_t key, const JobResult &result);
+
+    /** Front-tier (memory LRU) counters, as before. */
+    ScheduleCache::Stats stats() const { return memory_.stats(); }
+
+    /** Disk-tier counters. */
+    struct DiskStats
+    {
+        /** Valid records indexed when the shards were opened. */
+        std::uint64_t loadedEntries = 0;
+        /** Bytes truncated from torn/corrupt shard tails on open. */
+        std::uint64_t truncatedBytes = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        /** Disk-hit records that failed checksum/decode on read (each
+         *  also counts a miss). */
+        std::uint64_t readErrors = 0;
+        std::uint64_t writes = 0;
+        std::uint64_t writeErrors = 0;
+    };
+
+    DiskStats diskStats() const;
+
+    /** Whether a disk tier is configured. */
+    bool persistent() const { return !shards_.empty(); }
+
+    /** The shard directory ("" when the disk tier is disabled). */
+    const std::string &directory() const { return directory_; }
+
+    /** Drop memory entries and the disk index (files are kept). */
+    void clear();
+
+  private:
+    struct Shard
+    {
+        std::mutex mutex;
+        std::string path;
+        /** key -> (payload offset, payload length) of the last valid
+         *  record for that key. */
+        std::unordered_map<std::uint64_t, std::pair<std::uint64_t,
+                                                    std::uint32_t>>
+            index;
+    };
+
+    Shard &shardFor(std::uint64_t key);
+    void openShards();
+
+    ScheduleCache memory_;
+    std::string directory_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    mutable std::mutex statsMutex_;
+    DiskStats diskStats_;
+};
+
+/** Canonical key order for emitting DiskStats via writeCounterObject. */
+inline constexpr const char *kDiskCacheCounters[] = {
+    "loaded_entries", "truncated_bytes", "hits",   "misses",
+    "read_errors",    "writes",          "write_errors",
+};
+
+/** DiskStats as a CounterSet for the shared JSON emitters. */
+CounterSet toCounterSet(const PersistentScheduleCache::DiskStats &stats);
+
+} // namespace cs
+
+#endif // CS_PIPELINE_PERSISTENT_CACHE_HPP

@@ -23,7 +23,8 @@ resolveThreads(unsigned requested)
 
 SchedulingPipeline::SchedulingPipeline(const PipelineConfig &config)
     : pool_(resolveThreads(config.numThreads)),
-      cache_(config.cacheCapacity)
+      cache_(config.cacheCapacity, config.cacheDirectory,
+             config.cacheShards)
 {
     if (config.iiSearchWorkers > 0)
         iiPool_ = std::make_unique<ThreadPool>(config.iiSearchWorkers);
@@ -40,6 +41,16 @@ SchedulingPipeline::run(const std::vector<ScheduleJob> &jobs)
     }
     pool_.waitIdle();
     return results;
+}
+
+bool
+SchedulingPipeline::submit(ScheduleJob job,
+                           std::function<void(JobResult)> done)
+{
+    return pool_.submit(
+        [this, job = std::move(job), done = std::move(done)] {
+            done(runOne(job));
+        });
 }
 
 JobResult
@@ -66,10 +77,15 @@ SchedulingPipeline::runOne(const ScheduleJob &job)
     IiSearchConfig ii_search;
     ii_search.pool = iiPool_.get();
     JobResult result = runScheduleJob(job, ii_search);
-    cache_.insert(key, result);
+    // A cancelled result reflects the caller's deadline, not the job's
+    // content — caching it would serve a stale abort to future callers.
+    if (!result.cancelled)
+        cache_.insert(key, result);
 
     stats_.bump("pipeline.jobs");
     stats_.bump("pipeline.cache_misses");
+    if (result.cancelled)
+        stats_.bump("pipeline.cancelled");
     if (!result.success)
         stats_.bump("pipeline.failures");
     if (!result.verifierErrors.empty())

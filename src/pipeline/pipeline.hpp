@@ -20,11 +20,13 @@
 #define CS_PIPELINE_PIPELINE_HPP
 
 #include <cstddef>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "pipeline/job.hpp"
-#include "pipeline/schedule_cache.hpp"
+#include "pipeline/persistent_cache.hpp"
 #include "pipeline/thread_pool.hpp"
 #include "support/stats.hpp"
 
@@ -47,6 +49,14 @@ struct PipelineConfig
      * way; only wall time and the attempt accounting change.
      */
     unsigned iiSearchWorkers = 0;
+    /**
+     * Directory for the persistent (disk) cache tier. Empty keeps the
+     * cache memory-only, which preserves the classic batch behavior.
+     * See pipeline/persistent_cache.hpp for the on-disk format.
+     */
+    std::string cacheDirectory;
+    /** Shard-file count for the disk tier (ignored when memory-only). */
+    int cacheShards = 8;
 };
 
 /**
@@ -67,8 +77,21 @@ class SchedulingPipeline
      */
     std::vector<JobResult> run(const std::vector<ScheduleJob> &jobs);
 
+    /**
+     * Asynchronous single-job entry point for serving front-ends:
+     * enqueue one job and invoke @p done with its result on a worker
+     * thread. Unlike run(), submit() is safe to call concurrently from
+     * many threads (each request closes over its own inputs and
+     * callback). Returns false if the pool has shut down. The caller
+     * keeps the job's kernel/machine alive until @p done runs.
+     */
+    bool submit(ScheduleJob job, std::function<void(JobResult)> done);
+
+    /** Block until every submitted job has completed. */
+    void waitIdle() { pool_.waitIdle(); }
+
     /** The shared result cache (for stats and tests). */
-    const ScheduleCache &cache() const { return cache_; }
+    const PersistentScheduleCache &cache() const { return cache_; }
 
     /**
      * Aggregated counters across every job ever run: "pipeline.jobs",
@@ -85,7 +108,7 @@ class SchedulingPipeline
     ThreadPool pool_;
     /** Dedicated II-search workers (null when iiSearchWorkers == 0). */
     std::unique_ptr<ThreadPool> iiPool_;
-    ScheduleCache cache_;
+    PersistentScheduleCache cache_;
     CounterSet stats_;
 };
 

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Binary serialization of complete JobResults for the persistent
+ * schedule cache (pipeline/persistent_cache.hpp). The *full* result is
+ * stored — kernel with inserted copies, placements, routes, counters,
+ * listing — so a disk hit is indistinguishable from a memory hit.
+ *
+ * Decoding validates every id against the decoded kernel before
+ * touching BlockSchedule (cache files are checksummed, but a torn or
+ * hand-edited record must degrade to a miss, never a crash).
+ */
+
+#ifndef CS_PIPELINE_RESULT_IO_HPP
+#define CS_PIPELINE_RESULT_IO_HPP
+
+#include "pipeline/job.hpp"
+#include "support/wire.hpp"
+
+namespace cs {
+
+/** Append the binary form of @p result to the writer. */
+void encodeJobResult(wire::ByteWriter &writer, const JobResult &result);
+
+/**
+ * Decode one JobResult. On failure the reader latches a diagnostic and
+ * false is returned; @p out is left in an unspecified state.
+ */
+bool decodeJobResult(wire::ByteReader &reader, JobResult *out);
+
+} // namespace cs
+
+#endif // CS_PIPELINE_RESULT_IO_HPP

@@ -62,4 +62,16 @@ ScheduleCache::clear()
     index_.clear();
 }
 
+CounterSet
+toCounterSet(const ScheduleCache::Stats &stats)
+{
+    CounterSet out;
+    out.bump("hits", stats.hits);
+    out.bump("misses", stats.misses);
+    out.bump("evictions", stats.evictions);
+    out.bump("entries", stats.entries);
+    out.bump("capacity", stats.capacity);
+    return out;
+}
+
 } // namespace cs

@@ -30,6 +30,7 @@
 #include <unordered_map>
 
 #include "pipeline/job.hpp"
+#include "support/stats.hpp"
 
 namespace cs {
 
@@ -91,6 +92,19 @@ class ScheduleCache
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;
 };
+
+/** Canonical key order for emitting Stats via writeCounterObject. */
+inline constexpr const char *kMemoryCacheCounters[] = {
+    "hits", "misses", "evictions", "entries", "capacity",
+};
+
+/**
+ * Stats as a CounterSet, so every front-end (cs_batch JSON line,
+ * cs_serve stats responses, --metrics files) emits cache counters
+ * through the one shared writer (support/metrics.hpp) instead of
+ * hand-rolling JSON.
+ */
+CounterSet toCounterSet(const ScheduleCache::Stats &stats);
 
 } // namespace cs
 

@@ -1,0 +1,152 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <span>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <utility>
+
+namespace cs::serve {
+
+ScheduleClient::~ScheduleClient()
+{
+    close();
+}
+
+bool
+ScheduleClient::connect(const std::string &socketPath,
+                        std::string *error)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path)) {
+        if (error != nullptr)
+            *error = "socket path too long: " + socketPath;
+        return false;
+    }
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::signal(SIGPIPE, SIG_IGN);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        if (error != nullptr)
+            *error = std::string("socket(): ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        if (error != nullptr) {
+            *error = "connect('" + socketPath +
+                     "'): " + std::strerror(errno);
+        }
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    return true;
+}
+
+void
+ScheduleClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+ScheduleClient::call(Request request, Response *out, std::string *error)
+{
+    if (fd_ < 0) {
+        if (error != nullptr)
+            *error = "not connected";
+        return false;
+    }
+    if (request.requestId == 0)
+        request.requestId = nextId_++;
+
+    std::vector<std::uint8_t> payload;
+    {
+        wire::ByteWriter writer(payload);
+        encodeRequest(writer, request);
+    }
+    if (!writeFrame(fd_, payload)) {
+        if (error != nullptr)
+            *error = "send failed (connection lost?)";
+        close();
+        return false;
+    }
+    std::vector<std::uint8_t> frame;
+    if (!readFrame(fd_, &frame)) {
+        if (error != nullptr)
+            *error = "no reply (connection closed)";
+        close();
+        return false;
+    }
+    wire::ByteReader reader(
+        std::span<const std::uint8_t>(frame.data(), frame.size()));
+    if (!decodeResponse(reader, out)) {
+        if (error != nullptr)
+            *error = "bad response frame: " + reader.error();
+        return false;
+    }
+    if (out->requestId != request.requestId) {
+        if (error != nullptr)
+            *error = "response id mismatch";
+        return false;
+    }
+    return true;
+}
+
+bool
+ScheduleClient::schedule(const JobSet &set, std::int64_t deadlineMs,
+                         Response *out, std::string *error)
+{
+    Request request;
+    request.type = RequestType::Schedule;
+    request.deadlineMs = deadlineMs;
+    request.jobs = set;
+    return call(std::move(request), out, error);
+}
+
+bool
+ScheduleClient::ping(std::string *error)
+{
+    Request request;
+    request.type = RequestType::Ping;
+    Response response;
+    if (!call(std::move(request), &response, error))
+        return false;
+    if (response.status != ResponseStatus::Ok) {
+        if (error != nullptr)
+            *error = std::string("ping: ") +
+                     statusName(response.status);
+        return false;
+    }
+    return true;
+}
+
+bool
+ScheduleClient::stats(std::string *json, std::string *error)
+{
+    Request request;
+    request.type = RequestType::Stats;
+    Response response;
+    if (!call(std::move(request), &response, error))
+        return false;
+    if (response.status != ResponseStatus::Ok) {
+        if (error != nullptr)
+            *error = std::string("stats: ") +
+                     statusName(response.status);
+        return false;
+    }
+    *json = response.message;
+    return true;
+}
+
+} // namespace cs::serve

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal synchronous client for cs_serve: connects to the daemon's
+ * Unix-domain socket and runs one request/response round trip at a
+ * time over its single connection. Not thread-safe — for concurrent
+ * traffic open one client per thread (the server multiplexes any
+ * number of connections and any number of in-flight requests).
+ */
+
+#ifndef CS_SERVE_CLIENT_HPP
+#define CS_SERVE_CLIENT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "serve/proto.hpp"
+
+namespace cs::serve {
+
+class ScheduleClient
+{
+  public:
+    ScheduleClient() = default;
+    ~ScheduleClient();
+
+    ScheduleClient(const ScheduleClient &) = delete;
+    ScheduleClient &operator=(const ScheduleClient &) = delete;
+
+    /** Connect to the daemon. False + diagnostic on failure. */
+    bool connect(const std::string &socketPath, std::string *error);
+
+    void close();
+
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * One round trip: frame and send @p request, block for the reply.
+     * A zero requestId is replaced with a fresh client-local id.
+     * Returns false (with @p error) on transport or decode failure;
+     * protocol-level failures (RejectedOverload, DeadlineExceeded,
+     * ...) return true with the status in @p out.
+     */
+    bool call(Request request, Response *out, std::string *error);
+
+    /** Schedule the single job of @p set (deadlineMs as in Request). */
+    bool schedule(const JobSet &set, std::int64_t deadlineMs,
+                  Response *out, std::string *error);
+
+    bool ping(std::string *error);
+
+    /** Fetch the server's stats JSON. */
+    bool stats(std::string *json, std::string *error);
+
+  private:
+    int fd_ = -1;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace cs::serve
+
+#endif // CS_SERVE_CLIENT_HPP

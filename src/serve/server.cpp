@@ -1,0 +1,429 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <utility>
+
+#include "support/logging.hpp"
+#include "support/trace.hpp"
+
+namespace cs::serve {
+
+namespace {
+
+PipelineConfig
+pipelineConfig(const ServerConfig &config)
+{
+    PipelineConfig out;
+    out.numThreads = config.workerThreads;
+    out.cacheCapacity = config.cacheCapacity;
+    out.cacheDirectory = config.cacheDirectory;
+    out.cacheShards = config.cacheShards;
+    out.iiSearchWorkers = config.iiSearchWorkers;
+    return out;
+}
+
+} // namespace
+
+ScheduleServer::ScheduleServer(const ServerConfig &config)
+    : config_(config), pipeline_(pipelineConfig(config))
+{}
+
+ScheduleServer::~ScheduleServer()
+{
+    stop();
+}
+
+bool
+ScheduleServer::start()
+{
+    if (running_.load())
+        return true;
+    if (config_.socketPath.empty()) {
+        CS_WARN("cs_serve: empty socket path");
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.socketPath.size() >= sizeof(addr.sun_path)) {
+        CS_WARN("cs_serve: socket path too long: ", config_.socketPath);
+        return false;
+    }
+    std::strncpy(addr.sun_path, config_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    // A peer that vanishes mid-reply must surface as a write error,
+    // not kill the daemon.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        CS_WARN("cs_serve: socket(): ", std::strerror(errno));
+        return false;
+    }
+    ::unlink(config_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        CS_WARN("cs_serve: bind('", config_.socketPath,
+                "'): ", std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::listen(listenFd_, config_.listenBacklog) != 0) {
+        CS_WARN("cs_serve: listen(): ", std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+
+    running_.store(true);
+    draining_.store(false);
+    deadlineStop_ = false;
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    deadlineThread_ = std::thread([this] { deadlineLoop(); });
+    CS_INFORM("cs_serve: listening on ", config_.socketPath);
+    return true;
+}
+
+void
+ScheduleServer::stop()
+{
+    if (!running_.exchange(false))
+        return;
+    draining_.store(true);
+
+    // 1. Stop accepting: closing the listener unblocks accept().
+    int listenFd = listenFd_.exchange(-1);
+    if (listenFd >= 0) {
+        ::shutdown(listenFd, SHUT_RDWR);
+        ::close(listenFd);
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+
+    // 2. Drain: readers stay up (answering new Schedule requests with
+    //    ShuttingDown) until every admitted job finished and replied.
+    {
+        std::unique_lock<std::mutex> lock(drainMutex_);
+        drainCv_.wait(lock, [this] { return inFlight_.load() == 0; });
+    }
+
+    // 3. Tear down the deadline watcher.
+    {
+        std::lock_guard<std::mutex> lock(deadlineMutex_);
+        deadlineStop_ = true;
+    }
+    deadlineCv_.notify_all();
+    if (deadlineThread_.joinable())
+        deadlineThread_.join();
+
+    // 4. Close connections; shutdown() unblocks blocked readFrame()s.
+    std::vector<std::shared_ptr<Connection>> conns;
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        conns.swap(connections_);
+        threads.swap(connThreads_);
+    }
+    for (const auto &conn : conns) {
+        conn->open.store(false);
+        std::lock_guard<std::mutex> lock(conn->writeMutex);
+        if (conn->fd >= 0)
+            ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    for (std::thread &thread : threads) {
+        if (thread.joinable())
+            thread.join();
+    }
+    for (const auto &conn : conns) {
+        std::lock_guard<std::mutex> lock(conn->writeMutex);
+        if (conn->fd >= 0) {
+            ::close(conn->fd);
+            conn->fd = -1;
+        }
+    }
+
+    ::unlink(config_.socketPath.c_str());
+    CS_INFORM("cs_serve: drained and stopped");
+}
+
+void
+ScheduleServer::acceptLoop()
+{
+    for (;;) {
+        int fd = ::accept(listenFd_.load(), nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // listener closed (stop) or fatal error
+        }
+        if (draining_.load()) {
+            ::close(fd);
+            continue;
+        }
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        metrics_.counters().bump("serve.connections");
+        std::lock_guard<std::mutex> lock(connMutex_);
+        connections_.push_back(conn);
+        connThreads_.emplace_back(
+            [this, conn] { connectionLoop(conn); });
+    }
+}
+
+void
+ScheduleServer::connectionLoop(std::shared_ptr<Connection> conn)
+{
+    std::vector<std::uint8_t> frame;
+    while (conn->open.load() && readFrame(conn->fd, &frame)) {
+        metrics_.counters().bump("serve.frames_in");
+        wire::ByteReader reader(
+            std::span<const std::uint8_t>(frame.data(), frame.size()));
+        Request request;
+        if (!decodeRequest(reader, &request)) {
+            metrics_.counters().bump("serve.bad_requests");
+            Response response;
+            response.requestId = request.requestId;
+            response.status = ResponseStatus::BadRequest;
+            response.message = reader.error();
+            sendResponse(conn, response);
+            continue;
+        }
+        handleRequest(conn, std::move(request));
+    }
+    // The connection is done (EOF, hostile frame, or drain): close the
+    // fd now so the peer sees EOF immediately and a long-lived daemon
+    // does not hold one fd per dead connection until stop(). Closing
+    // happens under the write mutex — a completion callback for a job
+    // still in flight may be racing sendResponse(), and the fd number
+    // must not be reused under it.
+    conn->open.store(false);
+    std::lock_guard<std::mutex> lock(conn->writeMutex);
+    if (conn->fd >= 0) {
+        ::close(conn->fd);
+        conn->fd = -1;
+    }
+}
+
+void
+ScheduleServer::handleRequest(const std::shared_ptr<Connection> &conn,
+                              Request &&request)
+{
+    CS_TRACE_SPAN1("serve_request", "type",
+                   static_cast<int>(request.type));
+    metrics_.counters().bump("serve.requests");
+    Response response;
+    response.requestId = request.requestId;
+
+    if (request.type == RequestType::Ping) {
+        metrics_.counters().bump("serve.pings");
+        response.status = ResponseStatus::Ok;
+        sendResponse(conn, response);
+        return;
+    }
+    if (request.type == RequestType::Stats) {
+        metrics_.counters().bump("serve.stats_requests");
+        response.status = ResponseStatus::Ok;
+        response.message = statsJson();
+        sendResponse(conn, response);
+        return;
+    }
+
+    // Schedule.
+    metrics_.counters().bump("serve.schedule_requests");
+    if (draining_.load()) {
+        metrics_.counters().bump("serve.shutting_down");
+        response.status = ResponseStatus::ShuttingDown;
+        response.message = "server is draining";
+        sendResponse(conn, response);
+        return;
+    }
+    if (request.deadlineMs < 0) {
+        // Already expired on arrival: the deadline path must not cost
+        // any scheduling work (tests drive it with deadlineMs = -1).
+        metrics_.counters().bump("serve.deadline_expired");
+        response.status = ResponseStatus::DeadlineExceeded;
+        response.message = "deadline expired before scheduling";
+        sendResponse(conn, response);
+        return;
+    }
+
+    // Admission control: a bounded in-flight count is the whole
+    // policy — cheap, and overload is visible to the client instead
+    // of buried in a queue.
+    std::size_t admitted = inFlight_.fetch_add(1) + 1;
+    if (admitted > config_.maxInFlight) {
+        inFlight_.fetch_sub(1);
+        metrics_.counters().bump("serve.rejected_overload");
+        response.status = ResponseStatus::RejectedOverload;
+        response.message = "in-flight limit reached, retry later";
+        sendResponse(conn, response);
+        return;
+    }
+
+    auto state = std::make_shared<RequestState>();
+    state->conn = conn;
+    state->requestId = request.requestId;
+    state->jobs = std::move(request.jobs);
+    if (request.deadlineMs > 0) {
+        state->hasDeadline = true;
+        state->deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(request.deadlineMs);
+        watchDeadline(state);
+    }
+
+    ScheduleJob job = jobSetToScheduleJobs(state->jobs).front();
+    job.abortFlag = &state->abort;
+    bool submitted = pipeline_.submit(
+        std::move(job), [this, state](JobResult result) {
+            Response reply;
+            reply.requestId = state->requestId;
+            summarizeResult(result, &reply);
+            if (result.cancelled) {
+                metrics_.counters().bump("serve.deadline_preempted");
+                reply.status = ResponseStatus::DeadlineExceeded;
+                reply.message = "deadline expired during scheduling";
+            } else if (!result.success) {
+                metrics_.counters().bump("serve.errors");
+                reply.status = ResponseStatus::Error;
+                reply.message = result.sched.failure;
+            } else {
+                metrics_.counters().bump("serve.ok");
+                reply.status = ResponseStatus::Ok;
+            }
+            metrics_.recordTimeMs("serve.request", result.wallMs);
+            sendResponse(state->conn, reply);
+            finishRequest();
+        });
+    if (!submitted) {
+        metrics_.counters().bump("serve.shutting_down");
+        response.status = ResponseStatus::ShuttingDown;
+        response.message = "server is draining";
+        sendResponse(conn, response);
+        finishRequest();
+    }
+}
+
+void
+ScheduleServer::finishRequest()
+{
+    if (inFlight_.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(drainMutex_);
+        drainCv_.notify_all();
+    }
+}
+
+bool
+ScheduleServer::sendResponse(const std::shared_ptr<Connection> &conn,
+                             const Response &response)
+{
+    std::vector<std::uint8_t> payload;
+    {
+        wire::ByteWriter writer(payload);
+        encodeResponse(writer, response);
+    }
+    std::lock_guard<std::mutex> lock(conn->writeMutex);
+    if (!conn->open.load())
+        return false;
+    if (!writeFrame(conn->fd, payload)) {
+        conn->open.store(false);
+        metrics_.counters().bump("serve.write_errors");
+        return false;
+    }
+    metrics_.counters().bump("serve.frames_out");
+    return true;
+}
+
+void
+ScheduleServer::watchDeadline(
+    const std::shared_ptr<RequestState> &state)
+{
+    {
+        std::lock_guard<std::mutex> lock(deadlineMutex_);
+        deadlines_.push_back(state);
+    }
+    deadlineCv_.notify_all();
+}
+
+void
+ScheduleServer::deadlineLoop()
+{
+    std::unique_lock<std::mutex> lock(deadlineMutex_);
+    for (;;) {
+        if (deadlineStop_)
+            return;
+        // Raise the flag on every expired request, drop dead entries,
+        // and compute the next wake-up.
+        auto now = std::chrono::steady_clock::now();
+        auto next = now + std::chrono::hours(1);
+        bool haveNext = false;
+        auto it = deadlines_.begin();
+        while (it != deadlines_.end()) {
+            std::shared_ptr<RequestState> state = it->lock();
+            if (!state) {
+                it = deadlines_.erase(it);
+                continue;
+            }
+            if (state->deadline <= now) {
+                state->abort.store(true);
+                it = deadlines_.erase(it);
+                continue;
+            }
+            if (!haveNext || state->deadline < next) {
+                next = state->deadline;
+                haveNext = true;
+            }
+            ++it;
+        }
+        if (haveNext)
+            deadlineCv_.wait_until(lock, next);
+        else
+            deadlineCv_.wait(lock);
+    }
+}
+
+std::string
+ScheduleServer::statsJson() const
+{
+    ScheduleCache::Stats memory = pipeline_.cache().stats();
+    PersistentScheduleCache::DiskStats disk =
+        pipeline_.cache().diskStats();
+    CounterSet pipelineStats = pipeline_.statsSnapshot();
+
+    static const char *const kServeCounters[] = {
+        "serve.requests",         "serve.schedule_requests",
+        "serve.ok",               "serve.errors",
+        "serve.rejected_overload", "serve.deadline_preempted",
+        "serve.deadline_expired", "serve.shutting_down",
+        "serve.bad_requests",     "serve.pings",
+        "serve.stats_requests",   "serve.connections",
+        "serve.frames_in",        "serve.frames_out",
+        "serve.write_errors",
+    };
+    static const char *const kPipelineCounters[] = {
+        "pipeline.jobs",      "pipeline.cache_hits",
+        "pipeline.cache_misses", "pipeline.failures",
+        "pipeline.cancelled",
+    };
+
+    std::ostringstream os;
+    os << "{\"serve\":";
+    writeCounterObject(os, metrics_.counters(), kServeCounters);
+    os << ",\"pipeline\":";
+    writeCounterObject(os, pipelineStats, kPipelineCounters);
+    os << ",\"cache\":{\"memory\":";
+    writeCounterObject(os, toCounterSet(memory), kMemoryCacheCounters);
+    os << ",\"disk\":";
+    writeCounterObject(os, toCounterSet(disk), kDiskCacheCounters);
+    os << "}}";
+    return os.str();
+}
+
+} // namespace cs::serve

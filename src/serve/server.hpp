@@ -1,0 +1,165 @@
+/**
+ * @file
+ * cs_serve: scheduling as a service over a Unix-domain socket.
+ *
+ * Architecture (DESIGN.md §5f): one accept thread, one reader thread
+ * per connection, and a deadline watcher sit in front of the shared
+ * SchedulingPipeline. A reader decodes length-prefixed frames
+ * (serve/proto.hpp), applies admission control (a bounded in-flight
+ * count — beyond it requests bounce immediately with
+ * RejectedOverload rather than queueing without bound), and submits
+ * admitted jobs to the pipeline; the completion callback writes the
+ * framed response back under a per-connection write mutex, so many
+ * requests can be in flight per connection and responses may
+ * interleave in completion order (the echoed requestId pairs them).
+ *
+ * Deadlines are cooperative: each admitted request carries an abort
+ * flag plumbed down to the scheduler's budget checkpoints
+ * (ScheduleJob::abortFlag); the watcher raises the flag when the
+ * deadline passes and the job unwinds at its next checkpoint,
+ * returning DeadlineExceeded. A request whose deadline is already
+ * expired on arrival (deadlineMs < 0) is answered without any
+ * scheduling work. Results produced under an armed-but-unraised flag
+ * are byte-identical to unarmed runs, so serving never perturbs
+ * schedules.
+ *
+ * Shutdown is a graceful drain: stop() closes the listener, answers
+ * new Schedule requests with ShuttingDown, waits for every in-flight
+ * job to complete and its response to be written, then closes
+ * connections and joins all threads.
+ */
+
+#ifndef CS_SERVE_SERVER_HPP
+#define CS_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/pipeline.hpp"
+#include "serve/proto.hpp"
+#include "support/metrics.hpp"
+
+namespace cs::serve {
+
+struct ServerConfig
+{
+    /** Unix-domain socket path (an existing file is replaced). */
+    std::string socketPath;
+    /** Pipeline worker threads; 0 = hardware concurrency. */
+    unsigned workerThreads = 0;
+    /** Memory-tier schedule-cache entries. */
+    std::size_t cacheCapacity = 1024;
+    /** Persistent cache directory; empty = memory-only. */
+    std::string cacheDirectory;
+    int cacheShards = 8;
+    /** Dedicated II-search workers (see PipelineConfig). */
+    unsigned iiSearchWorkers = 0;
+    /**
+     * Admission bound: Schedule requests admitted (queued or running)
+     * at once. Beyond it new requests are rejected with
+     * RejectedOverload — backpressure the client can see, instead of
+     * an unbounded queue it cannot.
+     */
+    std::size_t maxInFlight = 64;
+    /** accept() backlog. */
+    int listenBacklog = 64;
+};
+
+/**
+ * The daemon. start() binds and spawns the service threads; stop()
+ * drains gracefully (idempotent, also run by the destructor). One
+ * instance serves many connections, each carrying many concurrent
+ * requests.
+ */
+class ScheduleServer
+{
+  public:
+    explicit ScheduleServer(const ServerConfig &config);
+    ~ScheduleServer();
+
+    ScheduleServer(const ScheduleServer &) = delete;
+    ScheduleServer &operator=(const ScheduleServer &) = delete;
+
+    /** Bind, listen, and start serving. False (with a log) on error. */
+    bool start();
+
+    /** Graceful drain; returns when every thread has been joined. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    const std::string &socketPath() const { return config_.socketPath; }
+
+    /** Serving + pipeline + cache counters as one JSON object. */
+    std::string statsJson() const;
+
+    /** Serving metrics (counters + request timers). */
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    SchedulingPipeline &pipeline() { return pipeline_; }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::mutex writeMutex;
+        std::atomic<bool> open{true};
+    };
+
+    /** Everything one admitted Schedule request owns while it runs. */
+    struct RequestState
+    {
+        std::shared_ptr<Connection> conn;
+        std::uint64_t requestId = 0;
+        JobSet jobs; ///< keeps the job's machine/kernel alive
+        std::atomic<bool> abort{false};
+        bool hasDeadline = false;
+        std::chrono::steady_clock::time_point deadline{};
+    };
+
+    void acceptLoop();
+    void connectionLoop(std::shared_ptr<Connection> conn);
+    void handleRequest(const std::shared_ptr<Connection> &conn,
+                       Request &&request);
+    void deadlineLoop();
+    void watchDeadline(const std::shared_ptr<RequestState> &state);
+    bool sendResponse(const std::shared_ptr<Connection> &conn,
+                      const Response &response);
+    void finishRequest();
+
+    ServerConfig config_;
+    SchedulingPipeline pipeline_;
+    MetricsRegistry metrics_;
+
+    // Atomic: stop() closes the listener (and writes -1) while the
+    // accept thread is still reading it for the next accept() call.
+    std::atomic<int> listenFd_{-1};
+    std::atomic<bool> running_{false};
+    std::atomic<bool> draining_{false};
+
+    std::thread acceptThread_;
+    std::mutex connMutex_;
+    std::vector<std::shared_ptr<Connection>> connections_;
+    std::vector<std::thread> connThreads_;
+
+    std::atomic<std::size_t> inFlight_{0};
+    std::mutex drainMutex_;
+    std::condition_variable drainCv_;
+
+    std::mutex deadlineMutex_;
+    std::condition_variable deadlineCv_;
+    std::vector<std::weak_ptr<RequestState>> deadlines_;
+    bool deadlineStop_ = false;
+    std::thread deadlineThread_;
+};
+
+} // namespace cs::serve
+
+#endif // CS_SERVE_SERVER_HPP

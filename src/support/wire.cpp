@@ -1,0 +1,471 @@
+#include "support/wire.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cs::wire {
+
+namespace {
+
+bool
+isPunct(char c)
+{
+    return c == '{' || c == '}' || c == '[' || c == ']' || c == '(' ||
+           c == ')' || c == ',' || c == '=';
+}
+
+} // namespace
+
+TextScanner::TextScanner(std::string_view text) : text_(text)
+{
+}
+
+void
+TextScanner::fail(const std::string &message)
+{
+    if (failed_)
+        return;
+    failed_ = true;
+    error_ = "line " + std::to_string(line_) + ": " + message;
+    haveToken_ = false;
+    current_.clear();
+}
+
+void
+TextScanner::skipSpace()
+{
+    while (pos_ < text_.size()) {
+        char c = text_[pos_];
+        if (c == '\n') {
+            ++line_;
+            ++pos_;
+        } else if (c == ' ' || c == '\t' || c == '\r') {
+            ++pos_;
+        } else if (c == '#') {
+            while (pos_ < text_.size() && text_[pos_] != '\n')
+                ++pos_;
+        } else {
+            break;
+        }
+    }
+}
+
+bool
+TextScanner::scanToken()
+{
+    if (failed_)
+        return false;
+    skipSpace();
+    if (pos_ >= text_.size())
+        return false;
+
+    current_.clear();
+    lastQuoted_ = false;
+    char c = text_[pos_];
+    if (isPunct(c)) {
+        current_.push_back(c);
+        ++pos_;
+        return true;
+    }
+    if (c == '"') {
+        lastQuoted_ = true;
+        ++pos_;
+        while (true) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+                return false;
+            }
+            char d = text_[pos_++];
+            if (d == '"')
+                return true;
+            if (d == '\n') {
+                fail("newline in string");
+                return false;
+            }
+            if (d == '\\') {
+                if (pos_ >= text_.size()) {
+                    fail("unterminated escape");
+                    return false;
+                }
+                char e = text_[pos_++];
+                switch (e) {
+                  case 'n': current_.push_back('\n'); break;
+                  case 't': current_.push_back('\t'); break;
+                  case '\\': current_.push_back('\\'); break;
+                  case '"': current_.push_back('"'); break;
+                  default:
+                    fail(std::string("bad escape '\\") + e + "'");
+                    return false;
+                }
+            } else {
+                current_.push_back(d);
+            }
+        }
+    }
+    // Bare word: runs to whitespace, punctuation, comment, or quote.
+    while (pos_ < text_.size()) {
+        char d = text_[pos_];
+        if (d == ' ' || d == '\t' || d == '\r' || d == '\n' ||
+            d == '#' || d == '"' || isPunct(d)) {
+            break;
+        }
+        current_.push_back(d);
+        ++pos_;
+    }
+    return true;
+}
+
+bool
+TextScanner::atEnd()
+{
+    if (failed_)
+        return true;
+    if (!haveToken_)
+        haveToken_ = scanToken();
+    return !haveToken_;
+}
+
+std::string_view
+TextScanner::peek()
+{
+    if (failed_)
+        return {};
+    if (!haveToken_)
+        haveToken_ = scanToken();
+    return haveToken_ ? std::string_view(current_) : std::string_view();
+}
+
+std::string_view
+TextScanner::next()
+{
+    peek();
+    if (!haveToken_)
+        return {};
+    haveToken_ = false;
+    return current_; // stays valid until the next scan
+}
+
+bool
+TextScanner::accept(std::string_view token)
+{
+    if (peek() != token || lastQuoted_ || failed_)
+        return false;
+    haveToken_ = false;
+    return true;
+}
+
+bool
+TextScanner::expect(std::string_view token)
+{
+    if (failed_)
+        return false;
+    std::string_view got = peek();
+    if (!haveToken_) {
+        fail("expected '" + std::string(token) + "', got end of input");
+        return false;
+    }
+    if (got != token || lastQuoted_) {
+        fail("expected '" + std::string(token) + "', got '" +
+             std::string(got) + "'");
+        return false;
+    }
+    haveToken_ = false;
+    return true;
+}
+
+bool
+TextScanner::quoted(std::string *out)
+{
+    if (failed_)
+        return false;
+    peek();
+    if (!haveToken_ || !lastQuoted_) {
+        fail("expected a quoted string, got '" + current_ + "'");
+        return false;
+    }
+    *out = current_;
+    haveToken_ = false;
+    return true;
+}
+
+bool
+TextScanner::integer(std::int64_t *out)
+{
+    if (failed_)
+        return false;
+    peek();
+    if (!haveToken_ || lastQuoted_ || current_.empty()) {
+        fail("expected an integer");
+        return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(current_.c_str(), &end, 10);
+    if (errno == ERANGE || end == current_.c_str() || *end != '\0') {
+        fail("bad integer '" + current_ + "'");
+        return false;
+    }
+    *out = v;
+    haveToken_ = false;
+    return true;
+}
+
+bool
+TextScanner::unsignedInt(std::uint64_t *out)
+{
+    if (failed_)
+        return false;
+    peek();
+    if (!haveToken_ || lastQuoted_ || current_.empty() ||
+        current_[0] == '-') {
+        fail("expected an unsigned integer");
+        return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(current_.c_str(), &end, 10);
+    if (errno == ERANGE || end == current_.c_str() || *end != '\0') {
+        fail("bad unsigned integer '" + current_ + "'");
+        return false;
+    }
+    *out = v;
+    haveToken_ = false;
+    return true;
+}
+
+bool
+TextScanner::intInRange(const char *what, std::int64_t lo,
+                        std::int64_t hi, std::int64_t *out)
+{
+    std::int64_t v = 0;
+    if (!integer(&v))
+        return false;
+    if (v < lo || v > hi) {
+        fail(std::string(what) + " " + std::to_string(v) +
+             " out of range [" + std::to_string(lo) + ", " +
+             std::to_string(hi) + "]");
+        return false;
+    }
+    *out = v;
+    return true;
+}
+
+bool
+TextScanner::floating(double *out)
+{
+    if (failed_)
+        return false;
+    peek();
+    if (!haveToken_ || lastQuoted_ || current_.empty()) {
+        fail("expected a float");
+        return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(current_.c_str(), &end);
+    if (end == current_.c_str() || *end != '\0') {
+        fail("bad float '" + current_ + "'");
+        return false;
+    }
+    *out = v;
+    haveToken_ = false;
+    return true;
+}
+
+bool
+TextScanner::boolean(bool *out)
+{
+    if (accept("true")) {
+        *out = true;
+        return true;
+    }
+    if (accept("false")) {
+        *out = false;
+        return true;
+    }
+    if (!failed_)
+        fail("expected 'true' or 'false', got '" +
+             std::string(peek()) + "'");
+    return false;
+}
+
+std::string
+quoteString(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          default: out.push_back(c); break;
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+exactFloat(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return buf;
+}
+
+void
+ByteWriter::u16(std::uint16_t v)
+{
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+ByteWriter::u32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+ByteWriter::u64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+ByteWriter::f64(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+}
+
+void
+ByteWriter::str(std::string_view s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+}
+
+void
+ByteReader::fail(const std::string &message)
+{
+    if (failed_)
+        return;
+    failed_ = true;
+    error_ = "byte " + std::to_string(pos_) + ": " + message;
+}
+
+const std::uint8_t *
+ByteReader::take(std::size_t n)
+{
+    if (failed_)
+        return nullptr;
+    if (remaining() < n) {
+        fail("truncated input (need " + std::to_string(n) +
+             " bytes, have " + std::to_string(remaining()) + ")");
+        return nullptr;
+    }
+    const std::uint8_t *p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+}
+
+std::uint8_t
+ByteReader::u8()
+{
+    const std::uint8_t *p = take(1);
+    return p ? p[0] : 0;
+}
+
+std::uint16_t
+ByteReader::u16()
+{
+    const std::uint8_t *p = take(2);
+    if (!p)
+        return 0;
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t
+ByteReader::u32()
+{
+    const std::uint8_t *p = take(4);
+    if (!p)
+        return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+ByteReader::u64()
+{
+    const std::uint8_t *p = take(8);
+    if (!p)
+        return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+double
+ByteReader::f64()
+{
+    std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+bool
+ByteReader::boolean()
+{
+    std::uint8_t v = u8();
+    if (v > 1)
+        fail("bad boolean value " + std::to_string(v));
+    return v == 1;
+}
+
+std::string
+ByteReader::str()
+{
+    std::uint32_t len = u32();
+    if (failed_)
+        return {};
+    if (len > remaining()) {
+        fail("string length " + std::to_string(len) +
+             " exceeds remaining input");
+        return {};
+    }
+    const std::uint8_t *p = take(len);
+    return p ? std::string(reinterpret_cast<const char *>(p), len)
+             : std::string();
+}
+
+std::uint32_t
+ByteReader::arrayCount(std::size_t minBytesPerElem)
+{
+    std::uint32_t count = u32();
+    if (failed_)
+        return 0;
+    if (minBytesPerElem > 0 &&
+        count > remaining() / minBytesPerElem) {
+        fail("element count " + std::to_string(count) +
+             " exceeds remaining input");
+        return 0;
+    }
+    return count;
+}
+
+} // namespace cs::wire

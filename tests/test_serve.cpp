@@ -1,0 +1,394 @@
+/**
+ * @file
+ * cs_serve end-to-end suite, run against an in-process ScheduleServer
+ * on a per-test Unix-domain socket: request/response round trips,
+ * byte-equivalence of served listings against in-process scheduling,
+ * many concurrent clients (the TSan build pins the accept/dispatch/
+ * respond paths), admission-control rejection, the already-expired
+ * deadline fast path, deadline preemption of a long job, hostile
+ * frames, and graceful drain/restart.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/export.hpp"
+#include "core/list_scheduler.hpp"
+#include "kernels/kernels.hpp"
+#include "machine/builders.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "support/logging.hpp"
+
+namespace cs {
+namespace {
+
+/** Short unique socket path (sun_path is ~108 bytes; TempDir can be
+ *  long, so sockets live in /tmp). */
+std::string
+testSocketPath(const char *tag)
+{
+    return "/tmp/cs_test_" + std::to_string(::getpid()) + "_" + tag +
+           ".sock";
+}
+
+/** A one-job set: @p kernelName on the central machine, block mode. */
+serve::JobSet
+oneJobSet(const std::string &kernelName, int maxDelay = 2048)
+{
+    serve::JobSet set;
+    set.machines.push_back(makeCentral());
+    set.kernels.push_back(kernelByName(kernelName).build());
+    serve::JobDescription job;
+    job.label = kernelName;
+    job.pipelined = false;
+    job.options.maxDelay = maxDelay;
+    set.jobs.push_back(std::move(job));
+    return set;
+}
+
+/** The listing the server must reproduce byte for byte. */
+std::string
+localListing(const serve::JobSet &set)
+{
+    Kernel kernel = set.kernels[0];
+    ScheduleResult result = scheduleBlock(
+        kernel, BlockId(0), set.machines[0], set.jobs[0].options);
+    CS_ASSERT(result.success, "local schedule failed");
+    return exportListing(result.kernel, set.machines[0],
+                         result.schedule);
+}
+
+serve::ServerConfig
+baseConfig(const std::string &socketPath)
+{
+    serve::ServerConfig config;
+    config.socketPath = socketPath;
+    config.workerThreads = 2;
+    config.cacheCapacity = 256;
+    return config;
+}
+
+TEST(Serve, PingStatsAndScheduleRoundTrip)
+{
+    setVerboseLogging(false);
+    serve::ServerConfig config =
+        baseConfig(testSocketPath("roundtrip"));
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+
+    serve::ScheduleClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(config.socketPath, &error)) << error;
+    EXPECT_TRUE(client.ping(&error)) << error;
+
+    serve::JobSet set = oneJobSet("DCT");
+    serve::Response response;
+    ASSERT_TRUE(client.schedule(set, 0, &response, &error)) << error;
+    ASSERT_EQ(response.status, serve::ResponseStatus::Ok)
+        << response.message;
+    EXPECT_TRUE(response.success);
+    EXPECT_FALSE(response.cacheHit);
+    EXPECT_TRUE(response.verifierErrors.empty());
+    EXPECT_EQ(response.listing, localListing(set));
+
+    // The identical request is served from the cache, byte-identical.
+    serve::Response second;
+    ASSERT_TRUE(client.schedule(set, 0, &second, &error)) << error;
+    ASSERT_EQ(second.status, serve::ResponseStatus::Ok);
+    EXPECT_TRUE(second.cacheHit);
+    EXPECT_EQ(second.listing, response.listing);
+
+    std::string statsJson;
+    ASSERT_TRUE(client.stats(&statsJson, &error)) << error;
+    EXPECT_NE(statsJson.find("\"serve\""), std::string::npos);
+    EXPECT_NE(statsJson.find("\"pipeline\""), std::string::npos);
+    EXPECT_NE(statsJson.find("\"cache\""), std::string::npos);
+    EXPECT_EQ(server.metrics().counters().get("serve.ok"), 2u);
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST(Serve, ConcurrentClientsGetByteIdenticalListings)
+{
+    setVerboseLogging(false);
+    serve::ServerConfig config =
+        baseConfig(testSocketPath("concurrent"));
+    config.maxInFlight = 64;
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+
+    // Four distinct jobs; every thread requests each of them, so the
+    // server multiplexes 16 connections x 4 in-flight requests over
+    // scheduling work and cache hits at once.
+    const char *names[] = {"DCT", "FFT-U4", "FIR-INT",
+                           "Triangle Transform"};
+    std::vector<serve::JobSet> sets;
+    std::vector<std::string> expected;
+    for (const char *name : names) {
+        sets.push_back(oneJobSet(name));
+        expected.push_back(localListing(sets.back()));
+    }
+
+    constexpr int kThreads = 16;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            serve::ScheduleClient client;
+            std::string error;
+            if (!client.connect(server.socketPath(), &error)) {
+                ++failures;
+                return;
+            }
+            for (std::size_t j = 0; j < sets.size(); ++j) {
+                std::size_t job = (j + static_cast<std::size_t>(t)) %
+                                  sets.size();
+                serve::Response response;
+                if (!client.schedule(sets[job], 0, &response,
+                                     &error) ||
+                    response.status != serve::ResponseStatus::Ok ||
+                    response.listing != expected[job])
+                    ++failures;
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(server.metrics().counters().get("serve.ok"),
+              static_cast<std::uint64_t>(kThreads) * sets.size());
+    EXPECT_EQ(server.metrics().counters().get("serve.rejected_overload"),
+              0u);
+    server.stop();
+}
+
+TEST(Serve, OverloadRejectedWhenAdmissionFull)
+{
+    setVerboseLogging(false);
+    serve::ServerConfig config =
+        baseConfig(testSocketPath("overload"));
+    config.maxInFlight = 0; // every Schedule request is over the bound
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+
+    serve::ScheduleClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(config.socketPath, &error)) << error;
+    serve::JobSet set = oneJobSet("DCT");
+    serve::Response response;
+    ASSERT_TRUE(client.schedule(set, 0, &response, &error)) << error;
+    EXPECT_EQ(response.status, serve::ResponseStatus::RejectedOverload);
+    EXPECT_TRUE(response.listing.empty());
+    // Rejection is backpressure, not a dead server: pings still work.
+    EXPECT_TRUE(client.ping(&error)) << error;
+    EXPECT_GE(server.metrics().counters().get("serve.rejected_overload"),
+              1u);
+    server.stop();
+}
+
+TEST(Serve, ExpiredDeadlineAnsweredWithoutScheduling)
+{
+    setVerboseLogging(false);
+    serve::ServerConfig config =
+        baseConfig(testSocketPath("deadline"));
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+
+    serve::ScheduleClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(config.socketPath, &error)) << error;
+    serve::JobSet set = oneJobSet("DCT");
+    serve::Response response;
+    ASSERT_TRUE(client.schedule(set, -1, &response, &error)) << error;
+    EXPECT_EQ(response.status, serve::ResponseStatus::DeadlineExceeded);
+    EXPECT_TRUE(response.listing.empty());
+    // The fast path answers before any scheduling work happens.
+    EXPECT_EQ(server.pipeline().statsSnapshot().get("ops_scheduled"),
+              0u);
+    EXPECT_GE(server.metrics().counters().get("serve.deadline_expired"),
+              1u);
+    server.stop();
+}
+
+TEST(Serve, DeadlinePreemptsLongJob)
+{
+    setVerboseLogging(false);
+    serve::ServerConfig config =
+        baseConfig(testSocketPath("preempt"));
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+
+    // Sort pipelined on the distributed machine takes seconds; a 1 ms
+    // budget must preempt it at a scheduler checkpoint long before it
+    // completes.
+    serve::JobSet set;
+    set.machines.push_back(makeDistributed());
+    set.kernels.push_back(kernelByName("Sort").build());
+    serve::JobDescription job;
+    job.label = "Sort";
+    job.pipelined = true;
+    set.jobs.push_back(std::move(job));
+
+    serve::ScheduleClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(config.socketPath, &error)) << error;
+    serve::Response response;
+    ASSERT_TRUE(client.schedule(set, 1, &response, &error)) << error;
+    EXPECT_EQ(response.status, serve::ResponseStatus::DeadlineExceeded);
+    EXPECT_GE(
+        server.metrics().counters().get("serve.deadline_preempted"),
+        1u);
+
+    // A cancelled result is never cached: re-running with no deadline
+    // must schedule anew (and is free to succeed or exhaust slack; it
+    // must not be a replayed cancellation). Use a cheap job instead of
+    // re-paying Sort: the cache must simply not contain the key.
+    EXPECT_EQ(server.pipeline().cache().stats().entries, 0u);
+    server.stop();
+}
+
+TEST(Serve, HostileFramesDoNotKillTheServer)
+{
+    setVerboseLogging(false);
+    serve::ServerConfig config = baseConfig(testSocketPath("hostile"));
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+
+    auto rawConnect = [&]() {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, config.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        EXPECT_EQ(::connect(fd,
+                            reinterpret_cast<sockaddr *>(&addr),
+                            sizeof addr),
+                  0);
+        return fd;
+    };
+
+    // A well-framed garbage payload: the server answers BadRequest (or
+    // drops the connection) but keeps serving.
+    {
+        int fd = rawConnect();
+        std::vector<std::uint8_t> garbage = {0xde, 0xad, 0xbe, 0xef,
+                                             0x00, 0x01, 0x02};
+        ASSERT_TRUE(serve::writeFrame(fd, garbage));
+        std::vector<std::uint8_t> reply;
+        (void)serve::readFrame(fd, &reply);
+        ::close(fd);
+    }
+
+    // A hostile length prefix (4 GiB): the server must refuse to
+    // allocate and close the connection.
+    {
+        int fd = rawConnect();
+        const std::uint8_t huge[4] = {0xff, 0xff, 0xff, 0xff};
+        EXPECT_EQ(::write(fd, huge, sizeof huge), 4);
+        std::vector<std::uint8_t> reply;
+        EXPECT_FALSE(serve::readFrame(fd, &reply));
+        ::close(fd);
+    }
+
+    // Truncated frame then hangup: reader sees a short read, cleans up.
+    {
+        int fd = rawConnect();
+        const std::uint8_t shortFrame[6] = {0x40, 0x00, 0x00, 0x00,
+                                            0x01, 0x02};
+        EXPECT_EQ(::write(fd, shortFrame, sizeof shortFrame), 6);
+        ::close(fd);
+    }
+
+    serve::ScheduleClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(config.socketPath, &error)) << error;
+    EXPECT_TRUE(client.ping(&error)) << error;
+    serve::JobSet set = oneJobSet("DCT");
+    serve::Response response;
+    ASSERT_TRUE(client.schedule(set, 0, &response, &error)) << error;
+    EXPECT_EQ(response.status, serve::ResponseStatus::Ok);
+    server.stop();
+}
+
+TEST(Serve, GracefulDrainCompletesInFlightWork)
+{
+    setVerboseLogging(false);
+    serve::ServerConfig config = baseConfig(testSocketPath("drain"));
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+
+    serve::JobSet set = oneJobSet("FFT-U4");
+    std::string expected = localListing(set);
+    serve::Response response;
+    std::string error;
+    bool ok = false;
+    std::thread requester([&] {
+        serve::ScheduleClient client;
+        if (client.connect(server.socketPath(), &error))
+            ok = client.schedule(set, 0, &response, &error);
+    });
+    // Begin draining only once the server has admitted the request,
+    // so stop() really does race a job in flight: it must wait for
+    // the job to finish and its response to be written before tearing
+    // the connection down.
+    auto waitStart = std::chrono::steady_clock::now();
+    while (server.metrics().counters().get("serve.schedule_requests") <
+               1 &&
+           std::chrono::steady_clock::now() - waitStart <
+               std::chrono::seconds(10))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    server.stop();
+    requester.join();
+
+    ASSERT_TRUE(ok) << error;
+    if (response.status == serve::ResponseStatus::Ok) {
+        // The common case: the job was admitted before the drain began
+        // and stop() completed it.
+        EXPECT_EQ(response.listing, expected);
+    } else {
+        // Rare on a loaded single-core box: the reader thread was
+        // preempted between counting the request and admitting it, so
+        // the drain won the race and bounced it. Still a clean drain.
+        EXPECT_EQ(response.status,
+                  serve::ResponseStatus::ShuttingDown);
+    }
+    EXPECT_FALSE(server.running());
+
+    // The socket file is unlinked; new connections fail cleanly.
+    serve::ScheduleClient late;
+    EXPECT_FALSE(late.connect(config.socketPath, &error));
+}
+
+TEST(Serve, RestartOnSamePathAfterStop)
+{
+    setVerboseLogging(false);
+    std::string path = testSocketPath("restart");
+    {
+        serve::ScheduleServer server(baseConfig(path));
+        ASSERT_TRUE(server.start());
+        server.stop();
+    }
+    serve::ScheduleServer second(baseConfig(path));
+    ASSERT_TRUE(second.start());
+    serve::ScheduleClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(path, &error)) << error;
+    EXPECT_TRUE(client.ping(&error)) << error;
+    second.stop();
+}
+
+} // namespace
+} // namespace cs
