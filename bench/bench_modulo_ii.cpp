@@ -19,13 +19,23 @@
  * gates in bench/perf_smoke.py; parallel/serial is reported but not
  * gated because CI runs on a single core.
  *
- *   bench_modulo_ii --json [--reps N] [--filter SUBSTR] [--all]
+ *   bench_modulo_ii --json [--scaling] [--reps N] [--filter SUBSTR]
+ *                   [--all]
  *
  * Default is every kernel on central+clustered2 plus a representative
  * kernel subset on clustered4+distributed (the full cross is minutes
  * of wall time); --all runs the full kernel x machine cross.
  * bench/run_perf.sh wraps this mode to maintain the "modulo_ii"
  * section of BENCH_sched.json.
+ *
+ * --scaling instead sweeps the speculative search across II worker
+ * counts (1/2/4/hardware) under both fixed and adaptive attempt
+ * ordering, recording per point the suite median wall time, the
+ * attempts wasted (cold vs warm portfolio), and the cancellation
+ * count/latency — the "scaling" section of BENCH_sched.json. The
+ * recorded hardware_concurrency keeps single-core captures honest:
+ * there, every worker count measures overhead, not speedup, and the
+ * adaptive win shows up in attempts_wasted rather than wall time.
  */
 
 #include <algorithm>
@@ -33,12 +43,14 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/modulo_scheduler.hpp"
 #include "core/sched_context.hpp"
 #include "kernels/kernels.hpp"
 #include "machine/builders.hpp"
+#include "pipeline/adaptive.hpp"
 #include "pipeline/ii_search.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
@@ -245,6 +257,141 @@ runJsonMode(int reps, const std::string &filter, bool all)
     return 0;
 }
 
+/**
+ * One measured (workers x attempt-order) cell of the scaling sweep:
+ * the full cheap-machine Table-1 suite, pipelined, through one II
+ * worker pool. attemptsWasted and cancellation latency are the two
+ * signals the multi-core story stands on: speculation that scales is
+ * speculation whose wasted work stays bounded and whose losers die
+ * fast once a winner commits.
+ */
+struct ScalingPoint
+{
+    unsigned workers = 0;
+    bool adaptive = false;
+    double medianMs = 0.0;
+    std::uint64_t attempts = 0;
+    std::uint64_t attemptsWasted = 0;
+    /** Wasted attempts on the first repetition (cold portfolio) and
+     *  the last (warm): the adaptive win is the gap between them. */
+    std::uint64_t wastedColdRep = 0;
+    std::uint64_t wastedWarmRep = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t cancelLatencyUs = 0;
+    std::uint64_t serialInline = 0;
+};
+
+int
+runScalingMode(int reps)
+{
+    setVerboseLogging(false);
+
+    std::vector<std::pair<std::string, Machine>> machines;
+    machines.emplace_back("central", makeCentral());
+    machines.emplace_back("clustered2", makeClustered({}, 2));
+
+    unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<unsigned> workerCounts = {1, 2, 4};
+    if (std::find(workerCounts.begin(), workerCounts.end(), hw) ==
+        workerCounts.end())
+        workerCounts.push_back(hw);
+
+    std::vector<ScalingPoint> points;
+    for (unsigned workers : workerCounts) {
+        for (bool adaptive : {false, true}) {
+            ScalingPoint point;
+            point.workers = workers;
+            point.adaptive = adaptive;
+
+            // Each cell gets a cold portfolio so no cell rides the
+            // learning of an earlier one; within the cell, repetitions
+            // warm it — exactly the cross-job reuse being measured.
+            PortfolioStats::global().clear();
+            ThreadPool pool(workers);
+            IiSearchConfig config;
+            config.pool = &pool;
+            config.maxInFlight = static_cast<int>(workers) + 1;
+            SchedulerOptions options;
+            options.adaptiveOrdering = adaptive;
+
+            std::vector<double> repMs;
+            for (int r = 0; r < reps; ++r) {
+                std::uint64_t repWasted = 0;
+                std::uint64_t repAttempts = 0;
+                std::uint64_t repCancelled = 0;
+                std::uint64_t repCancelUs = 0;
+                std::uint64_t repSerialInline = 0;
+                auto start = std::chrono::steady_clock::now();
+                for (const auto &[machineName, machine] : machines) {
+                    for (const KernelSpec &spec : allKernels()) {
+                        Kernel kernel = spec.build();
+                        PipelineResult result =
+                            schedulePipelinedParallel(
+                                kernel, BlockId(0), machine, options,
+                                64, config);
+                        CS_ASSERT(result.success, "scaling suite job ",
+                                  spec.name, "@", machineName,
+                                  " failed");
+                        repAttempts += static_cast<std::uint64_t>(
+                            result.attempts);
+                        repWasted += static_cast<std::uint64_t>(
+                            result.attemptsWasted);
+                        const CounterSet &stats = result.inner.stats;
+                        repCancelled +=
+                            stats.get("ii_search.attempts_cancelled");
+                        repCancelUs +=
+                            stats.get("ii_search.cancel_latency_us");
+                        repSerialInline +=
+                            stats.get("ii_search.serial_inline");
+                    }
+                }
+                auto end = std::chrono::steady_clock::now();
+                repMs.push_back(
+                    std::chrono::duration<double, std::milli>(end -
+                                                              start)
+                        .count());
+                if (r == 0)
+                    point.wastedColdRep = repWasted;
+                point.wastedWarmRep = repWasted;
+                point.attempts = repAttempts;
+                point.attemptsWasted = repWasted;
+                point.cancelled = repCancelled;
+                point.cancelLatencyUs = repCancelUs;
+                point.serialInline = repSerialInline;
+            }
+            point.medianMs = median(repMs);
+            std::cerr << "  scaling " << workers << "w "
+                      << (adaptive ? "adaptive" : "fixed") << ": "
+                      << point.medianMs << " ms, wasted cold "
+                      << point.wastedColdRep << " -> warm "
+                      << point.wastedWarmRep << "\n";
+            points.push_back(point);
+        }
+    }
+    PortfolioStats::global().clear();
+
+    std::cout << "{\n  \"schema\": \"cs-ii-scaling-v1\",\n  \"reps\": "
+              << reps << ",\n  \"hardware_concurrency\": " << hw
+              << ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const ScalingPoint &p = points[i];
+        std::cout << "    {\"workers\":" << p.workers
+                  << ",\"order\":\""
+                  << (p.adaptive ? "adaptive" : "fixed")
+                  << "\",\"median_ms\":" << p.medianMs
+                  << ",\"attempts\":" << p.attempts
+                  << ",\"attempts_wasted\":" << p.attemptsWasted
+                  << ",\"attempts_wasted_cold\":" << p.wastedColdRep
+                  << ",\"attempts_wasted_warm\":" << p.wastedWarmRep
+                  << ",\"attempts_cancelled\":" << p.cancelled
+                  << ",\"cancel_latency_us\":" << p.cancelLatencyUs
+                  << ",\"serial_inline\":" << p.serialInline << "}"
+                  << (i + 1 < points.size() ? ",\n" : "\n");
+    }
+    std::cout << "  ]\n}\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -252,6 +399,7 @@ main(int argc, char **argv)
 {
     bool json = false;
     bool all = false;
+    bool scaling = false;
     int reps = 3;
     std::string filter;
     for (int i = 1; i < argc; ++i) {
@@ -259,21 +407,25 @@ main(int argc, char **argv)
             json = true;
         } else if (std::strcmp(argv[i], "--all") == 0) {
             all = true;
+        } else if (std::strcmp(argv[i], "--scaling") == 0) {
+            scaling = true;
         } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
             reps = std::atoi(argv[++i]);
         } else if (std::strcmp(argv[i], "--filter") == 0 &&
                    i + 1 < argc) {
             filter = argv[++i];
         } else {
-            std::cerr << "usage: bench_modulo_ii --json [--reps N] "
-                         "[--filter SUBSTR] [--all]\n";
+            std::cerr << "usage: bench_modulo_ii --json [--scaling] "
+                         "[--reps N] [--filter SUBSTR] [--all]\n";
             return 2;
         }
     }
     if (!json || reps < 1) {
-        std::cerr << "usage: bench_modulo_ii --json [--reps N] "
-                     "[--filter SUBSTR] [--all]\n";
+        std::cerr << "usage: bench_modulo_ii --json [--scaling] "
+                     "[--reps N] [--filter SUBSTR] [--all]\n";
         return 2;
     }
+    if (scaling)
+        return runScalingMode(reps);
     return runJsonMode(reps, filter, all);
 }

@@ -12,6 +12,12 @@
  * would cap even an infinite-thread speedup at ~1.7x. Parallel
  * speedup is meaningful only up to the box's core count — on a
  * single-core container every thread count measures ~1x.
+ *
+ * `--json-scaling` switches to the pipelined Table-1 suite with the
+ * II worker pool sized to each thread count, fixed vs adaptive
+ * attempt ordering, and emits one JSON document with per-point
+ * attempts-wasted and cancellation-latency accounting (the
+ * "scaling"/"pipeline" section of BENCH_sched.json).
  */
 
 #include <algorithm>
@@ -23,6 +29,7 @@
 
 #include "bench_common.hpp"
 #include "kernels/kernels.hpp"
+#include "pipeline/adaptive.hpp"
 #include "pipeline/pipeline.hpp"
 #include "support/logging.hpp"
 
@@ -68,12 +75,104 @@ runBatchMs(SchedulingPipeline &pipeline,
         .count();
 }
 
+std::vector<ScheduleJob>
+buildPipelinedBatch(
+    const std::vector<std::pair<std::string, Machine>> &machines)
+{
+    std::vector<ScheduleJob> batch;
+    for (const auto &[machineName, machine] : machines) {
+        if (machineName != "central" && machineName != "clustered2")
+            continue; // the cheap suite; clustered4/distributed are
+                      // minutes of wall time per point
+        for (const KernelSpec &spec : allKernels()) {
+            ScheduleJob job;
+            job.label = spec.name + "@" + machineName + "/modulo";
+            job.kernel = spec.build();
+            job.block = BlockId(0);
+            job.machine = &machine;
+            job.pipelined = true;
+            batch.push_back(std::move(job));
+        }
+    }
+    return batch;
+}
+
+/**
+ * End-to-end scaling sweep (--json-scaling): the pipelined Table-1
+ * suite through full SchedulingPipeline instances whose II pool is
+ * sized to each thread count, fixed vs adaptive ordering. This is the
+ * integration-level companion to bench_modulo_ii --scaling: same
+ * curve, but through the job pipeline (cache keying, job fan-out, II
+ * pool sharing) rather than a bare II search. Per point it records
+ * the speculative accounting the multi-core story gates on —
+ * attempts wasted and cancellation latency.
+ */
+int
+runScalingMode()
+{
+    auto machines = bench::evaluationMachines();
+    std::vector<ScheduleJob> batch = buildPipelinedBatch(machines);
+
+    unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<unsigned> threadCounts = {1, 2, 4};
+    if (std::find(threadCounts.begin(), threadCounts.end(), hw) ==
+        threadCounts.end())
+        threadCounts.push_back(hw);
+
+    std::cout << "{\n  \"schema\": \"cs-pipeline-scaling-v1\",\n"
+              << "  \"jobs\": " << batch.size()
+              << ",\n  \"hardware_concurrency\": " << hw
+              << ",\n  \"points\": [\n";
+    bool first = true;
+    for (unsigned threads : threadCounts) {
+        for (bool adaptive : {false, true}) {
+            PortfolioStats::global().clear();
+            std::vector<ScheduleJob> jobs = batch;
+            for (ScheduleJob &job : jobs)
+                job.options.adaptiveOrdering = adaptive;
+            SchedulingPipeline pipeline(
+                {.numThreads = threads,
+                 .cacheCapacity = 2 * jobs.size(),
+                 .iiSearchWorkers = threads});
+            double coldMs = runBatchMs(pipeline, jobs);
+            CounterSet stats = pipeline.statsSnapshot();
+            if (!first)
+                std::cout << ",\n";
+            first = false;
+            std::cout << "    {\"threads\":" << threads
+                      << ",\"order\":\""
+                      << (adaptive ? "adaptive" : "fixed")
+                      << "\",\"cold_ms\":" << TextTable::num(coldMs, 2)
+                      << ",\"jobs_per_sec\":"
+                      << TextTable::num(
+                             1000.0 * static_cast<double>(jobs.size()) /
+                                 coldMs,
+                             2)
+                      << ",\"attempts_launched\":"
+                      << stats.get("ii_search.attempts_launched")
+                      << ",\"attempts_wasted\":"
+                      << stats.get("ii_search.attempts_wasted")
+                      << ",\"attempts_cancelled\":"
+                      << stats.get("ii_search.attempts_cancelled")
+                      << ",\"cancel_latency_us\":"
+                      << stats.get("ii_search.cancel_latency_us")
+                      << ",\"serial_inline\":"
+                      << stats.get("ii_search.serial_inline") << "}";
+        }
+    }
+    std::cout << "\n  ]\n}\n";
+    PortfolioStats::global().clear();
+    return 0;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerboseLogging(false);
+    if (argc > 1 && std::string(argv[1]) == "--json-scaling")
+        return runScalingMode();
 
     auto machines = bench::evaluationMachines();
     std::vector<ScheduleJob> batch = buildBatch(machines);

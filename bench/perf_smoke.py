@@ -33,7 +33,9 @@ search regression even when wall time hides it in noise.
 Sections the committed baseline does not have yet (e.g. a snapshot
 taken before a stats field existed) are skipped with a notice rather
 than failing: the check gates regressions against what was measured,
-not the shape of the file.
+not the shape of the file. The "scaling" section (multi-core curves,
+fixed vs adaptive attempt ordering) is recorded but never gated — its
+wall times only mean something at the capturing machine's core count.
 
 Usage: perf_smoke.py <bench_sched_perf-binary> <bench_modulo_ii-binary>
        <BENCH_sched.json>
@@ -131,6 +133,23 @@ def main():
         .get("current", {})
         .get("entries", [])
     }
+
+    # The "scaling" section records multi-core curves (fixed vs
+    # adaptive ordering across II worker counts) but is deliberately
+    # not gated: wall-time speedup only means something at the
+    # capturing machine's core count, and the adaptive win is already
+    # gated indirectly — the serial entries below run with adaptive
+    # ordering enabled (it is the default) and must not regress.
+    if "scaling" in doc:
+        hw = (
+            doc["scaling"]
+            .get("ii_search", {})
+            .get("hardware_concurrency", "?")
+        )
+        print(
+            f"scaling section present (captured at hw={hw}); "
+            f"recorded, not gated"
+        )
 
     failures = []
     sums = [0.0, 0.0]  # [committed, fresh] over the gated entries

@@ -26,14 +26,15 @@ reps=${REPS:-5}
 bench="$build_dir/bench/bench_sched_perf"
 bench_ii="$build_dir/bench/bench_modulo_ii"
 bench_serve="$build_dir/bench/bench_serve_latency"
+bench_tput="$build_dir/bench/bench_pipeline_throughput"
 out="$repo_root/BENCH_sched.json"
 
-for binary in "$bench" "$bench_ii" "$bench_serve"; do
+for binary in "$bench" "$bench_ii" "$bench_serve" "$bench_tput"; do
     if [ ! -x "$binary" ]; then
         echo "run_perf.sh: $binary not found; build the bench targets" \
              "first (cmake --build $build_dir --target" \
              "bench_sched_perf bench_modulo_ii" \
-             "bench_serve_latency)" >&2
+             "bench_serve_latency bench_pipeline_throughput)" >&2
         exit 1
     fi
 done
@@ -41,23 +42,32 @@ done
 tmp=$(mktemp)
 tmp_ii=$(mktemp)
 tmp_serve=$(mktemp)
-trap 'rm -f "$tmp" "$tmp_ii" "$tmp_serve"' EXIT
+tmp_scaling=$(mktemp)
+tmp_tput=$(mktemp)
+trap 'rm -f "$tmp" "$tmp_ii" "$tmp_serve" "$tmp_scaling" "$tmp_tput"' EXIT
 "$bench" --json --reps "$reps" > "$tmp"
 "$bench_ii" --json --reps "$reps" > "$tmp_ii"
 "$bench_serve" --json --reps "$reps" > "$tmp_serve"
+"$bench_ii" --json --scaling --reps "$reps" > "$tmp_scaling"
+"$bench_tput" --json-scaling > "$tmp_tput"
 
-python3 - "$tmp" "$tmp_ii" "$tmp_serve" "$out" <<'EOF'
+python3 - "$tmp" "$tmp_ii" "$tmp_serve" "$tmp_scaling" "$tmp_tput" "$out" <<'EOF'
 import json
 import statistics
 import sys
 
-capture_path, capture_ii_path, capture_serve_path, out_path = sys.argv[1:5]
+(capture_path, capture_ii_path, capture_serve_path, capture_scaling_path,
+ capture_tput_path, out_path) = sys.argv[1:7]
 with open(capture_path) as f:
     capture = json.load(f)
 with open(capture_ii_path) as f:
     capture_ii = json.load(f)
 with open(capture_serve_path) as f:
     capture_serve = json.load(f)
+with open(capture_scaling_path) as f:
+    capture_scaling = json.load(f)
+with open(capture_tput_path) as f:
+    capture_tput = json.load(f)
 
 try:
     with open(out_path) as f:
@@ -78,6 +88,14 @@ serve_latency = doc.setdefault("serve_latency", {})
 if "baseline" not in serve_latency:
     serve_latency["baseline"] = capture_serve
 serve_latency["current"] = capture_serve
+
+# Scaling curves (II search + full pipeline) are recorded, not gated:
+# wall-time speedup is only meaningful at the capturing machine's core
+# count (stored as hardware_concurrency in each capture), so the
+# snapshot documents the curve rather than enforcing it.
+scaling = doc.setdefault("scaling", {})
+scaling["ii_search"] = capture_scaling
+scaling["pipeline"] = capture_tput
 
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=1)
@@ -108,4 +126,18 @@ if "cold" in phases and "warm" in phases:
     print(f"serve_latency: cold p50 {phases['cold']['p50_ms']:.2f} ms / "
           f"warm p50 {phases['warm']['p50_ms']:.2f} ms "
           f"({phases['cold']['requests']} open-loop requests per phase)")
+
+by_point = {(p["workers"], p["order"]): p
+            for p in capture_scaling["points"]}
+for workers in sorted({w for (w, _) in by_point}):
+    fixed = by_point.get((workers, "fixed"))
+    adaptive = by_point.get((workers, "adaptive"))
+    if fixed and adaptive:
+        print(f"scaling {workers}w: fixed {fixed['median_ms']:.1f} ms / "
+              f"{fixed['attempts_wasted']} wasted -> adaptive "
+              f"{adaptive['median_ms']:.1f} ms / "
+              f"{adaptive['attempts_wasted']} wasted "
+              f"(warm {adaptive['attempts_wasted_warm']})")
+print(f"scaling captured at hardware_concurrency="
+      f"{capture_scaling['hardware_concurrency']}")
 EOF

@@ -17,7 +17,9 @@
  *   --plain         plain block schedules instead of software pipelining
  *   --ii-workers N  dedicated workers for the speculative parallel II
  *                   search of pipelined jobs (default 0 = serial sweep;
- *                   schedules are byte-identical either way)
+ *                   schedules are byte-identical either way); "auto"
+ *                   sizes to the hardware — one worker per hardware
+ *                   thread on multi-core hosts, serial on one core
  *   --jobs FILE     schedule the jobset description in FILE (the text
  *                   format of serve/proto.hpp) instead of the built-in
  *                   Table-1 x 4-machine matrix; the same files drive
@@ -110,8 +112,17 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--plain") {
             args.pipelined = false;
         } else if (arg == "--ii-workers") {
-            args.iiWorkers =
-                static_cast<unsigned>(intValue("--ii-workers"));
+            if (!inlineValue.empty() ? inlineValue == "auto"
+                                     : (i + 1 < argc &&
+                                        std::string(argv[i + 1]) ==
+                                            "auto")) {
+                if (inlineValue.empty())
+                    ++i;
+                args.iiWorkers = cs::PipelineConfig::kAutoIiWorkers;
+            } else {
+                args.iiWorkers =
+                    static_cast<unsigned>(intValue("--ii-workers"));
+            }
         } else if (arg == "--trace") {
             args.traceFile = strValue("--trace", inlineValue);
         } else if (arg == "--metrics") {
@@ -323,7 +334,8 @@ main(int argc, char **argv)
         "backjump_levels_skipped",
     };
     CounterSet iiStats;
-    iiStats.bump("workers", args.iiWorkers);
+    iiStats.bump("workers",
+                 cs::PipelineConfig::resolvedIiWorkers(args.iiWorkers));
     for (const char *name : {"attempts_launched", "attempts_wasted",
                              "attempts_cancelled", "cancel_latency_us"}) {
         iiStats.bump(name,

@@ -27,9 +27,11 @@
 #include <vector>
 
 #include "core/reject.hpp"
+#include "core/sched_context.hpp"
 #include "kernels/kernels.hpp"
 #include "machine/builders.hpp"
 #include "machine/opclass.hpp"
+#include "pipeline/adaptive.hpp"
 #include "pipeline/job.hpp"
 #include "support/logging.hpp"
 #include "support/table.hpp"
@@ -236,6 +238,74 @@ main(int argc, char **argv)
     }
     if (totalRejects == 0)
         std::cout << "  (none — every placement held first try)\n";
+
+    // The adaptive II search's decisions for this block (pipelined
+    // runs): the classifier features that key the portfolio, the mode
+    // the planner chose, the (ii, variant) attempt order actually
+    // launched — reconstructed from the ii_attempt trace spans — and
+    // any Luby restarts. Nothing here is freshly instrumented: the
+    // features recompute from the public context, the rest reads the
+    // spans and ii_search.* / restart counters the search already
+    // emits.
+    if (args.pipelined) {
+        std::cout << "\nadaptive II search:\n";
+        BlockSchedulingContext context(job.kernel, job.block, machine);
+        BlockFeatures features = classifyBlock(context);
+        std::cout << "  block shape: " << features.numOps
+                  << " ops, max fan-out " << features.maxFanOut
+                  << ", ResMII " << features.resMii << ", RecMII "
+                  << features.recMii << ", shape key 0x" << std::hex
+                  << features.shapeKey() << std::dec << "\n  class mix:";
+        for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+            if (features.classCounts[c] > 0)
+                std::cout << " "
+                          << opClassName(static_cast<OpClass>(c)) << "="
+                          << features.classCounts[c];
+        }
+        std::cout << "\n";
+        if (stats.get("ii_search.serial_inline") > 0) {
+            std::cout << "  mode: serial-inline (portfolio says the "
+                         "first attempt wins this shape)\n";
+        } else if (stats.get("ii_search.adaptive") > 0) {
+            std::cout << "  mode: speculative, window "
+                      << stats.get("ii_search.window") << "\n";
+        } else {
+            std::cout << "  mode: serial sweep (no II worker pool)\n";
+        }
+        std::cout << "  attempt launch order:";
+        const std::uint16_t iiAttemptName =
+            trace::internName("ii_attempt");
+        int printed = 0;
+        for (const trace::Event &e : events) {
+            if (e.kind != trace::EventKind::Span ||
+                e.name != iiAttemptName || e.argCount < 2)
+                continue;
+            std::cout << " (ii " << e.args[0].second << ", v"
+                      << e.args[1].second << ")";
+            if (++printed == 12 && result.iiAttempts > 12) {
+                std::cout << " ... +"
+                          << (result.iiAttempts - printed) << " more";
+                break;
+            }
+        }
+        if (printed == 0)
+            std::cout << " (cache hit — no attempts ran)";
+        std::cout << "\n";
+        // ii_search.restarts aggregates every attempt of the search
+        // and already includes the winner's own "restarts" counter.
+        std::uint64_t restarts = stats.get("ii_search.restarts") > 0
+                                     ? stats.get("ii_search.restarts")
+                                     : stats.get("restarts");
+        std::uint64_t restartRejects =
+            stats.get("reject.restart_triggered");
+        if (restarts > 0 || restartRejects > 0) {
+            std::cout << "  restarts: " << restarts
+                      << " (Luby node-limit unwinds: " << restartRejects
+                      << ")\n";
+        } else {
+            std::cout << "  restarts: none\n";
+        }
+    }
 
     // Copies: which register-file pair each one bridges and why it
     // exists (the consumption it feeds).

@@ -15,7 +15,9 @@
  *   --cache-dir DIR   persistent cache directory; restarts start warm
  *   --cache-shards N  shard files for the persistent tier (default 8)
  *   --max-inflight N  admission bound before RejectedOverload (default 64)
- *   --ii-workers N    dedicated speculative II-search workers (default 0)
+ *   --ii-workers N    dedicated speculative II-search workers
+ *                     (default 0 = serial sweep; "auto" sizes to the
+ *                     hardware, serial on a single core)
  */
 
 #include <atomic>
@@ -83,8 +85,11 @@ main(int argc, char **argv)
             config.maxInFlight = static_cast<std::size_t>(
                 std::atoi(value("--max-inflight").c_str()));
         } else if (arg == "--ii-workers") {
-            config.iiSearchWorkers = static_cast<unsigned>(
-                std::atoi(value("--ii-workers").c_str()));
+            std::string v = value("--ii-workers");
+            config.iiSearchWorkers =
+                v == "auto" ? PipelineConfig::kAutoIiWorkers
+                            : static_cast<unsigned>(
+                                  std::atoi(v.c_str()));
         } else if (arg == "--help" || arg == "-h") {
             usage(std::cout);
             return 0;

@@ -308,7 +308,10 @@ BlockScheduler::run()
     // core/nogood.hpp), so a seeded entry can only convert a search
     // that would fail anyway into an immediate failure — schedules
     // are unaffected on any II, variant, or thread.
-    if (options_.noGoodCache && options_.crossAttemptNoGoods) {
+    // (Restart mode seeds too even with cross-attempt sharing off:
+    // retained no-goods are what make the restarted run progress.)
+    if (options_.noGoodCache &&
+        (options_.crossAttemptNoGoods || options_.restartOnExplosion)) {
         std::vector<std::uint64_t> seed;
         ctx_->noGoods().snapshotInto(seed);
         for (std::uint64_t sig : seed)
@@ -326,6 +329,9 @@ BlockScheduler::run()
             if (aborted_) {
                 failure_ = "cancelled";
                 result.cancelled = true;
+            } else if (restartTriggered_) {
+                failure_ = "restart: dfs node limit " +
+                           std::to_string(restartNodeLimit_);
             } else if (failure_.empty()) {
                 failure_ = "could not schedule operation " +
                            kernel_.operation(op).name;
@@ -358,7 +364,8 @@ BlockScheduler::run()
     // Publish this run's learned failures for the next attempt. Valid
     // even when cancelled: entries recorded before the abort latched
     // are genuine (abort-induced failures are never recorded).
-    if (options_.noGoodCache && options_.crossAttemptNoGoods &&
+    if (options_.noGoodCache &&
+        (options_.crossAttemptNoGoods || options_.restartOnExplosion) &&
         !learnedNoGoods_.empty()) {
         ctx_->noGoods().publish(learnedNoGoods_);
         learnedNoGoods_.clear();

@@ -104,6 +104,38 @@ struct SchedulerOptions
      *  speculative parallel II workers through the shared context. */
     bool crossAttemptNoGoods = true;
     /// @}
+
+    /**
+     * @name Adaptive-search switches
+     * The planner/classifier layer over the II search
+     * (pipeline/adaptive.hpp) and CDCL-style restarts. All three are
+     * part of the cache key (pipeline/job.cpp hashOptions) so warm
+     * hits never cross toggle configurations.
+     */
+    /// @{
+    /**
+     * Let the speculative parallel II search pick launch order,
+     * speculation window, and serial-vs-speculative per block from
+     * the reject-reason mix and the cross-job portfolio. Exact: the
+     * commit rule still selects the serial sweep's winner, so
+     * listings are byte-identical either way (DESIGN.md section 5g).
+     */
+    bool adaptiveOrdering = true;
+    /**
+     * CDCL-style restarts: when one attempt's permutation-DFS node
+     * count crosses a Luby-sequence threshold
+     * (lubySequence(restart#) * restartBaseNodes), the attempt
+     * unwinds and restarts with its learned no-goods retained. NOT
+     * exact — the restarted run spends its budgets on territory the
+     * exploded run never reached, so it may find a different (valid)
+     * schedule; hence default off, and restart-mode results are
+     * pinned by verification + II >= MII rather than listing
+     * equality (tests/test_adaptive.cpp).
+     */
+    bool restartOnExplosion = false;
+    /** Base DFS-node threshold the Luby sequence multiplies. */
+    std::uint64_t restartBaseNodes = 1u << 14;
+    /// @}
 };
 
 /** Outcome of scheduling one block. */
@@ -172,6 +204,27 @@ class BlockScheduler
     setExternalAbortFlag(const std::atomic<bool> *flag)
     {
         externalAbortFlag_ = flag;
+    }
+
+    /**
+     * Arm the CDCL-style restart trigger: once the run's cumulative
+     * permutation-DFS node count reaches @p limit, the run unwinds
+     * exactly like a cooperative abort (budgets zeroed at the
+     * checkpoints it already pays for) but reports via
+     * restartTriggered() instead of cancelled, and publishes its
+     * learned no-goods so the caller can rerun the attempt with the
+     * next Luby threshold. 0 (the default) disarms.
+     */
+    void setRestartNodeLimit(std::uint64_t limit)
+    {
+        restartNodeLimit_ = limit;
+    }
+
+    /** The last run() unwound on the restart node limit (and not on
+     *  an abort flag — aborts win; a cancelled run never restarts). */
+    bool restartTriggered() const
+    {
+        return restartTriggered_ && !aborted_;
     }
 
     /** Run to completion; the result owns the kernel and schedule. */
@@ -429,10 +482,12 @@ class BlockScheduler
     /** Current cap on attemptsThisOp_ (tightened inside copies). */
     std::uint64_t attemptCap_ = 0;
 
-    /** True once the armed abort flag has been observed raised. */
+    /** True once the armed abort flag has been observed raised (or
+     *  the restart node limit has been crossed; both unwind the same
+     *  way — the caller distinguishes via restartTriggered()). */
     bool abortRequested()
     {
-        if (aborted_)
+        if (aborted_ || restartTriggered_)
             return true;
         if ((abortFlag_ != nullptr &&
              abortFlag_->load(std::memory_order_relaxed)) ||
@@ -443,8 +498,15 @@ class BlockScheduler
             // unwind rejects afterwards is a casualty of this abort,
             // not a scheduling fact worth counting per-site.
             noteReject(RejectReason::Aborted);
+        } else if (restartNodeLimit_ != 0 &&
+                   hot_.dfsNodes >= restartNodeLimit_) {
+            // Luby restart trigger: latch and unwind like an abort.
+            // Checked here — the per-DFS-step checkpoint the search
+            // already pays for — so arming it costs one compare.
+            restartTriggered_ = true;
+            noteReject(RejectReason::RestartTriggered);
         }
-        return aborted_;
+        return aborted_ || restartTriggered_;
     }
     /** External cancellation request (null when disarmed). */
     const std::atomic<bool> *abortFlag_ = nullptr;
@@ -453,6 +515,10 @@ class BlockScheduler
     const std::atomic<bool> *externalAbortFlag_ = nullptr;
     /** Latched locally so unwinding never re-reads the atomic. */
     bool aborted_ = false;
+    /** Restart node limit (0 = disarmed); see setRestartNodeLimit. */
+    std::uint64_t restartNodeLimit_ = 0;
+    /** Latched when hot_.dfsNodes crossed restartNodeLimit_. */
+    bool restartTriggered_ = false;
 
     Kernel kernel_;
     BlockId block_;

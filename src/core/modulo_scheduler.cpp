@@ -26,6 +26,53 @@ iiRetryVariants(const SchedulerOptions &options)
     return variants;
 }
 
+std::uint64_t
+lubySequence(std::uint64_t i)
+{
+    // Luby, Sinclair, Zuckerman (1993): u_i = 2^(k-1) when
+    // i == 2^k - 1, else u_(i - (2^k - 1)) for the k with
+    // 2^k - 1 <= i < 2^(k+1) - 1.
+    CS_ASSERT(i >= 1, "Luby sequence is 1-based");
+    for (;;) {
+        std::uint64_t k = 1;
+        while (((std::uint64_t{1} << (k + 1)) - 1) <= i)
+            ++k;
+        if (i == (std::uint64_t{1} << k) - 1)
+            return std::uint64_t{1} << (k - 1);
+        i -= (std::uint64_t{1} << k) - 1; // recurse into the prefix
+    }
+}
+
+ScheduleResult
+runAttemptWithRestarts(const BlockSchedulingContext &context,
+                       const SchedulerOptions &variant, int ii,
+                       const std::atomic<bool> *abortFlag,
+                       const std::atomic<bool> *externalAbortFlag,
+                       std::uint64_t *restartsOut)
+{
+    std::uint64_t restarts = 0;
+    for (std::uint64_t round = 1;; ++round) {
+        BlockScheduler scheduler(context, variant, ii);
+        scheduler.setAbortFlag(abortFlag);
+        scheduler.setExternalAbortFlag(externalAbortFlag);
+        if (variant.restartOnExplosion) {
+            scheduler.setRestartNodeLimit(
+                lubySequence(round) *
+                std::max<std::uint64_t>(variant.restartBaseNodes, 1));
+        }
+        ScheduleResult result = scheduler.run();
+        if (result.cancelled || !scheduler.restartTriggered()) {
+            if (restarts != 0) {
+                result.stats.bump("restarts", restarts);
+                if (restartsOut != nullptr)
+                    *restartsOut += restarts;
+            }
+            return result;
+        }
+        ++restarts;
+    }
+}
+
 PipelineResult
 schedulePipelined(const Kernel &kernel, BlockId block,
                   const Machine &machine,
@@ -44,9 +91,8 @@ schedulePipelined(const Kernel &kernel, BlockId block,
             const SchedulerOptions &variant = variants[v];
             CS_TRACE_SPAN2("ii_attempt", "ii", ii, "variant", v);
             ++result.attempts;
-            BlockScheduler scheduler(context, variant, ii);
-            scheduler.setExternalAbortFlag(abort);
-            ScheduleResult attempt = scheduler.run();
+            ScheduleResult attempt = runAttemptWithRestarts(
+                context, variant, ii, nullptr, abort);
             if (attempt.success) {
                 result.success = true;
                 result.ii = ii;

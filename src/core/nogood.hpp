@@ -28,6 +28,7 @@
 #ifndef CS_CORE_NOGOOD_HPP
 #define CS_CORE_NOGOOD_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <cstddef>
 #include <mutex>
@@ -72,11 +73,19 @@ class NoGoodTable
             if (slots_.size() < kMaxSlots) {
                 grow();
             } else {
+                // At the cap: overwrite a full home slot, but never
+                // consume an empty one. Keeping the empty-slot supply
+                // from shrinking is what guarantees every probe loop
+                // above and below still terminates (a quarter of the
+                // slots stay zero forever); the price is that this
+                // insert may be forgotten on the spot — lossy, never
+                // wrong.
                 std::size_t home = sig & (slots_.size() - 1);
                 if (slots_[home] == sig)
                     return false;
                 ++evictions_;
-                slots_[home] = sig;
+                if (slots_[home] != 0)
+                    slots_[home] = sig;
                 return true;
             }
         }
@@ -140,8 +149,17 @@ class NoGoodTable
  * (see file comment), so sharing them across IIs, retry variants and
  * speculative parallel workers never changes any schedule — a hit
  * replaces a search that would have failed with an immediate failure.
- * Read-mostly: one mutex-guarded copy per run boundary, nothing on
- * the search hot path.
+ *
+ * Readers are lock-free: published signatures live in a preallocated
+ * append-only slab whose filled prefix is advertised by an atomic
+ * count. Writers serialize on a mutex (publishes are rare — one per
+ * run boundary), fill slab slots past the current count, then
+ * release-store the new count; a reader's acquire-load of the count
+ * therefore makes every slot below it visible and immutable. Before
+ * this scheme, every speculative worker's snapshot took the same
+ * mutex as every other worker's publish, and the exchange was the
+ * one shared line all II workers contended on (the sublinearity the
+ * scaling benches chase — see DESIGN.md section 5g).
  */
 class NoGoodExchange
 {
@@ -152,34 +170,55 @@ class NoGoodExchange
     void
     publish(const std::vector<std::uint64_t> &sigs)
     {
+        if (sigs.empty())
+            return;
         std::lock_guard<std::mutex> lock(mutex_);
+        // The slab is allocated once, at full capacity, on the first
+        // publish: concurrent readers index into it without holding
+        // the mutex, so it can never reallocate. Lazy so the many
+        // contexts that never exchange a no-good pay nothing.
+        if (slab_.empty())
+            slab_.resize(kCapacity);
+        std::size_t n = count_.load(std::memory_order_relaxed);
         for (std::uint64_t sig : sigs) {
-            if (ordered_.size() >= kCapacity)
-                return;
+            if (n >= kCapacity)
+                break;
             if (dedup_.insert(sig))
-                ordered_.push_back(sig);
+                slab_[n++] = sig;
         }
+        count_.store(n, std::memory_order_release);
     }
 
-    /** Copy the published signatures into @p out (replacing it). */
+    /** Copy the published signatures into @p out (replacing it).
+     *  Lock-free: never blocks on a concurrent publish. */
     void
     snapshotInto(std::vector<std::uint64_t> &out) const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        out = ordered_;
+        std::size_t n = count_.load(std::memory_order_acquire);
+        if (n == 0) {
+            // Do not touch slab_ here: its one-time allocation may be
+            // racing in publish(); a nonzero count happens-after it.
+            out.clear();
+            return;
+        }
+        out.assign(slab_.begin(),
+                   slab_.begin() + static_cast<std::ptrdiff_t>(n));
     }
 
     std::size_t
     size() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        return ordered_.size();
+        return count_.load(std::memory_order_acquire);
     }
 
   private:
-    mutable std::mutex mutex_;
+    /** Serializes writers only; readers never take it. */
+    std::mutex mutex_;
+    /** Guarded by mutex_ (publish-side dedup). */
     NoGoodTable dedup_;
-    std::vector<std::uint64_t> ordered_;
+    /** Append-only; slots below count_ are immutable once visible. */
+    std::vector<std::uint64_t> slab_;
+    std::atomic<std::size_t> count_{0};
 };
 
 } // namespace cs

@@ -170,15 +170,18 @@ BlockScheduler::noGoodHit(std::uint64_t sig)
 void
 BlockScheduler::noteNoGood(std::uint64_t sig)
 {
-    if (aborted_) {
-        // The failure was (or may have been) induced by the abort
-        // zeroing the budget; that is not a property of the inputs,
-        // so it must not be learned.
+    if (aborted_ || restartTriggered_) {
+        // The failure was (or may have been) induced by the abort (or
+        // the restart trigger) zeroing the budget; that is not a
+        // property of the inputs, so it must not be learned.
         return;
     }
     if (noGoods_.insert(sig)) {
         ++hot_.nogoodInserts;
-        if (options_.crossAttemptNoGoods &&
+        // Restart retention rides the same exchange as cross-attempt
+        // sharing: a restarted run must re-see this run's failures.
+        if ((options_.crossAttemptNoGoods ||
+             options_.restartOnExplosion) &&
             learnedNoGoods_.size() < NoGoodExchange::kCapacity) {
             learnedNoGoods_.push_back(sig);
         }

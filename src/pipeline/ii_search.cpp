@@ -7,10 +7,28 @@
 #include <mutex>
 
 #include "core/sched_context.hpp"
+#include "pipeline/adaptive.hpp"
 #include "support/logging.hpp"
 #include "support/trace.hpp"
 
 namespace cs {
+
+namespace {
+
+/** Pull the closed reject-reason counters out of one attempt's stats
+ *  (the planner's per-attempt feedback signal). */
+std::array<std::uint64_t, kNumRejectReasons>
+rejectMixOf(const CounterSet &stats)
+{
+    std::array<std::uint64_t, kNumRejectReasons> mix{};
+    for (std::size_t i = 0; i < kNumRejectReasons; ++i) {
+        mix[i] = stats.get(std::string("reject.") +
+                           kRejectReasonNames[i]);
+    }
+    return mix;
+}
+
+} // namespace
 
 PipelineResult
 schedulePipelinedParallel(const Kernel &kernel, BlockId block,
@@ -41,10 +59,92 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
                      : static_cast<int>(config.pool->size());
     window = std::max(window, 1);
 
+    // The adaptive layer (pipeline/adaptive.hpp): classify the block,
+    // consult the cross-job portfolio, and let the planner choose the
+    // launch order and speculation depth. With adaptiveOrdering off
+    // the planner receives no history and no feedback, which makes
+    // nextLaunch() exactly the fixed ascending sweep — one controller
+    // covers both modes. Either way the commit rule below ("smallest
+    // successful k") returns the serial winner byte-for-byte.
+    const bool adaptive = options.adaptiveOrdering;
+    std::uint64_t shapeKey = 0;
+    PortfolioProfile profile;
+    if (adaptive) {
+        shapeKey = classifyBlock(context).shapeKey();
+        profile = PortfolioStats::global().lookup(shapeKey);
+    }
+    AttemptPlanner planner(total, num_variants, profile);
+    AttemptPlanner::Plan plan;
+    plan.window = window;
+    if (adaptive)
+        plan = planner.plan(window);
+
+    auto externally_aborted = [&config] {
+        return config.abort != nullptr &&
+               config.abort->load(std::memory_order_relaxed);
+    };
+
+    std::uint64_t num_restarts = 0;
+
+    if (plan.serialInline) {
+        // The classifier says speculation cannot pay (history: the
+        // first attempt always wins): run the sweep inline over the
+        // already-built context and pay zero pool traffic. If history
+        // misleads, this is still the full serial sweep — correct,
+        // just not parallel.
+        int k = 0;
+        for (; k < total && !externally_aborted(); ++k) {
+            const int ii = mii + k / num_variants;
+            CS_TRACE_SPAN2("ii_attempt", "ii", ii, "variant",
+                           k % num_variants);
+            ScheduleResult attempt = runAttemptWithRestarts(
+                context, variants[k % num_variants], ii, nullptr,
+                config.abort, &num_restarts);
+            ++result.attempts;
+            bool cancelled = attempt.cancelled;
+            planner.onAttemptDone(k, attempt.success,
+                                  rejectMixOf(attempt.stats),
+                                  attempt.stats.get("dfs_nodes"));
+            if (attempt.success) {
+                result.success = true;
+                result.ii = ii;
+                result.inner = std::move(attempt);
+                break;
+            }
+            if (cancelled) {
+                result.inner = std::move(attempt);
+                break;
+            }
+        }
+        if (!result.success && !result.inner.cancelled) {
+            if (externally_aborted()) {
+                result.inner.failure = "cancelled";
+                result.inner.cancelled = true;
+            } else {
+                result.inner.failure = "no feasible II within MII + " +
+                                       std::to_string(maxIiSlack);
+            }
+        }
+        if (!result.inner.cancelled) {
+            PortfolioStats::global().record(
+                shapeKey, result.success ? k : -1, num_variants,
+                planner.rejectTotals(), planner.dfsNodeTotal());
+        }
+        CounterSet &stats = result.inner.stats;
+        stats.bump("ii_search.attempts_launched",
+                   static_cast<std::uint64_t>(result.attempts));
+        stats.bump("ii_search.adaptive", 1);
+        stats.bump("ii_search.serial_inline", 1);
+        if (num_restarts > 0)
+            stats.bump("ii_search.restarts", num_restarts);
+        return result;
+    }
+
     struct Attempt
     {
         std::atomic<bool> abort{false};
         ScheduleResult result;
+        bool launched = false;
         bool done = false;
         /** Flag raised (under the controller mutex); timestamp of it. */
         bool abortRaised = false;
@@ -56,7 +156,7 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
     std::mutex mutex;
     std::condition_variable done_cv;
     int best = total; ///< smallest successful attempt index so far
-    int launched = 0;
+    int launched_count = 0;
     int in_flight = 0;
     std::uint64_t num_cancelled = 0;
     std::uint64_t cancel_latency_us = 0;
@@ -67,15 +167,12 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
         // (ii, variant), the cancelled ones ending early.
         CS_TRACE_SPAN2("ii_attempt", "ii", mii + k / num_variants,
                        "variant", k % num_variants);
-        BlockScheduler scheduler(context,
-                                 variants[k % num_variants],
-                                 mii + k / num_variants);
-        scheduler.setAbortFlag(&attempts[static_cast<std::size_t>(k)]
-                                    .abort);
-        // Attempts poll the caller's flag directly: an external abort
-        // needs no per-attempt flag propagation from the controller.
-        scheduler.setExternalAbortFlag(config.abort);
-        ScheduleResult attempt_result = scheduler.run();
+        std::uint64_t attempt_restarts = 0;
+        ScheduleResult attempt_result = runAttemptWithRestarts(
+            context, variants[k % num_variants],
+            mii + k / num_variants,
+            &attempts[static_cast<std::size_t>(k)].abort, config.abort,
+            &attempt_restarts);
         Clock::time_point finished = Clock::now();
 
         std::lock_guard<std::mutex> lock(mutex);
@@ -83,6 +180,7 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
         a.result = std::move(attempt_result);
         a.done = true;
         --in_flight;
+        num_restarts += attempt_restarts;
         if (a.abortRaised && a.result.cancelled) {
             ++num_cancelled;
             std::uint64_t latency_us = static_cast<std::uint64_t>(
@@ -93,15 +191,25 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
             CS_TRACE_INSTANT2("ii_cancel", "attempt", k, "latency_us",
                               latency_us);
         }
+        if (adaptive && !a.result.cancelled) {
+            // Reject-driven reordering: the attempt's observed reject
+            // mix shifts which retry variant launches first at the
+            // IIs still ahead. Launch order only — commitment stays
+            // with the smallest successful index.
+            planner.onAttemptDone(k, a.result.success,
+                                  rejectMixOf(a.result.stats),
+                                  a.result.stats.get("dfs_nodes"));
+        }
         if (a.result.success && k < best) {
             best = k;
             // Abort the speculation past the new best. best only
             // decreases and flags are only raised for indices above
             // it, so the eventual winner is never aborted.
             Clock::time_point now = Clock::now();
-            for (int j = best + 1; j < launched; ++j) {
+            for (int j = best + 1; j < total; ++j) {
                 Attempt &loser = attempts[static_cast<std::size_t>(j)];
-                if (!loser.done && !loser.abortRaised) {
+                if (loser.launched && !loser.done &&
+                    !loser.abortRaised) {
                     loser.abortRaised = true;
                     loser.abortedAt = now;
                     loser.abort.store(true, std::memory_order_relaxed);
@@ -111,18 +219,15 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
         done_cv.notify_all();
     };
 
-    auto externally_aborted = [&config] {
-        return config.abort != nullptr &&
-               config.abort->load(std::memory_order_relaxed);
-    };
-
     {
         std::unique_lock<std::mutex> lock(mutex);
         while (true) {
-            while (in_flight < window &&
-                   launched < std::min(total, best) &&
-                   !externally_aborted()) {
-                int k = launched++;
+            while (in_flight < plan.window && !externally_aborted()) {
+                int k = planner.nextLaunch(std::min(total, best));
+                if (k < 0)
+                    break;
+                attempts[static_cast<std::size_t>(k)].launched = true;
+                ++launched_count;
                 ++in_flight;
                 bool accepted =
                     config.pool->submit([&run_attempt, k] {
@@ -131,8 +236,9 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
                 CS_ASSERT(accepted,
                           "II-search pool rejected an attempt");
             }
-            if (in_flight == 0 && (launched >= std::min(total, best) ||
-                                   externally_aborted())) {
+            if (in_flight == 0 &&
+                (!planner.hasLaunchable(std::min(total, best)) ||
+                 externally_aborted())) {
                 break;
             }
             done_cv.wait(lock);
@@ -141,12 +247,12 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
     // All attempts are done: the pool holds no reference to local
     // state any more, and no further synchronization is needed.
 
-    result.attempts = launched;
+    result.attempts = launched_count;
     if (best < total) {
         Attempt &winner = attempts[static_cast<std::size_t>(best)];
         result.success = true;
         result.ii = mii + best / num_variants;
-        result.attemptsWasted = launched - (best + 1);
+        result.attemptsWasted = launched_count - (best + 1);
         result.inner = std::move(winner.result);
     } else if (externally_aborted()) {
         result.inner.failure = "cancelled";
@@ -156,9 +262,15 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
                                std::to_string(maxIiSlack);
     }
 
+    if (adaptive && !result.inner.cancelled) {
+        PortfolioStats::global().record(
+            shapeKey, best < total ? best : -1, num_variants,
+            planner.rejectTotals(), planner.dfsNodeTotal());
+    }
+
     CounterSet &stats = result.inner.stats;
     stats.bump("ii_search.attempts_launched",
-               static_cast<std::uint64_t>(launched));
+               static_cast<std::uint64_t>(launched_count));
     if (result.attemptsWasted > 0) {
         stats.bump("ii_search.attempts_wasted",
                    static_cast<std::uint64_t>(result.attemptsWasted));
@@ -167,6 +279,13 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
         stats.bump("ii_search.attempts_cancelled", num_cancelled);
         stats.bump("ii_search.cancel_latency_us", cancel_latency_us);
     }
+    if (adaptive) {
+        stats.bump("ii_search.adaptive", 1);
+        stats.bump("ii_search.window",
+                   static_cast<std::uint64_t>(plan.window));
+    }
+    if (num_restarts > 0)
+        stats.bump("ii_search.restarts", num_restarts);
     return result;
 }
 

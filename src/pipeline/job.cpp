@@ -159,6 +159,9 @@ hashOptions(const SchedulerOptions &options)
     h.boolean(options.noGoodCache);
     h.boolean(options.conflictBackjumping);
     h.boolean(options.crossAttemptNoGoods);
+    h.boolean(options.adaptiveOrdering);
+    h.boolean(options.restartOnExplosion);
+    h.u64(options.restartBaseNodes);
     return h.state;
 }
 

@@ -21,13 +21,27 @@ resolveThreads(unsigned requested)
 
 } // namespace
 
+unsigned
+PipelineConfig::resolvedIiWorkers(unsigned requested)
+{
+    if (requested != kAutoIiWorkers)
+        return requested;
+    // Auto: speculation needs spare cores to run attempts on; a
+    // single-core host only pays cancellation overhead, so it keeps
+    // the serial sweep.
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? hw : 0;
+}
+
 SchedulingPipeline::SchedulingPipeline(const PipelineConfig &config)
     : pool_(resolveThreads(config.numThreads)),
       cache_(config.cacheCapacity, config.cacheDirectory,
              config.cacheShards)
 {
-    if (config.iiSearchWorkers > 0)
-        iiPool_ = std::make_unique<ThreadPool>(config.iiSearchWorkers);
+    unsigned iiWorkers =
+        PipelineConfig::resolvedIiWorkers(config.iiSearchWorkers);
+    if (iiWorkers > 0)
+        iiPool_ = std::make_unique<ThreadPool>(iiWorkers);
 }
 
 std::vector<JobResult>

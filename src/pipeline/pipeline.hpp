@@ -40,15 +40,32 @@ struct PipelineConfig
     /** Schedule-cache entries; 0 disables caching. */
     std::size_t cacheCapacity = 1024;
     /**
+     * Sentinel for iiSearchWorkers: size the II pool to the machine.
+     * On multi-core hardware this resolves to one worker per hardware
+     * thread; on a single core speculation can only add overhead, so
+     * it resolves to 0 (the serial sweep). The CLI front-ends expose
+     * it as `--ii-workers auto`.
+     */
+    static constexpr unsigned kAutoIiWorkers = ~0u;
+
+    /**
      * Worker budget for the speculative parallel II search of
      * pipelined jobs. 0 keeps the serial sweep. A positive value
      * spawns one dedicated pool of that many workers, shared by every
      * job in the batch — dedicated because job workers block waiting
      * for their II attempts, so running attempts on the job pool
-     * itself would deadlock it. Results are byte-identical either
-     * way; only wall time and the attempt accounting change.
+     * itself would deadlock it. kAutoIiWorkers picks per the hardware.
+     * Results are byte-identical either way; only wall time and the
+     * attempt accounting change.
      */
     unsigned iiSearchWorkers = 0;
+    /**
+     * The II worker count a pipeline actually runs for @p requested:
+     * kAutoIiWorkers resolves against the hardware, anything else
+     * passes through. Front-ends use it to report the effective pool
+     * size instead of the sentinel.
+     */
+    static unsigned resolvedIiWorkers(unsigned requested);
     /**
      * Directory for the persistent (disk) cache tier. Empty keeps the
      * cache memory-only, which preserves the classic batch behavior.
