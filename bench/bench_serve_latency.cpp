@@ -8,17 +8,26 @@
  * client connection (the protocol multiplexes per connection, but a
  * fresh connection per request measures the full serve path).
  *
- * Two phases per repetition, fresh server each repetition:
+ * Four phases per repetition, fresh servers each repetition:
  *
- *   cold - every job is distinct (kernel x maxDelay variants), so each
- *          request pays real scheduling work
- *   warm - the identical arrival schedule again, now answered from the
- *          schedule cache
+ *   cold          - every job is distinct (kernel x maxDelay variants),
+ *                   so each request pays real scheduling work
+ *   warm          - the identical arrival schedule again, answered by
+ *                   the reader-thread fast path (DESIGN.md §5h)
+ *   warm_dispatch - the same warm pass against a server with the fast
+ *                   path disabled: every hit pays the pipeline queue
+ *                   hop (the A/B for the fast path)
+ *   warm_tcp      - the warm pass over the TCP listener instead of the
+ *                   Unix socket (transport A/B)
  *
- * Reported per phase: p50/p99 latency from the *scheduled* arrival
- * time (open-loop convention) and achieved throughput. --json emits
- * the capture bench/run_perf.sh stores under "serve_latency" in
- * BENCH_sched.json.
+ * A second section measures restart-to-first-warm-hit against the
+ * persistent cache directly, as a function of cache size: open a
+ * populated shard directory via its index footer (O(1) in records)
+ * and via the fallback full scan (O(n)), then time the first disk
+ * hit. --json emits both sections in the capture bench/run_perf.sh
+ * stores under "serve_latency" in BENCH_sched.json; --restart-only /
+ * --latency-only select one section (perf_smoke.py gates the restart
+ * section).
  */
 
 #include <unistd.h>
@@ -26,6 +35,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -33,6 +43,8 @@
 
 #include "bench_common.hpp"
 #include "kernels/kernels.hpp"
+#include "pipeline/persistent_cache.hpp"
+#include "pipeline/pipeline.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "support/logging.hpp"
@@ -67,10 +79,11 @@ buildJobSets(int delayVariants)
 /**
  * One open-loop pass: request i is due at start + i * arrival; its
  * latency is measured from that due time, so a request stuck behind a
- * slow predecessor is charged the wait.
+ * slow predecessor is charged the wait. A non-empty @p tcpAddress
+ * routes the pass over TCP instead of the Unix socket.
  */
 std::vector<double>
-runPhase(const std::string &socketPath,
+runPhase(const std::string &socketPath, const std::string &tcpAddress,
          const std::vector<serve::JobSet> &sets, double arrivalMs)
 {
     std::vector<double> latencies(sets.size(), -1.0);
@@ -85,7 +98,11 @@ runPhase(const std::string &socketPath,
         threads.emplace_back([&, i, due] {
             serve::ScheduleClient client;
             std::string error;
-            if (!client.connect(socketPath, &error)) {
+            bool connected =
+                tcpAddress.empty()
+                    ? client.connect(socketPath, &error)
+                    : client.connectTcp(tcpAddress, &error);
+            if (!connected) {
                 CS_INFORM("bench_serve_latency: ", error);
                 return;
             }
@@ -145,6 +162,113 @@ summarize(const std::vector<double> &samples)
     return stats;
 }
 
+// ---------------------------------------------------------------------
+// Restart-to-first-warm-hit vs cache size (footer vs scan).
+// ---------------------------------------------------------------------
+
+struct RestartPoint
+{
+    std::size_t records = 0;
+    std::uintmax_t fileBytes = 0;
+    double footerOpenMs = 0.0;
+    double footerHitMs = 0.0;
+    double scanOpenMs = 0.0;
+    double scanHitMs = 0.0;
+};
+
+double
+elapsedMs(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+/**
+ * Time "restart + first disk hit" on a single shard holding @p records
+ * entries, once via the index footer and once via the fallback scan
+ * (footers stripped first, as after a crash). Best of @p trials so a
+ * stray page-cache miss does not masquerade as a complexity change.
+ */
+RestartPoint
+measureRestart(const JobResult &sample, std::size_t records, int trials)
+{
+    namespace fs = std::filesystem;
+    RestartPoint point;
+    point.records = records;
+    fs::path dir = fs::path("/tmp") /
+                   ("cs_bench_restart_" + std::to_string(::getpid()) +
+                    "_" + std::to_string(records));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    {
+        PersistentScheduleCache cache(records, dir.string(), 1);
+        for (std::size_t key = 1; key <= records; ++key)
+            cache.insert(key, sample);
+    } // clean close appends the index footer
+    for (const auto &entry : fs::directory_iterator(dir))
+        point.fileBytes += fs::file_size(entry.path());
+    std::uint64_t probe = records / 2 + 1;
+
+    point.footerOpenMs = 1e18;
+    point.footerHitMs = 1e18;
+    for (int t = 0; t < trials; ++t) {
+        auto t0 = std::chrono::steady_clock::now();
+        PersistentScheduleCache cache(4, dir.string(), 1);
+        double openMs = elapsedMs(t0);
+        auto t1 = std::chrono::steady_clock::now();
+        bool hit = cache.lookup(probe).has_value();
+        double hitMs = elapsedMs(t1);
+        CS_ASSERT(hit, "footer-open lookup missed");
+        CS_ASSERT(cache.diskStats().footerLoads == 1,
+                  "expected a footer load");
+        point.footerOpenMs = std::min(point.footerOpenMs, openMs);
+        point.footerHitMs = std::min(point.footerHitMs, hitMs);
+    }
+
+    point.scanOpenMs = 1e18;
+    point.scanHitMs = 1e18;
+    for (int t = 0; t < trials; ++t) {
+        // Each trial's clean close restores the footer; strip it again
+        // so every trial really pays the O(n) crash-recovery scan.
+        PersistentScheduleCache::stripIndexFooters(dir.string());
+        auto t0 = std::chrono::steady_clock::now();
+        PersistentScheduleCache cache(4, dir.string(), 1);
+        double openMs = elapsedMs(t0);
+        auto t1 = std::chrono::steady_clock::now();
+        bool hit = cache.lookup(probe).has_value();
+        double hitMs = elapsedMs(t1);
+        CS_ASSERT(hit, "scan-open lookup missed");
+        CS_ASSERT(cache.diskStats().scanLoads == 1,
+                  "expected a scan load");
+        point.scanOpenMs = std::min(point.scanOpenMs, openMs);
+        point.scanHitMs = std::min(point.scanHitMs, hitMs);
+    }
+    fs::remove_all(dir);
+    return point;
+}
+
+std::vector<RestartPoint>
+runRestartBench(int trials)
+{
+    setVerboseLogging(false);
+    static Machine machine = makeCentral();
+    ScheduleJob job;
+    job.label = "restart-sample";
+    job.kernel = kernelByName("DCT").build();
+    job.block = BlockId(0);
+    job.machine = &machine;
+    job.pipelined = false;
+    JobResult sample = runScheduleJob(job);
+    CS_ASSERT(sample.success, "sample job failed");
+
+    std::vector<RestartPoint> points;
+    for (std::size_t records : {std::size_t(128), std::size_t(512),
+                                std::size_t(2048)})
+        points.push_back(measureRestart(sample, records, trials));
+    return points;
+}
+
 } // namespace
 
 int
@@ -152,6 +276,8 @@ main(int argc, char **argv)
 {
     setVerboseLogging(false);
     bool json = false;
+    bool latency = true;
+    bool restart = true;
     int reps = 3;
     double arrivalMs = 5.0;
     for (int i = 1; i < argc; ++i) {
@@ -162,40 +288,77 @@ main(int argc, char **argv)
             reps = std::atoi(argv[++i]);
         } else if (arg == "--arrival-ms" && i + 1 < argc) {
             arrivalMs = std::atof(argv[++i]);
+        } else if (arg == "--restart-only") {
+            latency = false;
+        } else if (arg == "--latency-only") {
+            restart = false;
         } else {
             std::cerr << "usage: bench_serve_latency [--json] "
-                         "[--reps N] [--arrival-ms MS]\n";
+                         "[--reps N] [--arrival-ms MS] "
+                         "[--restart-only] [--latency-only]\n";
             return 2;
         }
     }
 
-    std::vector<serve::JobSet> sets = buildJobSets(4);
     std::vector<double> cold;
     std::vector<double> warm;
-    for (int rep = 0; rep < reps; ++rep) {
-        // Fresh server (and cache) per repetition so every cold pass
-        // really is cold.
-        serve::ServerConfig config;
-        config.socketPath = "/tmp/cs_bench_serve_" +
-                            std::to_string(::getpid()) + "_" +
-                            std::to_string(rep) + ".sock";
-        config.workerThreads = 2;
-        config.cacheCapacity = 2 * sets.size();
-        config.maxInFlight = sets.size();
-        serve::ScheduleServer server(config);
-        CS_ASSERT(server.start(), "server failed to start");
+    std::vector<double> warmDispatch;
+    std::vector<double> warmTcp;
+    if (latency) {
+        std::vector<serve::JobSet> sets = buildJobSets(4);
+        for (int rep = 0; rep < reps; ++rep) {
+            // Fresh server (and cache) per repetition so every cold
+            // pass really is cold.
+            std::string tag = std::to_string(::getpid()) + "_" +
+                              std::to_string(rep);
+            serve::ServerConfig config;
+            config.socketPath = "/tmp/cs_bench_serve_" + tag + ".sock";
+            config.listenTcp = "127.0.0.1:0";
+            config.workerThreads = 2;
+            config.cacheCapacity = 2 * sets.size();
+            config.maxInFlight = sets.size();
+            serve::ScheduleServer server(config);
+            CS_ASSERT(server.start(), "server failed to start");
+            std::string tcpAddress =
+                "127.0.0.1:" + std::to_string(server.boundTcpPort());
 
-        std::vector<double> c =
-            runPhase(config.socketPath, sets, arrivalMs);
-        cold.insert(cold.end(), c.begin(), c.end());
-        std::vector<double> w =
-            runPhase(config.socketPath, sets, arrivalMs);
-        warm.insert(warm.end(), w.begin(), w.end());
-        server.stop();
+            std::vector<double> c =
+                runPhase(config.socketPath, "", sets, arrivalMs);
+            cold.insert(cold.end(), c.begin(), c.end());
+            std::vector<double> w =
+                runPhase(config.socketPath, "", sets, arrivalMs);
+            warm.insert(warm.end(), w.begin(), w.end());
+            std::vector<double> wt =
+                runPhase("", tcpAddress, sets, arrivalMs);
+            warmTcp.insert(warmTcp.end(), wt.begin(), wt.end());
+            server.stop();
+
+            // The A/B server: identical config, fast path disabled,
+            // warmed by one throwaway cold pass.
+            serve::ServerConfig dispatch = config;
+            dispatch.socketPath =
+                "/tmp/cs_bench_serve_" + tag + "_nofp.sock";
+            dispatch.listenTcp.clear();
+            dispatch.readerFastPath = false;
+            serve::ScheduleServer dispatchServer(dispatch);
+            CS_ASSERT(dispatchServer.start(),
+                      "dispatch server failed to start");
+            (void)runPhase(dispatch.socketPath, "", sets, arrivalMs);
+            std::vector<double> wd =
+                runPhase(dispatch.socketPath, "", sets, arrivalMs);
+            warmDispatch.insert(warmDispatch.end(), wd.begin(),
+                                wd.end());
+            dispatchServer.stop();
+        }
     }
-
     PhaseStats coldStats = summarize(cold);
     PhaseStats warmStats = summarize(warm);
+    PhaseStats dispatchStats = summarize(warmDispatch);
+    PhaseStats tcpStats = summarize(warmTcp);
+
+    std::vector<RestartPoint> points;
+    if (restart)
+        points = runRestartBench(std::max(reps, 2));
 
     if (json) {
         auto entry = [&](const char *phase, const PhaseStats &stats) {
@@ -208,28 +371,68 @@ main(int argc, char **argv)
                    ",\"max_ms\":" + TextTable::num(stats.maxMs, 3) +
                    "}";
         };
-        std::cout << "{\"bench\":\"serve_latency\",\"entries\":["
-                  << entry("cold", coldStats) << ","
-                  << entry("warm", warmStats) << "]}\n";
+        std::cout << "{\"bench\":\"serve_latency\",\"entries\":[";
+        if (latency)
+            std::cout << entry("cold", coldStats) << ","
+                      << entry("warm", warmStats) << ","
+                      << entry("warm_dispatch", dispatchStats) << ","
+                      << entry("warm_tcp", tcpStats);
+        std::cout << "],\"restart\":[";
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const RestartPoint &p = points[i];
+            std::cout
+                << (i ? "," : "") << "{\"records\":" << p.records
+                << ",\"file_bytes\":" << p.fileBytes
+                << ",\"footer_open_ms\":"
+                << TextTable::num(p.footerOpenMs, 4)
+                << ",\"footer_first_hit_ms\":"
+                << TextTable::num(p.footerHitMs, 4)
+                << ",\"scan_open_ms\":"
+                << TextTable::num(p.scanOpenMs, 4)
+                << ",\"scan_first_hit_ms\":"
+                << TextTable::num(p.scanHitMs, 4) << "}";
+        }
+        std::cout << "]}\n";
         return 0;
     }
 
-    printBanner(std::cout,
-                "cs_serve open-loop latency: " +
-                    std::to_string(sets.size()) +
-                    " distinct jobs/pass, arrival every " +
-                    TextTable::num(arrivalMs, 1) + " ms, " +
-                    std::to_string(reps) + " reps");
-    TextTable table(
-        {"phase", "requests", "p50 ms", "p99 ms", "max ms"});
-    table.addRow({"cold", std::to_string(coldStats.requests),
-                  TextTable::num(coldStats.p50, 3),
-                  TextTable::num(coldStats.p99, 3),
-                  TextTable::num(coldStats.maxMs, 3)});
-    table.addRow({"warm", std::to_string(warmStats.requests),
-                  TextTable::num(warmStats.p50, 3),
-                  TextTable::num(warmStats.p99, 3),
-                  TextTable::num(warmStats.maxMs, 3)});
-    table.print(std::cout);
+    if (latency) {
+        printBanner(std::cout,
+                    "cs_serve open-loop latency: " +
+                        std::to_string(buildJobSets(4).size()) +
+                        " distinct jobs/pass, arrival every " +
+                        TextTable::num(arrivalMs, 1) + " ms, " +
+                        std::to_string(reps) + " reps");
+        TextTable table(
+            {"phase", "requests", "p50 ms", "p99 ms", "max ms"});
+        auto row = [&](const char *phase, const PhaseStats &stats) {
+            table.addRow({phase, std::to_string(stats.requests),
+                          TextTable::num(stats.p50, 3),
+                          TextTable::num(stats.p99, 3),
+                          TextTable::num(stats.maxMs, 3)});
+        };
+        row("cold", coldStats);
+        row("warm", warmStats);
+        row("warm_dispatch", dispatchStats);
+        row("warm_tcp", tcpStats);
+        table.print(std::cout);
+    }
+    if (restart) {
+        printBanner(std::cout,
+                    "restart to first warm hit: footer (O(1)) vs "
+                    "scan (O(n)), one shard");
+        TextTable table({"records", "file KiB", "footer open ms",
+                         "footer hit ms", "scan open ms",
+                         "scan hit ms"});
+        for (const RestartPoint &p : points)
+            table.addRow(
+                {std::to_string(p.records),
+                 std::to_string(p.fileBytes / 1024),
+                 TextTable::num(p.footerOpenMs, 4),
+                 TextTable::num(p.footerHitMs, 4),
+                 TextTable::num(p.scanOpenMs, 4),
+                 TextTable::num(p.scanHitMs, 4)});
+        table.print(std::cout);
+    }
     return 0;
 }

@@ -30,6 +30,15 @@ snapshot and the fresh run, the dfs_nodes counter gates as well: it is
 deterministic for the serial paths, so a blow-up there is a genuine
 search regression even when wall time hides it in noise.
 
+A fourth gate covers the serving restart path: when the optional
+bench_serve_latency binary is passed, its --restart-only section must
+show the footer-indexed reopen staying flat while the cache grows —
+restart-to-first-warm-hit is the O(1) warm-restart contract (DESIGN.md
+section 5h), so a footer open that scales with the record count is a
+complexity regression even though each individual open is fast. The
+scan fallback is recorded for contrast but not gated (it is O(n) by
+design).
+
 Sections the committed baseline does not have yet (e.g. a snapshot
 taken before a stats field existed) are skipped with a notice rather
 than failing: the check gates regressions against what was measured,
@@ -38,7 +47,7 @@ fixed vs adaptive attempt ordering) is recorded but never gated — its
 wall times only mean something at the capturing machine's core count.
 
 Usage: perf_smoke.py <bench_sched_perf-binary> <bench_modulo_ii-binary>
-       <BENCH_sched.json>
+       <BENCH_sched.json> [bench_serve_latency-binary]
 """
 
 import json
@@ -53,6 +62,13 @@ REPS = 3
 # Sub-millisecond entries are dominated by timer and allocator noise;
 # only entries at least this slow in the committed snapshot gate.
 MIN_GATED_MS = 1.0
+# Footer-indexed reopen across the restart sweep's size range (16x in
+# records) may grow at most this factor — generous against mmap/page
+# noise, far below the linear growth a broken footer path would show.
+RESTART_FLAT_FACTOR = 6.0
+# Opens faster than this are clamped before the ratio so microsecond
+# timer jitter on a tiny cache cannot fail (or mask) the gate.
+RESTART_MIN_MS = 0.05
 
 
 def key(entry):
@@ -116,11 +132,52 @@ def check_search(entry, ref, failures):
         )
 
 
+def check_restart(bench_serve, failures):
+    """Gate footer-open-time independence of cache size."""
+    raw = subprocess.run(
+        [bench_serve, "--json", "--restart-only", "--reps", str(REPS)],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    points = json.loads(raw).get("restart", [])
+    if len(points) < 2:
+        print("restart section too small; skipping the restart gate")
+        return
+    points = sorted(points, key=lambda p: p["records"])
+    for p in points:
+        print(
+            f"restart {p['records']:6d} records "
+            f"({p['file_bytes'] // 1024:6d} KiB): footer open "
+            f"{p['footer_open_ms']:.4f} ms / scan open "
+            f"{p['scan_open_ms']:.4f} ms"
+        )
+    smallest = max(points[0]["footer_open_ms"], RESTART_MIN_MS)
+    largest = max(points[-1]["footer_open_ms"], RESTART_MIN_MS)
+    ratio = largest / smallest
+    growth = points[0]["records"] and (
+        points[-1]["records"] / points[0]["records"]
+    )
+    marker = " REGRESSION" if ratio > RESTART_FLAT_FACTOR else ""
+    print(
+        f"restart gate: footer open x{ratio:.2f} across x{growth:.0f} "
+        f"records{marker}"
+    )
+    if ratio > RESTART_FLAT_FACTOR:
+        failures.append(
+            f"restart: footer open grew x{ratio:.2f} from "
+            f"{points[0]['records']} to {points[-1]['records']} records "
+            f"(> x{RESTART_FLAT_FACTOR}) — warm restart is no longer "
+            f"O(1)"
+        )
+
+
 def main():
-    if len(sys.argv) != 4:
+    if len(sys.argv) not in (4, 5):
         print(__doc__, file=sys.stderr)
         return 2
     bench_sched, bench_ii, committed_path = sys.argv[1:4]
+    bench_serve = sys.argv[4] if len(sys.argv) == 5 else None
 
     with open(committed_path) as f:
         doc = json.load(f)
@@ -164,6 +221,11 @@ def main():
         check(bench_ii, "#serial", committed_ii, failures, sums)
     else:
         print("no committed modulo_ii snapshot; skipping the II gate")
+    if bench_serve:
+        check_restart(bench_serve, failures)
+    else:
+        print("no bench_serve_latency binary given; skipping the "
+              "restart gate")
 
     # Tracing-overhead gate: compiled-in-but-disabled tracer, summed
     # over every gated entry so per-kernel timer noise averages out.

@@ -3,9 +3,10 @@
  * Command-line client for cs_serve.
  *
  *   cs_client --socket PATH ping
- *   cs_client --socket PATH stats
- *   cs_client --socket PATH schedule --jobs FILE [--deadline MS]
- *             [--listings]
+ *   cs_client --tcp HOST:PORT ping
+ *   cs_client (--socket PATH | --tcp HOST:PORT) stats
+ *   cs_client (--socket PATH | --tcp HOST:PORT) schedule --jobs FILE
+ *             [--deadline MS] [--listings]
  *
  * "schedule" reads a jobset description (the text format of
  * serve/proto.hpp; see cs_batch --jobs for the same ingestion) and
@@ -28,9 +29,10 @@ namespace {
 void
 usage(std::ostream &os)
 {
-    os << "usage: cs_client --socket PATH ping\n"
-          "       cs_client --socket PATH stats\n"
-          "       cs_client --socket PATH schedule --jobs FILE\n"
+    os << "usage: cs_client (--socket PATH | --tcp HOST:PORT) ping\n"
+          "       cs_client (--socket PATH | --tcp HOST:PORT) stats\n"
+          "       cs_client (--socket PATH | --tcp HOST:PORT)\n"
+          "                 schedule --jobs FILE\n"
           "                 [--deadline MS] [--listings]\n";
 }
 
@@ -42,6 +44,7 @@ main(int argc, char **argv)
     using namespace cs;
 
     std::string socketPath;
+    std::string tcpHostPort;
     std::string command;
     std::string jobsFile;
     std::int64_t deadlineMs = 0;
@@ -58,6 +61,8 @@ main(int argc, char **argv)
         };
         if (arg == "--socket") {
             socketPath = value("--socket");
+        } else if (arg == "--tcp") {
+            tcpHostPort = value("--tcp");
         } else if (arg == "--jobs") {
             jobsFile = value("--jobs");
         } else if (arg == "--deadline") {
@@ -76,14 +81,18 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (socketPath.empty() || command.empty()) {
+    if ((socketPath.empty() == tcpHostPort.empty()) ||
+        command.empty()) {
         usage(std::cerr);
         return 2;
     }
 
     serve::ScheduleClient client;
     std::string error;
-    if (!client.connect(socketPath, &error)) {
+    bool connected = socketPath.empty()
+                         ? client.connectTcp(tcpHostPort, &error)
+                         : client.connect(socketPath, &error);
+    if (!connected) {
         std::cerr << "cs_client: " << error << "\n";
         return 1;
     }

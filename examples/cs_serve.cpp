@@ -5,19 +5,25 @@
  * gracefully — in-flight jobs finish and reply, new requests get
  * ShuttingDown.
  *
- *   cs_serve --socket PATH [--threads N] [--cache N]
- *            [--cache-dir DIR] [--cache-shards N] [--max-inflight N]
- *            [--ii-workers N]
+ *   cs_serve [--socket PATH] [--listen-tcp HOST:PORT] [--threads N]
+ *            [--cache N] [--cache-dir DIR] [--cache-shards N]
+ *            [--max-inflight N] [--ii-workers N] [--no-fast-path]
  *
- *   --socket PATH     Unix-domain socket to listen on (required)
+ *   --socket PATH     Unix-domain socket to listen on
+ *   --listen-tcp H:P  TCP listener (same protocol; port 0 = ephemeral)
+ *                     — at least one of --socket/--listen-tcp required
  *   --threads N       pipeline worker threads (default: hw concurrency)
  *   --cache N         memory-tier cache entries (default 1024)
  *   --cache-dir DIR   persistent cache directory; restarts start warm
+ *                     (multiple daemons may share one directory: shard
+ *                     ownership is arbitrated per-file with flock)
  *   --cache-shards N  shard files for the persistent tier (default 8)
  *   --max-inflight N  admission bound before RejectedOverload (default 64)
  *   --ii-workers N    dedicated speculative II-search workers
  *                     (default 0 = serial sweep; "auto" sizes to the
  *                     hardware, serial on a single core)
+ *   --no-fast-path    disable the reader-thread warm-hit fast path
+ *                     (for A/B latency measurements)
  */
 
 #include <atomic>
@@ -44,9 +50,10 @@ onSignal(int)
 void
 usage(std::ostream &os)
 {
-    os << "usage: cs_serve --socket PATH [--threads N] [--cache N]\n"
-          "                [--cache-dir DIR] [--cache-shards N]\n"
-          "                [--max-inflight N] [--ii-workers N]\n";
+    os << "usage: cs_serve [--socket PATH] [--listen-tcp HOST:PORT]\n"
+          "                [--threads N] [--cache N] [--cache-dir DIR]\n"
+          "                [--cache-shards N] [--max-inflight N]\n"
+          "                [--ii-workers N] [--no-fast-path]\n";
 }
 
 } // namespace
@@ -70,6 +77,10 @@ main(int argc, char **argv)
         };
         if (arg == "--socket") {
             config.socketPath = value("--socket");
+        } else if (arg == "--listen-tcp") {
+            config.listenTcp = value("--listen-tcp");
+        } else if (arg == "--no-fast-path") {
+            config.readerFastPath = false;
         } else if (arg == "--threads") {
             config.workerThreads = static_cast<unsigned>(
                 std::atoi(value("--threads").c_str()));
@@ -99,7 +110,7 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (config.socketPath.empty()) {
+    if (config.socketPath.empty() && config.listenTcp.empty()) {
         usage(std::cerr);
         return 2;
     }

@@ -13,14 +13,51 @@
  *   payload      encodeJobResult bytes
  *   check   u64  FNV-1a over the payload
  *
+ * On clean close an *index footer* is appended after the records so the
+ * next open can rebuild the key -> offset index without scanning (or
+ * even faulting in) the payload bytes — reopen cost is O(entries), not
+ * O(cache bytes):
+ *
+ *   fmagic  u32  (0x58495343, "CSIX")
+ *   count   u64
+ *   entry[count]: key u64, payload offset u64, payload length u32
+ *   dataEnd u64  file offset where the footer begins (= records end)
+ *   check   u64  FNV-1a over fmagic..dataEnd
+ *   tmagic  u32  (0x58464f4f, "OOFX")
+ *
+ * The tail (dataEnd/check/tmagic) is fixed-size, so the footer is
+ * located from EOF, validated (magics, geometry, checksum, every entry
+ * inside [0, dataEnd)), and trusted only when all of it holds. A
+ * missing or torn footer falls back to the original sequential record
+ * scan, which skips well-formed stale footers mid-file; either path
+ * indexes the same records. The footer is lazily dropped (ftruncate to
+ * dataEnd) before the first append so records stay contiguous; a clean
+ * close rewrites it.
+ *
+ * Reads are served from a read-only mmap of the shard
+ * (support/mmap_file.hpp): a warm hit checksums and decodes the record
+ * straight out of the page-cache-backed mapping, with no intermediate
+ * payload copy. Records appended after the mapping was taken trigger a
+ * remap (tracked by the `remaps` counter); if mmap is unavailable the
+ * shard degrades to pread(2).
+ *
  * Crash safety without a journal: records are append-only, and a torn
- * or corrupt tail is detected on open by a sequential scan — the scan
- * stops at the first record whose magic, length, or checksum does not
- * hold, truncates the shard there, and indexes only the valid prefix.
- * Reads validate the checksum (and decode) again, so even a record
- * corrupted after open degrades to a miss, never a crash. Duplicate
- * keys are legal (re-insertions append); the scan keeps the last
- * occurrence, matching insertion order.
+ * or corrupt tail is detected by the fallback scan — it stops at the
+ * first record whose magic, length, or checksum does not hold,
+ * truncates the shard there (owners only), and indexes the valid
+ * prefix. Reads validate the checksum (and decode) again, so even a
+ * record corrupted after open degrades to a miss, never a crash.
+ * Duplicate keys are legal (re-insertions append); both index builds
+ * keep the last occurrence, matching insertion order.
+ *
+ * Multi-daemon sharing: each shard is guarded by flock(2). The open
+ * path takes LOCK_EX | LOCK_NB per shard; winners *own* the shard
+ * (append, self-heal, write the footer on close) for the cache's
+ * lifetime, losers open it read-only — their lookups serve the records
+ * valid at open time and their inserts keep only the memory tier
+ * (counted as dropped_read_only). Owners never truncate below the
+ * records region a read-only opener could have indexed, so concurrent
+ * daemons on one cache directory cannot corrupt each other.
  *
  * Thread safety: all operations are safe from any thread. Each shard
  * has its own mutex, so concurrent traffic to different shards does
@@ -39,8 +76,22 @@
 #include <vector>
 
 #include "pipeline/schedule_cache.hpp"
+#include "support/mmap_file.hpp"
 
 namespace cs {
+
+/** @name Shard file format constants (tests and tools build on them) */
+/// @{
+inline constexpr std::uint32_t kShardRecordMagic = 0x43535243u; // CSRC
+inline constexpr std::size_t kShardRecordHeaderBytes = 4 + 8 + 4;
+inline constexpr std::size_t kShardRecordTrailerBytes = 8;
+inline constexpr std::uint32_t kShardFooterMagic = 0x58495343u; // CSIX
+inline constexpr std::uint32_t kShardFooterTailMagic = 0x58464f4fu;
+/** Footer tail: dataEnd u64 + checksum u64 + tail magic u32. */
+inline constexpr std::size_t kShardFooterTailBytes = 8 + 8 + 4;
+/** Footer entry: key u64 + payload offset u64 + payload length u32. */
+inline constexpr std::size_t kShardFooterEntryBytes = 8 + 8 + 4;
+/// @}
 
 /** Two-tier (memory LRU + sharded disk) schedule cache. */
 class PersistentScheduleCache
@@ -57,6 +108,9 @@ class PersistentScheduleCache
     PersistentScheduleCache(std::size_t memoryCapacity,
                             std::string directory, int shards = 8);
 
+    /** Clean close: owned shards get their index footer appended. */
+    ~PersistentScheduleCache();
+
     /**
      * Memory tier first, then disk. A disk hit validates, decodes, and
      * promotes the record into the memory tier. Counts one hit or miss
@@ -66,10 +120,12 @@ class PersistentScheduleCache
     std::optional<JobResult> lookup(std::uint64_t key);
 
     /**
-     * Insert into both tiers. The disk write is flushed before the
-     * call returns; a record that fails to write (disk full, directory
-     * vanished) is dropped with a warning — the memory tier still
-     * holds it, and correctness never depends on the disk tier.
+     * Insert into both tiers. The disk write is a single append on the
+     * owned shard, completed before the call returns; a record that
+     * fails to write (disk full, directory vanished) or routes to a
+     * shard owned by another daemon is dropped with the corresponding
+     * counter — the memory tier still holds it, and correctness never
+     * depends on the disk tier.
      */
     void insert(std::uint64_t key, const JobResult &result);
 
@@ -83,6 +139,12 @@ class PersistentScheduleCache
         std::uint64_t loadedEntries = 0;
         /** Bytes truncated from torn/corrupt shard tails on open. */
         std::uint64_t truncatedBytes = 0;
+        /** Shards whose reopen trusted an index footer (O(1) path). */
+        std::uint64_t footerLoads = 0;
+        /** Non-empty shards indexed by the fallback record scan. */
+        std::uint64_t scanLoads = 0;
+        /** Shards this cache holds the flock on (appendable). */
+        std::uint64_t ownedShards = 0;
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         /** Disk-hit records that failed checksum/decode on read (each
@@ -90,6 +152,10 @@ class PersistentScheduleCache
         std::uint64_t readErrors = 0;
         std::uint64_t writes = 0;
         std::uint64_t writeErrors = 0;
+        /** Inserts dropped because another daemon owns the shard. */
+        std::uint64_t droppedReadOnly = 0;
+        /** Mapping refreshes forced by reading post-open appends. */
+        std::uint64_t remaps = 0;
     };
 
     DiskStats diskStats() const;
@@ -103,11 +169,32 @@ class PersistentScheduleCache
     /** Drop memory entries and the disk index (files are kept). */
     void clear();
 
+    /**
+     * Remove valid index footers from every shard file in
+     * @p directory, leaving only the records — the state a crashed
+     * daemon (which never reached its clean close) leaves behind.
+     * Test/bench hook for exercising the scan fallback; returns how
+     * many footers were stripped. Must not race a live cache on the
+     * same directory.
+     */
+    static int stripIndexFooters(const std::string &directory);
+
   private:
     struct Shard
     {
         std::mutex mutex;
         std::string path;
+        int fd = -1;
+        /** flock(LOCK_EX) winner: may append/heal/write the footer. */
+        bool owned = false;
+        /** A valid footer currently sits at EOF (dropped on append). */
+        bool footerIntact = false;
+        /** clear() was called: skip the close-time footer so the next
+         *  open rediscovers the kept records by scan. */
+        bool suppressFooter = false;
+        /** End of the records region == next append offset. */
+        std::uint64_t appendPos = 0;
+        MmapFile map;
         /** key -> (payload offset, payload length) of the last valid
          *  record for that key. */
         std::unordered_map<std::uint64_t, std::pair<std::uint64_t,
@@ -117,6 +204,12 @@ class PersistentScheduleCache
 
     Shard &shardFor(std::uint64_t key);
     void openShards();
+    void openOne(Shard &shard);
+    bool loadFromFooter(Shard &shard, const std::uint8_t *bytes,
+                        std::size_t size);
+    void loadFromScan(Shard &shard, const std::uint8_t *bytes,
+                      std::size_t size);
+    void writeFooter(Shard &shard);
 
     ScheduleCache memory_;
     std::string directory_;
@@ -128,8 +221,10 @@ class PersistentScheduleCache
 
 /** Canonical key order for emitting DiskStats via writeCounterObject. */
 inline constexpr const char *kDiskCacheCounters[] = {
-    "loaded_entries", "truncated_bytes", "hits",   "misses",
-    "read_errors",    "writes",          "write_errors",
+    "loaded_entries", "truncated_bytes", "footer_loads",
+    "scan_loads",     "owned_shards",    "hits",
+    "misses",         "read_errors",     "writes",
+    "write_errors",   "dropped_read_only", "remaps",
 };
 
 /** DiskStats as a CounterSet for the shared JSON emitters. */

@@ -34,9 +34,9 @@ PipelineConfig::resolvedIiWorkers(unsigned requested)
 }
 
 SchedulingPipeline::SchedulingPipeline(const PipelineConfig &config)
-    : pool_(resolveThreads(config.numThreads)),
-      cache_(config.cacheCapacity, config.cacheDirectory,
-             config.cacheShards)
+    : cache_(config.cacheCapacity, config.cacheDirectory,
+             config.cacheShards),
+      pool_(resolveThreads(config.numThreads))
 {
     unsigned iiWorkers =
         PipelineConfig::resolvedIiWorkers(config.iiSearchWorkers);
@@ -67,26 +67,37 @@ SchedulingPipeline::submit(ScheduleJob job,
         });
 }
 
-JobResult
-SchedulingPipeline::runOne(const ScheduleJob &job)
+std::optional<JobResult>
+SchedulingPipeline::lookupCached(const ScheduleJob &job)
 {
     auto start = std::chrono::steady_clock::now();
     std::uint64_t key = scheduleJobKey(job);
 
-    if (std::optional<JobResult> cached = cache_.lookup(key)) {
-        CS_TRACE_INSTANT1("cache_probe", "hit", 1);
-        cached->cacheHit = true;
-        auto end = std::chrono::steady_clock::now();
-        cached->wallMs =
-            std::chrono::duration<double, std::milli>(end - start)
-                .count();
-        stats_.bump("pipeline.jobs");
-        stats_.bump("pipeline.cache_hits");
-        if (!cached->success)
-            stats_.bump("pipeline.failures");
-        return *cached;
-    }
+    std::optional<JobResult> cached = cache_.lookup(key);
+    if (!cached.has_value())
+        return std::nullopt;
+    CS_TRACE_INSTANT1("cache_probe", "hit", 1);
+    cached->cacheHit = true;
+    auto end = std::chrono::steady_clock::now();
+    cached->wallMs =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    stats_.bump("pipeline.jobs");
+    stats_.bump("pipeline.cache_hits");
+    if (!cached->success)
+        stats_.bump("pipeline.failures");
+    return cached;
+}
 
+JobResult
+SchedulingPipeline::runOne(const ScheduleJob &job)
+{
+    // The hit path *is* the serving fast path: runOne and the
+    // reader-thread probe in serve/server.cpp must count and shape
+    // hits identically, so both go through lookupCached.
+    if (std::optional<JobResult> cached = lookupCached(job))
+        return *cached;
+
+    std::uint64_t key = scheduleJobKey(job);
     CS_TRACE_INSTANT1("cache_probe", "hit", 0);
     IiSearchConfig ii_search;
     ii_search.pool = iiPool_.get();

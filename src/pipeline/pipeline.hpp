@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -104,6 +105,18 @@ class SchedulingPipeline
      */
     bool submit(ScheduleJob job, std::function<void(JobResult)> done);
 
+    /**
+     * Synchronous cache probe for serving fast paths: if @p job is a
+     * warm hit, return its result exactly as runOne() would have
+     * (cacheHit set, fresh lookup wall time, the same pipeline.jobs /
+     * pipeline.cache_hits / pipeline.failures counter bumps) — without
+     * touching the worker pool. A miss returns nullopt and bumps
+     * *nothing*: the caller is expected to fall back to submit(),
+     * whose runOne() then counts the miss once. Safe to call
+     * concurrently from any thread.
+     */
+    std::optional<JobResult> lookupCached(const ScheduleJob &job);
+
     /** Block until every submitted job has completed. */
     void waitIdle() { pool_.waitIdle(); }
 
@@ -122,11 +135,13 @@ class SchedulingPipeline
   private:
     JobResult runOne(const ScheduleJob &job);
 
+    // Workers touch cache_ and stats_ until the pools join, so both
+    // must be declared before the pools (destroyed after them).
+    PersistentScheduleCache cache_;
+    CounterSet stats_;
     ThreadPool pool_;
     /** Dedicated II-search workers (null when iiSearchWorkers == 0). */
     std::unique_ptr<ThreadPool> iiPool_;
-    PersistentScheduleCache cache_;
-    CounterSet stats_;
 };
 
 } // namespace cs

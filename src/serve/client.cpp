@@ -3,6 +3,9 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <span>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -45,6 +48,57 @@ ScheduleClient::connect(const std::string &socketPath,
         }
         ::close(fd_);
         fd_ = -1;
+        return false;
+    }
+    return true;
+}
+
+bool
+ScheduleClient::connectTcp(const std::string &hostPort,
+                           std::string *error)
+{
+    close();
+    std::string host, port;
+    if (!splitHostPort(hostPort, &host, &port, error))
+        return false;
+    ::signal(SIGPIPE, SIG_IGN);
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *result = nullptr;
+    int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints,
+                           &result);
+    if (rc != 0) {
+        if (error != nullptr) {
+            *error = "resolve('" + hostPort +
+                     "'): " + ::gai_strerror(rc);
+        }
+        return false;
+    }
+    int lastErrno = 0;
+    for (addrinfo *ai = result; ai != nullptr; ai = ai->ai_next) {
+        int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                          ai->ai_protocol);
+        if (fd < 0) {
+            lastErrno = errno;
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+            lastErrno = errno;
+            ::close(fd);
+            continue;
+        }
+        int on = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof on);
+        fd_ = fd;
+        break;
+    }
+    ::freeaddrinfo(result);
+    if (fd_ < 0) {
+        if (error != nullptr) {
+            *error = "connect('" + hostPort +
+                     "'): " + std::strerror(lastErrno);
+        }
         return false;
     }
     return true;

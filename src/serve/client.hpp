@@ -26,8 +26,15 @@ class ScheduleClient
     ScheduleClient(const ScheduleClient &) = delete;
     ScheduleClient &operator=(const ScheduleClient &) = delete;
 
-    /** Connect to the daemon. False + diagnostic on failure. */
+    /** Connect to the daemon's Unix-domain socket. */
     bool connect(const std::string &socketPath, std::string *error);
+
+    /**
+     * Connect to the daemon's TCP listener ("host:port", resolved via
+     * getaddrinfo; TCP_NODELAY is set so small frames are not Nagle'd).
+     * Same protocol, same calls.
+     */
+    bool connectTcp(const std::string &hostPort, std::string *error);
 
     void close();
 

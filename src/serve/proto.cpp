@@ -4,6 +4,7 @@
 #include <cstring>
 #include <ostream>
 #include <sstream>
+#include <sys/uio.h>
 #include <unistd.h>
 #include <utility>
 
@@ -571,24 +572,6 @@ summarizeResult(const JobResult &result, Response *out)
 
 namespace {
 
-bool
-writeFully(int fd, const std::uint8_t *data, std::size_t size)
-{
-    std::size_t done = 0;
-    while (done < size) {
-        ssize_t n = ::write(fd, data + done, size - done);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        if (n == 0)
-            return false;
-        done += static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
 /** 1 = ok, 0 = clean EOF before any byte, -1 = error/short read. */
 int
 readFully(int fd, std::uint8_t *data, std::size_t size)
@@ -616,13 +599,40 @@ writeFrame(int fd, const std::vector<std::uint8_t> &payload)
     if (payload.size() > kMaxFrameBytes)
         return false;
     std::uint8_t header[4];
-    std::uint32_t length = static_cast<std::uint32_t>(payload.size());
-    for (int i = 0; i < 4; ++i)
-        header[i] = static_cast<std::uint8_t>(length >> (8 * i));
-    if (!writeFully(fd, header, sizeof header))
-        return false;
-    return payload.empty() ||
-           writeFully(fd, payload.data(), payload.size());
+    wire::storeU32le(header,
+                     static_cast<std::uint32_t>(payload.size()));
+    // Scatter-gather: header and payload leave in one writev(2), so a
+    // response is one syscall and (on TCP with NODELAY) one segment
+    // instead of a tiny header packet followed by the payload.
+    std::size_t total = sizeof header + payload.size();
+    std::size_t done = 0;
+    while (done < total) {
+        iovec iov[2];
+        int iovCount = 0;
+        if (done < sizeof header) {
+            iov[iovCount++] = {header + done, sizeof header - done};
+            if (!payload.empty()) {
+                iov[iovCount++] = {
+                    const_cast<std::uint8_t *>(payload.data()),
+                    payload.size()};
+            }
+        } else {
+            std::size_t off = done - sizeof header;
+            iov[iovCount++] = {
+                const_cast<std::uint8_t *>(payload.data()) + off,
+                payload.size() - off};
+        }
+        ssize_t n = ::writev(fd, iov, iovCount);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
 }
 
 bool
@@ -640,6 +650,25 @@ readFrame(int fd, std::vector<std::uint8_t> *payload,
     payload->resize(length);
     return length == 0 ||
            readFully(fd, payload->data(), length) == 1;
+}
+
+bool
+splitHostPort(const std::string &spec, std::string *host,
+              std::string *port, std::string *error)
+{
+    std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == spec.size()) {
+        if (error != nullptr)
+            *error = "expected host:port, got '" + spec + "'";
+        return false;
+    }
+    *host = spec.substr(0, colon);
+    *port = spec.substr(colon + 1);
+    if (host->size() >= 2 && host->front() == '[' &&
+        host->back() == ']')
+        *host = host->substr(1, host->size() - 2);
+    return true;
 }
 
 } // namespace cs::serve

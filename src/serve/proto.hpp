@@ -173,6 +173,14 @@ bool writeFrame(int fd, const std::vector<std::uint8_t> &payload);
 bool readFrame(int fd, std::vector<std::uint8_t> *payload,
                std::size_t maxBytes = kMaxFrameBytes);
 
+/**
+ * Split a "host:port" spec at the last ':' (so bare IPv6 works as
+ * "[::1]:9000" — brackets are stripped). False + diagnostic when
+ * either side is empty or the ':' is missing.
+ */
+bool splitHostPort(const std::string &spec, std::string *host,
+                   std::string *port, std::string *error);
+
 } // namespace cs::serve
 
 #endif // CS_SERVE_PROTO_HPP

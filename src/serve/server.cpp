@@ -1,9 +1,13 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <arpa/inet.h>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sstream>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -29,6 +33,67 @@ pipelineConfig(const ServerConfig &config)
     return out;
 }
 
+/**
+ * Bind and listen a TCP socket per "host:port" spec. Returns the fd
+ * (or -1 + diagnostic) and reports the actually-bound port — the
+ * kernel-assigned one when the spec said ":0".
+ */
+int
+bindTcpListener(const std::string &spec, int backlog, int *portOut,
+                std::string *error)
+{
+    std::string host, port;
+    if (!splitHostPort(spec, &host, &port, error))
+        return -1;
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo *result = nullptr;
+    int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints,
+                           &result);
+    if (rc != 0) {
+        *error = std::string("resolve: ") + ::gai_strerror(rc);
+        return -1;
+    }
+    int fd = -1;
+    int lastErrno = 0;
+    for (addrinfo *ai = result; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            lastErrno = errno;
+            continue;
+        }
+        int on = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &on, sizeof on);
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(fd, backlog) == 0)
+            break;
+        lastErrno = errno;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(result);
+    if (fd < 0) {
+        *error = std::string("bind/listen: ") +
+                 std::strerror(lastErrno);
+        return -1;
+    }
+    sockaddr_storage ss{};
+    socklen_t len = sizeof ss;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&ss), &len) ==
+        0) {
+        if (ss.ss_family == AF_INET) {
+            *portOut = ntohs(
+                reinterpret_cast<sockaddr_in *>(&ss)->sin_port);
+        } else if (ss.ss_family == AF_INET6) {
+            *portOut = ntohs(
+                reinterpret_cast<sockaddr_in6 *>(&ss)->sin6_port);
+        }
+    }
+    return fd;
+}
+
 } // namespace
 
 ScheduleServer::ScheduleServer(const ServerConfig &config)
@@ -45,50 +110,80 @@ ScheduleServer::start()
 {
     if (running_.load())
         return true;
-    if (config_.socketPath.empty()) {
-        CS_WARN("cs_serve: empty socket path");
+    if (config_.socketPath.empty() && config_.listenTcp.empty()) {
+        CS_WARN("cs_serve: no listener configured (need a socket path "
+                "or a TCP listen spec)");
         return false;
     }
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (config_.socketPath.size() >= sizeof(addr.sun_path)) {
-        CS_WARN("cs_serve: socket path too long: ", config_.socketPath);
-        return false;
-    }
-    std::strncpy(addr.sun_path, config_.socketPath.c_str(),
-                 sizeof(addr.sun_path) - 1);
 
     // A peer that vanishes mid-reply must surface as a write error,
     // not kill the daemon.
     ::signal(SIGPIPE, SIG_IGN);
 
-    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listenFd_ < 0) {
-        CS_WARN("cs_serve: socket(): ", std::strerror(errno));
-        return false;
+    if (!config_.socketPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (config_.socketPath.size() >= sizeof(addr.sun_path)) {
+            CS_WARN("cs_serve: socket path too long: ",
+                    config_.socketPath);
+            return false;
+        }
+        std::strncpy(addr.sun_path, config_.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd_ < 0) {
+            CS_WARN("cs_serve: socket(): ", std::strerror(errno));
+            return false;
+        }
+        ::unlink(config_.socketPath.c_str());
+        if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) != 0) {
+            CS_WARN("cs_serve: bind('", config_.socketPath,
+                    "'): ", std::strerror(errno));
+            ::close(listenFd_);
+            listenFd_ = -1;
+            return false;
+        }
+        if (::listen(listenFd_, config_.listenBacklog) != 0) {
+            CS_WARN("cs_serve: listen(): ", std::strerror(errno));
+            ::close(listenFd_);
+            listenFd_ = -1;
+            return false;
+        }
     }
-    ::unlink(config_.socketPath.c_str());
-    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
-               sizeof addr) != 0) {
-        CS_WARN("cs_serve: bind('", config_.socketPath,
-                "'): ", std::strerror(errno));
-        ::close(listenFd_);
-        listenFd_ = -1;
-        return false;
-    }
-    if (::listen(listenFd_, config_.listenBacklog) != 0) {
-        CS_WARN("cs_serve: listen(): ", std::strerror(errno));
-        ::close(listenFd_);
-        listenFd_ = -1;
-        return false;
+    if (!config_.listenTcp.empty()) {
+        std::string error;
+        int fd = bindTcpListener(config_.listenTcp,
+                                 config_.listenBacklog,
+                                 &boundTcpPort_, &error);
+        if (fd < 0) {
+            CS_WARN("cs_serve: tcp '", config_.listenTcp, "': ",
+                    error);
+            int udsFd = listenFd_.exchange(-1);
+            if (udsFd >= 0) {
+                ::close(udsFd);
+                ::unlink(config_.socketPath.c_str());
+            }
+            return false;
+        }
+        tcpListenFd_ = fd;
     }
 
     running_.store(true);
     draining_.store(false);
     deadlineStop_ = false;
-    acceptThread_ = std::thread([this] { acceptLoop(); });
+    if (listenFd_.load() >= 0) {
+        acceptThread_ =
+            std::thread([this] { acceptLoop(listenFd_, false); });
+        CS_INFORM("cs_serve: listening on ", config_.socketPath);
+    }
+    if (tcpListenFd_.load() >= 0) {
+        tcpAcceptThread_ =
+            std::thread([this] { acceptLoop(tcpListenFd_, true); });
+        CS_INFORM("cs_serve: listening on tcp ", config_.listenTcp,
+                  " (port ", boundTcpPort_, ")");
+    }
     deadlineThread_ = std::thread([this] { deadlineLoop(); });
-    CS_INFORM("cs_serve: listening on ", config_.socketPath);
     return true;
 }
 
@@ -99,14 +194,21 @@ ScheduleServer::stop()
         return;
     draining_.store(true);
 
-    // 1. Stop accepting: closing the listener unblocks accept().
+    // 1. Stop accepting: closing the listeners unblocks accept().
     int listenFd = listenFd_.exchange(-1);
     if (listenFd >= 0) {
         ::shutdown(listenFd, SHUT_RDWR);
         ::close(listenFd);
     }
+    int tcpFd = tcpListenFd_.exchange(-1);
+    if (tcpFd >= 0) {
+        ::shutdown(tcpFd, SHUT_RDWR);
+        ::close(tcpFd);
+    }
     if (acceptThread_.joinable())
         acceptThread_.join();
+    if (tcpAcceptThread_.joinable())
+        tcpAcceptThread_.join();
 
     // 2. Drain: readers stay up (answering new Schedule requests with
     //    ShuttingDown) until every admitted job finished and replied.
@@ -150,15 +252,16 @@ ScheduleServer::stop()
         }
     }
 
-    ::unlink(config_.socketPath.c_str());
+    if (!config_.socketPath.empty())
+        ::unlink(config_.socketPath.c_str());
     CS_INFORM("cs_serve: drained and stopped");
 }
 
 void
-ScheduleServer::acceptLoop()
+ScheduleServer::acceptLoop(std::atomic<int> &listenFd, bool tcp)
 {
     for (;;) {
-        int fd = ::accept(listenFd_.load(), nullptr, nullptr);
+        int fd = ::accept(listenFd.load(), nullptr, nullptr);
         if (fd < 0) {
             if (errno == EINTR)
                 continue;
@@ -167,6 +270,12 @@ ScheduleServer::acceptLoop()
         if (draining_.load()) {
             ::close(fd);
             continue;
+        }
+        if (tcp) {
+            // Request/response frames are small; without NODELAY the
+            // last short segment of a reply sits in the Nagle buffer.
+            int on = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof on);
         }
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
@@ -236,13 +345,22 @@ ScheduleServer::handleRequest(const std::shared_ptr<Connection> &conn,
         return;
     }
 
-    // Schedule.
+    // Schedule. Counted in-flight for the WHOLE handling, the early
+    // reply paths included: stop()'s drain wait must not pass — and
+    // close connections / tear down the pipeline — between a request
+    // being observed and its reply being written. Every return below
+    // sends its response first and only then calls finishRequest().
     metrics_.counters().bump("serve.schedule_requests");
+    std::size_t admitted = inFlight_.fetch_add(1) + 1;
     if (draining_.load()) {
+        // Checked after the increment: if stop() flipped draining_
+        // first, its drain wait now holds until this reply is out; if
+        // the increment won, the submit below beats the drain.
         metrics_.counters().bump("serve.shutting_down");
         response.status = ResponseStatus::ShuttingDown;
         response.message = "server is draining";
         sendResponse(conn, response);
+        finishRequest();
         return;
     }
     if (request.deadlineMs < 0) {
@@ -252,19 +370,50 @@ ScheduleServer::handleRequest(const std::shared_ptr<Connection> &conn,
         response.status = ResponseStatus::DeadlineExceeded;
         response.message = "deadline expired before scheduling";
         sendResponse(conn, response);
+        finishRequest();
         return;
+    }
+
+    if (config_.readerFastPath) {
+        // Warm-hit fast path: probe the cache here on the reader
+        // thread and reply without the pipeline queue hop. Exactness:
+        // lookupCached is the same code runOne dispatches through, so
+        // the result summary, status mapping, and counters are
+        // identical to the dispatched path — only the hop is gone. A
+        // hit holds no worker and is never rejected (it occupies an
+        // in-flight slot only for the microseconds of the probe and
+        // reply); a miss falls through and pays one redundant (cheap)
+        // cache probe.
+        ScheduleJob probe = jobSetToScheduleJobs(request.jobs).front();
+        if (std::optional<JobResult> hit =
+                pipeline_.lookupCached(probe)) {
+            metrics_.counters().bump("serve.fast_path_hits");
+            summarizeResult(*hit, &response);
+            if (!hit->success) {
+                metrics_.counters().bump("serve.errors");
+                response.status = ResponseStatus::Error;
+                response.message = hit->sched.failure;
+            } else {
+                metrics_.counters().bump("serve.ok");
+                response.status = ResponseStatus::Ok;
+            }
+            metrics_.recordTimeMs("serve.request", hit->wallMs);
+            sendResponse(conn, response);
+            finishRequest();
+            return;
+        }
+        metrics_.counters().bump("serve.fast_path_misses");
     }
 
     // Admission control: a bounded in-flight count is the whole
     // policy — cheap, and overload is visible to the client instead
     // of buried in a queue.
-    std::size_t admitted = inFlight_.fetch_add(1) + 1;
     if (admitted > config_.maxInFlight) {
-        inFlight_.fetch_sub(1);
         metrics_.counters().bump("serve.rejected_overload");
         response.status = ResponseStatus::RejectedOverload;
         response.message = "in-flight limit reached, retry later";
         sendResponse(conn, response);
+        finishRequest();
         return;
     }
 
@@ -399,6 +548,7 @@ ScheduleServer::statsJson() const
 
     static const char *const kServeCounters[] = {
         "serve.requests",         "serve.schedule_requests",
+        "serve.fast_path_hits",   "serve.fast_path_misses",
         "serve.ok",               "serve.errors",
         "serve.rejected_overload", "serve.deadline_preempted",
         "serve.deadline_expired", "serve.shutting_down",

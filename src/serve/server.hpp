@@ -50,8 +50,25 @@ namespace cs::serve {
 
 struct ServerConfig
 {
-    /** Unix-domain socket path (an existing file is replaced). */
+    /**
+     * Unix-domain socket path (an existing file is replaced). Empty
+     * disables the UDS listener; at least one of socketPath/listenTcp
+     * must be set.
+     */
     std::string socketPath;
+    /**
+     * TCP listen spec "host:port" ("127.0.0.1:0" binds an ephemeral
+     * port — see boundTcpPort()). Empty disables the TCP listener.
+     * Same framed protocol and version check as the UDS listener.
+     */
+    std::string listenTcp;
+    /**
+     * Probe the schedule cache on the connection reader thread and
+     * answer warm hits without dispatching to the pipeline (DESIGN.md
+     * §5h). Responses are byte-identical either way; this only removes
+     * the queue hop from warm p99.
+     */
+    bool readerFastPath = true;
     /** Pipeline worker threads; 0 = hardware concurrency. */
     unsigned workerThreads = 0;
     /** Memory-tier schedule-cache entries. */
@@ -97,6 +114,13 @@ class ScheduleServer
 
     const std::string &socketPath() const { return config_.socketPath; }
 
+    /**
+     * Port the TCP listener actually bound (0 when TCP is disabled or
+     * not yet started). With a ":0" spec this is the kernel-assigned
+     * ephemeral port — tests depend on it.
+     */
+    int boundTcpPort() const { return boundTcpPort_; }
+
     /** Serving + pipeline + cache counters as one JSON object. */
     std::string statsJson() const;
 
@@ -124,7 +148,7 @@ class ScheduleServer
         std::chrono::steady_clock::time_point deadline{};
     };
 
-    void acceptLoop();
+    void acceptLoop(std::atomic<int> &listenFd, bool tcp);
     void connectionLoop(std::shared_ptr<Connection> conn);
     void handleRequest(const std::shared_ptr<Connection> &conn,
                        Request &&request);
@@ -138,13 +162,16 @@ class ScheduleServer
     SchedulingPipeline pipeline_;
     MetricsRegistry metrics_;
 
-    // Atomic: stop() closes the listener (and writes -1) while the
-    // accept thread is still reading it for the next accept() call.
+    // Atomic: stop() closes the listeners (and writes -1) while the
+    // accept threads are still reading them for the next accept().
     std::atomic<int> listenFd_{-1};
+    std::atomic<int> tcpListenFd_{-1};
+    int boundTcpPort_ = 0;
     std::atomic<bool> running_{false};
     std::atomic<bool> draining_{false};
 
     std::thread acceptThread_;
+    std::thread tcpAcceptThread_;
     std::mutex connMutex_;
     std::vector<std::shared_ptr<Connection>> connections_;
     std::vector<std::thread> connThreads_;

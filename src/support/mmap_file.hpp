@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Read-only memory-mapped file view for the serving hot path.
+ *
+ * MmapFile wraps open(2) + mmap(2) with the lifetime rules the
+ * persistent cache needs (DESIGN.md §5h):
+ *
+ *  - The mapping is a *snapshot of length*: it covers [0, size()) where
+ *    size() is the file size at map (or last remap) time. Bytes
+ *    appended to the file afterwards are not visible until remap().
+ *  - Touching pages wholly past the file's current EOF raises SIGBUS,
+ *    so callers must never read past a region they know is stable.
+ *    The cache guarantees this by only dereferencing offsets bounded
+ *    by its validated records region, which no writer ever truncates
+ *    below (appenders only ever cut the *footer*, which sits after it).
+ *  - remap() re-stats the file and maps the new length, invalidating
+ *    previous data() pointers. Callers serialize remap() against reads
+ *    themselves (the cache does both under the per-shard mutex).
+ *
+ * mmap failure is not fatal: valid() turns false and callers fall back
+ * to pread(2). That keeps exotic filesystems working, just without the
+ * zero-copy read path.
+ */
+
+#ifndef CS_SUPPORT_MMAP_FILE_HPP
+#define CS_SUPPORT_MMAP_FILE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace cs {
+
+/** Read-only mmap view of a file; see the file comment for lifetime. */
+class MmapFile
+{
+  public:
+    MmapFile() = default;
+    ~MmapFile() { reset(); }
+
+    MmapFile(const MmapFile &) = delete;
+    MmapFile &operator=(const MmapFile &) = delete;
+
+    MmapFile(MmapFile &&other) noexcept { *this = std::move(other); }
+    MmapFile &
+    operator=(MmapFile &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            data_ = other.data_;
+            size_ = other.size_;
+            other.data_ = nullptr;
+            other.size_ = 0;
+        }
+        return *this;
+    }
+
+    /**
+     * Map @p fd (which stays owned by the caller) at its current
+     * length. An empty file maps successfully with size() == 0.
+     * Returns false (and valid() == false) when mmap itself fails.
+     */
+    bool
+    map(int fd)
+    {
+        reset();
+        struct stat st{};
+        if (::fstat(fd, &st) != 0 || st.st_size < 0)
+            return false;
+        size_ = static_cast<std::size_t>(st.st_size);
+        if (size_ == 0) {
+            data_ = nullptr;
+            mapped_ = true;
+            return true;
+        }
+        void *p = ::mmap(nullptr, size_, PROT_READ, MAP_SHARED, fd, 0);
+        if (p == MAP_FAILED) {
+            size_ = 0;
+            return false;
+        }
+        data_ = static_cast<const std::uint8_t *>(p);
+        mapped_ = true;
+        return true;
+    }
+
+    /** Drop the old view and map the file's current length. */
+    bool remap(int fd) { return map(fd); }
+
+    /** A view exists (possibly empty). */
+    bool valid() const { return mapped_; }
+
+    const std::uint8_t *data() const { return data_; }
+
+    /** Mapped length: the file size at map()/remap() time. */
+    std::size_t size() const { return size_; }
+
+    void
+    reset()
+    {
+        if (data_ != nullptr)
+            ::munmap(const_cast<std::uint8_t *>(data_), size_);
+        data_ = nullptr;
+        size_ = 0;
+        mapped_ = false;
+    }
+
+  private:
+    const std::uint8_t *data_ = nullptr;
+    std::size_t size_ = 0;
+    bool mapped_ = false;
+};
+
+} // namespace cs
+
+#endif // CS_SUPPORT_MMAP_FILE_HPP

@@ -24,6 +24,60 @@
 
 namespace cs::wire {
 
+/** @name Raw little-endian loads/stores
+ *  Shared by every fixed-layout on-disk/on-wire structure that is not
+ *  written through ByteWriter (shard records and index footers in
+ *  pipeline/persistent_cache, frame headers in serve/proto). Byte-wise,
+ *  so they are endian- and alignment-safe on any host.
+ */
+/// @{
+inline std::uint32_t
+loadU32le(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+inline std::uint64_t
+loadU64le(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+inline void
+storeU32le(std::uint8_t *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+inline void
+storeU64le(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+inline void
+appendU32le(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void
+appendU64le(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+/// @}
+
 /**
  * Whitespace-separated token scanner. Tokens are words, quoted
  * strings ("..." with \\ \" \n \t escapes, decoded), or single

@@ -183,8 +183,24 @@ TEST(PersistentCache, CorruptRecordDetectedOnReopen)
         f.write(&byte, 1);
     }
 
+    {
+        // The footer survived (the flip hit the payload), so the O(1)
+        // reopen trusts it — but the read-time checksum catches the
+        // damage and the lookup degrades to a miss.
+        PersistentScheduleCache cache(16, dir, 1);
+        PersistentScheduleCache::DiskStats disk = cache.diskStats();
+        EXPECT_EQ(disk.footerLoads, 1u);
+        EXPECT_EQ(disk.loadedEntries, 1u);
+        EXPECT_FALSE(cache.lookup(1).has_value());
+        EXPECT_EQ(cache.diskStats().readErrors, 1u);
+    }
+
+    // A crashed daemon leaves no footer: the fallback scan finds the
+    // corruption at open, truncates the shard there, and self-heals.
+    ASSERT_EQ(PersistentScheduleCache::stripIndexFooters(dir), 1);
     PersistentScheduleCache cache(16, dir, 1);
     PersistentScheduleCache::DiskStats disk = cache.diskStats();
+    EXPECT_EQ(disk.scanLoads, 1u);
     EXPECT_EQ(disk.loadedEntries, 0u);
     EXPECT_GT(disk.truncatedBytes, 0u);
     EXPECT_FALSE(cache.lookup(1).has_value());
@@ -227,6 +243,237 @@ TEST(PersistentCache, CorruptionAfterOpenDegradesToMiss)
     PersistentScheduleCache::DiskStats disk = cache.diskStats();
     EXPECT_EQ(disk.readErrors, 1u);
     EXPECT_EQ(disk.misses, 1u);
+}
+
+/** FNV-1a 64 as the shard files use it (records and footers). */
+std::uint64_t
+testFnv1a(const std::uint8_t *data, std::size_t size)
+{
+    std::uint64_t state = 14695981039346656037ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        state ^= data[i];
+        state *= 1099511628211ull;
+    }
+    return state;
+}
+
+/** Raw shard-record bytes for @p key, as a crashed or foreign writer
+ *  would append them (no footer maintenance). */
+std::vector<std::uint8_t>
+rawRecord(std::uint64_t key, const JobResult &result)
+{
+    std::vector<std::uint8_t> payload;
+    wire::ByteWriter writer(payload);
+    encodeJobResult(writer, result);
+    std::vector<std::uint8_t> record;
+    wire::appendU32le(record, kShardRecordMagic);
+    wire::appendU64le(record, key);
+    wire::appendU32le(record,
+                      static_cast<std::uint32_t>(payload.size()));
+    record.insert(record.end(), payload.begin(), payload.end());
+    wire::appendU64le(record,
+                      testFnv1a(payload.data(), payload.size()));
+    return record;
+}
+
+void
+appendBytes(const fs::path &file, const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(file, std::ios::binary | std::ios::app);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(PersistentCache, TornFooterFallsBackToScan)
+{
+    std::string dir = freshCacheDir("cache_torn_footer");
+    {
+        PersistentScheduleCache cache(16, dir, 1);
+        for (std::uint64_t key = 1; key <= 3; ++key)
+            cache.insert(key, sampleResult());
+    } // clean close appends the index footer
+    std::vector<fs::path> files = shardFiles(dir);
+    ASSERT_EQ(files.size(), 1u);
+    std::uintmax_t sizeWithFooter = fs::file_size(files[0]);
+
+    // A crash mid-footer-write: the tail (and its magic) never landed.
+    fs::resize_file(files[0], sizeWithFooter - 3);
+
+    PersistentScheduleCache cache(16, dir, 1);
+    PersistentScheduleCache::DiskStats disk = cache.diskStats();
+    EXPECT_EQ(disk.footerLoads, 0u);
+    EXPECT_EQ(disk.scanLoads, 1u);
+    EXPECT_EQ(disk.loadedEntries, 3u);
+    EXPECT_GT(disk.truncatedBytes, 0u); // the torn footer was cut off
+    for (std::uint64_t key = 1; key <= 3; ++key) {
+        std::optional<JobResult> hit = cache.lookup(key);
+        ASSERT_TRUE(hit.has_value()) << "key " << key;
+        EXPECT_EQ(hit->listing, sampleResult().listing);
+    }
+    EXPECT_EQ(cache.diskStats().readErrors, 0u);
+}
+
+TEST(PersistentCache, FlippedFooterChecksumFallsBackToScan)
+{
+    std::string dir = freshCacheDir("cache_footer_checksum");
+    {
+        PersistentScheduleCache cache(16, dir, 1);
+        cache.insert(1, sampleResult());
+        cache.insert(2, otherResult());
+    }
+    std::vector<fs::path> files = shardFiles(dir);
+    ASSERT_EQ(files.size(), 1u);
+    std::uintmax_t size = fs::file_size(files[0]);
+    {
+        // Flip one bit of the footer checksum (8 bytes before the tail
+        // magic): geometry and magics still hold, the checksum doesn't.
+        std::fstream f(files[0], std::ios::binary | std::ios::in |
+                                     std::ios::out);
+        f.seekg(static_cast<std::streamoff>(size - 12));
+        char byte = 0;
+        f.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0x01);
+        f.seekp(static_cast<std::streamoff>(size - 12));
+        f.write(&byte, 1);
+    }
+
+    {
+        PersistentScheduleCache cache(16, dir, 1);
+        PersistentScheduleCache::DiskStats disk = cache.diskStats();
+        EXPECT_EQ(disk.footerLoads, 0u);
+        EXPECT_EQ(disk.scanLoads, 1u);
+        EXPECT_EQ(disk.loadedEntries, 2u);
+        EXPECT_GT(disk.truncatedBytes, 0u);
+        std::optional<JobResult> one = cache.lookup(1);
+        std::optional<JobResult> two = cache.lookup(2);
+        ASSERT_TRUE(one.has_value());
+        ASSERT_TRUE(two.has_value());
+        EXPECT_EQ(one->listing, sampleResult().listing);
+        EXPECT_EQ(two->listing, otherResult().listing);
+    } // clean close writes a fresh, valid footer
+
+    PersistentScheduleCache reopened(16, dir, 1);
+    EXPECT_EQ(reopened.diskStats().footerLoads, 1u);
+    EXPECT_EQ(reopened.diskStats().loadedEntries, 2u);
+}
+
+TEST(PersistentCache, FooterEntryPastDataEndFallsBackToScan)
+{
+    std::string dir = freshCacheDir("cache_footer_bounds");
+    {
+        PersistentScheduleCache cache(16, dir, 1);
+        cache.insert(1, sampleResult());
+        cache.insert(2, sampleResult());
+    }
+    std::vector<fs::path> files = shardFiles(dir);
+    ASSERT_EQ(files.size(), 1u);
+    std::uintmax_t size = fs::file_size(files[0]);
+
+    // A correctly checksummed footer whose entry points past the
+    // records region: every field validates except the entry bounds,
+    // so trusting it blindly would index into nothing. The open must
+    // reject it and fall back to the scan.
+    std::vector<std::uint8_t> fake;
+    wire::appendU32le(fake, kShardFooterMagic);
+    wire::appendU64le(fake, 1); // one entry
+    wire::appendU64le(fake, 99);
+    wire::appendU64le(fake, size + 4096); // offset past EOF
+    wire::appendU32le(fake, 16);
+    wire::appendU64le(fake, size); // dataEnd: this footer's position
+    wire::appendU64le(fake, testFnv1a(fake.data(), fake.size()));
+    wire::appendU32le(fake, kShardFooterTailMagic);
+    appendBytes(files[0], fake);
+
+    PersistentScheduleCache cache(16, dir, 1);
+    PersistentScheduleCache::DiskStats disk = cache.diskStats();
+    EXPECT_EQ(disk.footerLoads, 0u);
+    EXPECT_EQ(disk.scanLoads, 1u);
+    EXPECT_EQ(disk.loadedEntries, 2u);
+    EXPECT_TRUE(cache.lookup(1).has_value());
+    EXPECT_TRUE(cache.lookup(2).has_value());
+    EXPECT_FALSE(cache.lookup(99).has_value());
+    EXPECT_EQ(cache.diskStats().readErrors, 0u);
+}
+
+TEST(PersistentCache, AppendAfterCleanCloseKeepsEveryRecord)
+{
+    std::string dir = freshCacheDir("cache_append_after_close");
+    {
+        PersistentScheduleCache cache(16, dir, 1);
+        cache.insert(1, sampleResult());
+    } // [rec1][footer]
+
+    {
+        // Reopen warm (O(1) footer load) and append: the stale footer
+        // is truncated before the new record lands, so the records
+        // region stays contiguous.
+        PersistentScheduleCache cache(16, dir, 1);
+        EXPECT_EQ(cache.diskStats().footerLoads, 1u);
+        cache.insert(2, sampleResult());
+        EXPECT_EQ(cache.diskStats().writes, 1u);
+    } // [rec1][rec2][footer]
+
+    {
+        PersistentScheduleCache cache(16, dir, 1);
+        EXPECT_EQ(cache.diskStats().footerLoads, 1u);
+        EXPECT_EQ(cache.diskStats().loadedEntries, 2u);
+        EXPECT_TRUE(cache.lookup(1).has_value());
+        EXPECT_TRUE(cache.lookup(2).has_value());
+    }
+
+    // A crashed foreign writer that appended past the footer without
+    // truncating it: the scan must skip the (valid, in-place) stale
+    // footer and keep both the old and the appended records.
+    std::vector<fs::path> files = shardFiles(dir);
+    ASSERT_EQ(files.size(), 1u);
+    appendBytes(files[0], rawRecord(3, otherResult()));
+
+    PersistentScheduleCache cache(16, dir, 1);
+    PersistentScheduleCache::DiskStats disk = cache.diskStats();
+    EXPECT_EQ(disk.footerLoads, 0u);
+    EXPECT_EQ(disk.scanLoads, 1u);
+    EXPECT_EQ(disk.loadedEntries, 3u);
+    EXPECT_EQ(disk.truncatedBytes, 0u); // nothing was lost
+    std::optional<JobResult> one = cache.lookup(1);
+    std::optional<JobResult> three = cache.lookup(3);
+    ASSERT_TRUE(one.has_value());
+    ASSERT_TRUE(cache.lookup(2).has_value());
+    ASSERT_TRUE(three.has_value());
+    EXPECT_EQ(one->listing, sampleResult().listing);
+    EXPECT_EQ(three->listing, otherResult().listing);
+}
+
+TEST(PersistentCache, StripIndexFootersForcesScanThenHeals)
+{
+    std::string dir = freshCacheDir("cache_strip");
+    {
+        PersistentScheduleCache cache(16, dir, 2);
+        for (std::uint64_t key = 1; key <= 3; ++key)
+            cache.insert(key, sampleResult());
+    }
+    // Both shards carry a footer; stripping emulates a crash that
+    // never reached the clean close.
+    EXPECT_EQ(PersistentScheduleCache::stripIndexFooters(dir), 2);
+    EXPECT_EQ(PersistentScheduleCache::stripIndexFooters(dir), 0);
+
+    {
+        PersistentScheduleCache cache(16, dir, 2);
+        PersistentScheduleCache::DiskStats disk = cache.diskStats();
+        EXPECT_EQ(disk.footerLoads, 0u);
+        EXPECT_EQ(disk.scanLoads, 2u);
+        EXPECT_EQ(disk.loadedEntries, 3u);
+        EXPECT_EQ(disk.truncatedBytes, 0u);
+        for (std::uint64_t key = 1; key <= 3; ++key) {
+            std::optional<JobResult> hit = cache.lookup(key);
+            ASSERT_TRUE(hit.has_value()) << "key " << key;
+            EXPECT_EQ(hit->listing, sampleResult().listing);
+        }
+    } // the clean close restores both footers
+
+    PersistentScheduleCache cache(16, dir, 2);
+    EXPECT_EQ(cache.diskStats().footerLoads, 2u);
+    EXPECT_EQ(cache.diskStats().scanLoads, 0u);
+    EXPECT_EQ(cache.diskStats().loadedEntries, 3u);
 }
 
 TEST(PersistentCache, DuplicateKeysKeepLastRecord)
@@ -337,18 +584,25 @@ TEST(CacheCounterEmitters, SharedWritersMatchHandCounts)
     PersistentScheduleCache::DiskStats disk;
     disk.loadedEntries = 7;
     disk.truncatedBytes = 24;
+    disk.footerLoads = 3;
+    disk.scanLoads = 1;
+    disk.ownedShards = 4;
     disk.hits = 5;
     disk.misses = 1;
     disk.readErrors = 1;
     disk.writes = 9;
     disk.writeErrors = 0;
+    disk.droppedReadOnly = 2;
+    disk.remaps = 6;
     CounterSet diskSet = toCounterSet(disk);
     std::ostringstream diskJson;
     writeCounterObject(diskJson, diskSet, kDiskCacheCounters);
     EXPECT_EQ(diskJson.str(),
               "{\"loaded_entries\":7,\"truncated_bytes\":24,"
-              "\"hits\":5,\"misses\":1,\"read_errors\":1,"
-              "\"writes\":9,\"write_errors\":0}");
+              "\"footer_loads\":3,\"scan_loads\":1,"
+              "\"owned_shards\":4,\"hits\":5,\"misses\":1,"
+              "\"read_errors\":1,\"writes\":9,\"write_errors\":0,"
+              "\"dropped_read_only\":2,\"remaps\":6}");
 }
 
 TEST(ResultIo, RoundTripPreservesEveryField)

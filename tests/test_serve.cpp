@@ -7,17 +7,31 @@
  * respond paths), admission-control rejection, the already-expired
  * deadline fast path, deadline preemption of a long job, hostile
  * frames, and graceful drain/restart.
+ *
+ * The ServeTcp tests mirror the hostile/overload/deadline/drain
+ * coverage over the TCP listener (plus a version-mismatch frame), the
+ * flock test runs two daemons against one shared cache directory, the
+ * fast-path test pins byte-identity of reader-thread warm hits against
+ * pipeline-dispatched responses, and ServeSoak (perf label, not tier1)
+ * is a short open-loop soak with connection + cache churn and deadline
+ * pressure — CS_SOAK_MS stretches it to a real soak.
  */
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -77,6 +91,50 @@ baseConfig(const std::string &socketPath)
     config.workerThreads = 2;
     config.cacheCapacity = 256;
     return config;
+}
+
+/** TCP-only config on an ephemeral loopback port. */
+serve::ServerConfig
+tcpConfig()
+{
+    serve::ServerConfig config;
+    config.listenTcp = "127.0.0.1:0";
+    config.workerThreads = 2;
+    config.cacheCapacity = 256;
+    return config;
+}
+
+std::string
+tcpAddress(const serve::ScheduleServer &server)
+{
+    return "127.0.0.1:" + std::to_string(server.boundTcpPort());
+}
+
+/** Raw loopback TCP connect (for hostile-frame tests). */
+int
+rawConnectTcp(int port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = inet_addr("127.0.0.1");
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    return fd;
+}
+
+/** Fresh empty cache directory under the test temp root. */
+std::string
+freshCacheDir(const std::string &name)
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
 }
 
 TEST(Serve, PingStatsAndScheduleRoundTrip)
@@ -388,6 +446,459 @@ TEST(Serve, RestartOnSamePathAfterStop)
     ASSERT_TRUE(client.connect(path, &error)) << error;
     EXPECT_TRUE(client.ping(&error)) << error;
     second.stop();
+}
+
+// ---------------------------------------------------------------------
+// TCP transport: the same framed protocol over a loopback listener.
+// ---------------------------------------------------------------------
+
+TEST(ServeTcp, RoundTripMatchesUdsByteForByte)
+{
+    setVerboseLogging(false);
+    // Both listeners on one daemon: a response served over TCP must be
+    // byte-identical to the same request served over UDS (and to the
+    // in-process listing).
+    serve::ServerConfig config = baseConfig(testSocketPath("tcpboth"));
+    config.listenTcp = "127.0.0.1:0";
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+    ASSERT_GT(server.boundTcpPort(), 0);
+
+    serve::JobSet set = oneJobSet("DCT");
+    std::string expected = localListing(set);
+    std::string error;
+
+    serve::ScheduleClient uds;
+    ASSERT_TRUE(uds.connect(config.socketPath, &error)) << error;
+    serve::Response cold;
+    ASSERT_TRUE(uds.schedule(set, 0, &cold, &error)) << error;
+    ASSERT_EQ(cold.status, serve::ResponseStatus::Ok) << cold.message;
+    EXPECT_EQ(cold.listing, expected);
+
+    serve::ScheduleClient tcp;
+    ASSERT_TRUE(tcp.connectTcp(tcpAddress(server), &error)) << error;
+    EXPECT_TRUE(tcp.ping(&error)) << error;
+    serve::Response warm;
+    ASSERT_TRUE(tcp.schedule(set, 0, &warm, &error)) << error;
+    ASSERT_EQ(warm.status, serve::ResponseStatus::Ok) << warm.message;
+    EXPECT_TRUE(warm.cacheHit);
+    EXPECT_EQ(warm.listing, cold.listing);
+    EXPECT_EQ(warm.ii, cold.ii);
+    EXPECT_EQ(warm.length, cold.length);
+    EXPECT_EQ(warm.copiesInserted, cold.copiesInserted);
+
+    std::string statsJson;
+    ASSERT_TRUE(tcp.stats(&statsJson, &error)) << error;
+    EXPECT_NE(statsJson.find("\"serve\""), std::string::npos);
+    server.stop();
+}
+
+TEST(ServeTcp, HostileFramesAndVersionMismatch)
+{
+    setVerboseLogging(false);
+    serve::ServerConfig config = tcpConfig();
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+    int port = server.boundTcpPort();
+    ASSERT_GT(port, 0);
+
+    // Well-framed garbage: BadRequest (or a dropped connection), but
+    // the server keeps serving.
+    {
+        int fd = rawConnectTcp(port);
+        std::vector<std::uint8_t> garbage = {0xde, 0xad, 0xbe, 0xef,
+                                             0x00, 0x01, 0x02};
+        ASSERT_TRUE(serve::writeFrame(fd, garbage));
+        std::vector<std::uint8_t> reply;
+        (void)serve::readFrame(fd, &reply);
+        ::close(fd);
+    }
+
+    // Hostile 4 GiB length prefix: refused before allocation.
+    {
+        int fd = rawConnectTcp(port);
+        const std::uint8_t huge[4] = {0xff, 0xff, 0xff, 0xff};
+        EXPECT_EQ(::write(fd, huge, sizeof huge), 4);
+        std::vector<std::uint8_t> reply;
+        EXPECT_FALSE(serve::readFrame(fd, &reply));
+        ::close(fd);
+    }
+
+    // Truncated frame then hangup: the reader cleans up.
+    {
+        int fd = rawConnectTcp(port);
+        const std::uint8_t shortFrame[6] = {0x40, 0x00, 0x00, 0x00,
+                                            0x01, 0x02};
+        EXPECT_EQ(::write(fd, shortFrame, sizeof shortFrame), 6);
+        ::close(fd);
+    }
+
+    // A future protocol version: well-formed ping frame with version 2
+    // must come back BadRequest naming the version, not crash or hang.
+    {
+        int fd = rawConnectTcp(port);
+        std::vector<std::uint8_t> payload;
+        wire::ByteWriter writer(payload);
+        writer.u8(serve::kProtocolVersion + 1);
+        writer.u8(static_cast<std::uint8_t>(serve::RequestType::Ping));
+        writer.u64(77);
+        writer.i64(0);
+        ASSERT_TRUE(serve::writeFrame(fd, payload));
+        std::vector<std::uint8_t> reply;
+        ASSERT_TRUE(serve::readFrame(fd, &reply));
+        wire::ByteReader reader(
+            std::span<const std::uint8_t>(reply.data(), reply.size()));
+        serve::Response response;
+        ASSERT_TRUE(serve::decodeResponse(reader, &response));
+        EXPECT_EQ(response.status, serve::ResponseStatus::BadRequest);
+        EXPECT_NE(response.message.find("unsupported protocol version"),
+                  std::string::npos)
+            << response.message;
+        ::close(fd);
+    }
+    EXPECT_GE(server.metrics().counters().get("serve.bad_requests"), 2u);
+
+    // The server is still healthy.
+    serve::ScheduleClient client;
+    std::string error;
+    ASSERT_TRUE(client.connectTcp(tcpAddress(server), &error)) << error;
+    serve::JobSet set = oneJobSet("DCT");
+    serve::Response response;
+    ASSERT_TRUE(client.schedule(set, 0, &response, &error)) << error;
+    EXPECT_EQ(response.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(response.listing, localListing(set));
+    server.stop();
+}
+
+TEST(ServeTcp, OverloadRejectedWhenAdmissionFull)
+{
+    setVerboseLogging(false);
+    serve::ServerConfig config = tcpConfig();
+    config.maxInFlight = 0;
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+
+    serve::ScheduleClient client;
+    std::string error;
+    ASSERT_TRUE(client.connectTcp(tcpAddress(server), &error)) << error;
+    serve::JobSet set = oneJobSet("DCT");
+    serve::Response response;
+    ASSERT_TRUE(client.schedule(set, 0, &response, &error)) << error;
+    EXPECT_EQ(response.status, serve::ResponseStatus::RejectedOverload);
+    EXPECT_TRUE(client.ping(&error)) << error;
+    server.stop();
+}
+
+TEST(ServeTcp, ExpiredDeadlineAnsweredWithoutScheduling)
+{
+    setVerboseLogging(false);
+    serve::ServerConfig config = tcpConfig();
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+
+    serve::ScheduleClient client;
+    std::string error;
+    ASSERT_TRUE(client.connectTcp(tcpAddress(server), &error)) << error;
+    serve::JobSet set = oneJobSet("DCT");
+    serve::Response response;
+    ASSERT_TRUE(client.schedule(set, -1, &response, &error)) << error;
+    EXPECT_EQ(response.status, serve::ResponseStatus::DeadlineExceeded);
+    // The expired-deadline path answers before the fast-path cache
+    // probe and before any scheduling work.
+    EXPECT_EQ(server.pipeline().statsSnapshot().get("ops_scheduled"),
+              0u);
+    EXPECT_EQ(server.metrics().counters().get("serve.fast_path_hits") +
+                  server.metrics().counters().get(
+                      "serve.fast_path_misses"),
+              0u);
+    server.stop();
+}
+
+TEST(ServeTcp, GracefulDrainCompletesInFlightWork)
+{
+    setVerboseLogging(false);
+    serve::ServerConfig config = tcpConfig();
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+    std::string address = tcpAddress(server);
+
+    serve::JobSet set = oneJobSet("FFT-U4");
+    std::string expected = localListing(set);
+    serve::Response response;
+    std::string error;
+    bool ok = false;
+    std::thread requester([&] {
+        serve::ScheduleClient client;
+        if (client.connectTcp(address, &error))
+            ok = client.schedule(set, 0, &response, &error);
+    });
+    auto waitStart = std::chrono::steady_clock::now();
+    while (server.metrics().counters().get("serve.schedule_requests") <
+               1 &&
+           std::chrono::steady_clock::now() - waitStart <
+               std::chrono::seconds(10))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    server.stop();
+    requester.join();
+
+    ASSERT_TRUE(ok) << error;
+    if (response.status == serve::ResponseStatus::Ok)
+        EXPECT_EQ(response.listing, expected);
+    else
+        EXPECT_EQ(response.status,
+                  serve::ResponseStatus::ShuttingDown);
+    EXPECT_FALSE(server.running());
+
+    // The port is closed; new connections fail cleanly.
+    serve::ScheduleClient late;
+    EXPECT_FALSE(late.connectTcp(address, &error));
+}
+
+// ---------------------------------------------------------------------
+// Reader-thread fast path and shared-cache-directory ownership.
+// ---------------------------------------------------------------------
+
+TEST(Serve, FastPathMatchesDispatchedWarmResponses)
+{
+    setVerboseLogging(false);
+    serve::JobSet set = oneJobSet("FIR-INT");
+    std::string error;
+
+    // Reference daemon: fast path off, warm hits dispatch through the
+    // pipeline queue.
+    serve::Response dispatched;
+    {
+        serve::ServerConfig config =
+            baseConfig(testSocketPath("fp_off"));
+        config.readerFastPath = false;
+        serve::ScheduleServer server(config);
+        ASSERT_TRUE(server.start());
+        serve::ScheduleClient client;
+        ASSERT_TRUE(client.connect(config.socketPath, &error)) << error;
+        serve::Response cold;
+        ASSERT_TRUE(client.schedule(set, 0, &cold, &error)) << error;
+        ASSERT_EQ(cold.status, serve::ResponseStatus::Ok);
+        ASSERT_TRUE(client.schedule(set, 0, &dispatched, &error))
+            << error;
+        ASSERT_EQ(dispatched.status, serve::ResponseStatus::Ok);
+        ASSERT_TRUE(dispatched.cacheHit);
+        EXPECT_EQ(server.metrics().counters().get(
+                      "serve.fast_path_hits"),
+                  0u);
+        server.stop();
+    }
+
+    // Fast-path daemon: the warm hit is answered on the reader thread
+    // and must be byte-identical in every result field.
+    serve::ServerConfig config = baseConfig(testSocketPath("fp_on"));
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+    serve::ScheduleClient client;
+    ASSERT_TRUE(client.connect(config.socketPath, &error)) << error;
+    serve::Response cold;
+    ASSERT_TRUE(client.schedule(set, 0, &cold, &error)) << error;
+    ASSERT_EQ(cold.status, serve::ResponseStatus::Ok);
+    serve::Response fast;
+    ASSERT_TRUE(client.schedule(set, 0, &fast, &error)) << error;
+    ASSERT_EQ(fast.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(server.metrics().counters().get("serve.fast_path_hits"),
+              1u);
+
+    EXPECT_TRUE(fast.cacheHit);
+    EXPECT_EQ(fast.success, dispatched.success);
+    EXPECT_EQ(fast.cancelled, dispatched.cancelled);
+    EXPECT_EQ(fast.ii, dispatched.ii);
+    EXPECT_EQ(fast.length, dispatched.length);
+    EXPECT_EQ(fast.resMii, dispatched.resMii);
+    EXPECT_EQ(fast.recMii, dispatched.recMii);
+    EXPECT_EQ(fast.copiesInserted, dispatched.copiesInserted);
+    EXPECT_EQ(fast.listing, dispatched.listing);
+    EXPECT_EQ(fast.verifierErrors, dispatched.verifierErrors);
+    EXPECT_EQ(fast.listing, localListing(set));
+    server.stop();
+}
+
+TEST(Serve, TwoDaemonsShareCacheDirectoryViaFlock)
+{
+    setVerboseLogging(false);
+    std::string dir = freshCacheDir("cs_serve_flock");
+    serve::JobSet set = oneJobSet("DCT");
+    std::string expected = localListing(set);
+    std::string error;
+
+    {
+        serve::ServerConfig configA =
+            baseConfig(testSocketPath("flock_a"));
+        configA.cacheDirectory = dir;
+        configA.cacheShards = 2;
+        serve::ScheduleServer a(configA);
+        ASSERT_TRUE(a.start());
+
+        serve::ServerConfig configB =
+            baseConfig(testSocketPath("flock_b"));
+        configB.cacheDirectory = dir;
+        configB.cacheShards = 2;
+        serve::ScheduleServer b(configB);
+        ASSERT_TRUE(b.start());
+
+        // A opened first and holds the flock on every shard; B opened
+        // the same files read-only.
+        EXPECT_EQ(a.pipeline().cache().diskStats().ownedShards, 2u);
+        EXPECT_EQ(b.pipeline().cache().diskStats().ownedShards, 0u);
+
+        serve::ScheduleClient clientA;
+        ASSERT_TRUE(clientA.connect(configA.socketPath, &error))
+            << error;
+        serve::Response fromA;
+        ASSERT_TRUE(clientA.schedule(set, 0, &fromA, &error)) << error;
+        ASSERT_EQ(fromA.status, serve::ResponseStatus::Ok);
+        EXPECT_EQ(fromA.listing, expected);
+        EXPECT_GE(a.pipeline().cache().diskStats().writes, 1u);
+
+        // B schedules the same job independently: correct bytes, but
+        // its disk insert is dropped instead of corrupting A's shard.
+        serve::ScheduleClient clientB;
+        ASSERT_TRUE(clientB.connect(configB.socketPath, &error))
+            << error;
+        serve::Response fromB;
+        ASSERT_TRUE(clientB.schedule(set, 0, &fromB, &error)) << error;
+        ASSERT_EQ(fromB.status, serve::ResponseStatus::Ok);
+        EXPECT_EQ(fromB.listing, expected);
+        auto statsB = b.pipeline().cache().diskStats();
+        EXPECT_EQ(statsB.writes, 0u);
+        EXPECT_GE(statsB.droppedReadOnly, 1u);
+
+        b.stop();
+        a.stop();
+    } // destruction releases the flocks and writes A's index footers
+
+    // A successor daemon re-acquires ownership and restarts warm from
+    // the footer, serving A's result byte-identically.
+    serve::ServerConfig configC = baseConfig(testSocketPath("flock_c"));
+    configC.cacheDirectory = dir;
+    configC.cacheShards = 2;
+    serve::ScheduleServer c(configC);
+    ASSERT_TRUE(c.start());
+    auto statsC = c.pipeline().cache().diskStats();
+    EXPECT_EQ(statsC.ownedShards, 2u);
+    EXPECT_GE(statsC.footerLoads, 1u);
+    EXPECT_GE(statsC.loadedEntries, 1u);
+    EXPECT_EQ(statsC.scanLoads, 0u);
+
+    serve::ScheduleClient clientC;
+    ASSERT_TRUE(clientC.connect(configC.socketPath, &error)) << error;
+    serve::Response fromC;
+    ASSERT_TRUE(clientC.schedule(set, 0, &fromC, &error)) << error;
+    ASSERT_EQ(fromC.status, serve::ResponseStatus::Ok);
+    EXPECT_TRUE(fromC.cacheHit);
+    EXPECT_EQ(fromC.listing, expected);
+    c.stop();
+}
+
+// ---------------------------------------------------------------------
+// Soak: open-loop load with connection, cache, and deadline churn.
+// Runs under the perf ctest label (CS_SLOW_TESTS), not tier1; set
+// CS_SOAK_MS to stretch the default few seconds into a real soak.
+// ---------------------------------------------------------------------
+
+TEST(ServeSoak, OpenLoopChurnStaysClean)
+{
+    setVerboseLogging(false);
+    long soakMs = 6000;
+    if (const char *env = std::getenv("CS_SOAK_MS"))
+        if (long v = std::atol(env); v > 0)
+            soakMs = v;
+
+    serve::ServerConfig config = baseConfig(testSocketPath("soak"));
+    config.listenTcp = "127.0.0.1:0";
+    config.cacheDirectory = freshCacheDir("cs_serve_soak");
+    config.cacheShards = 4;
+    config.maxInFlight = 32;
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+    std::string address = tcpAddress(server);
+
+    // Cheap kernels with a rotating maxDelay: a bounded working set so
+    // warm hits dominate, plus a steady trickle of cold inserts.
+    const char *names[] = {"DCT", "FIR-INT"};
+    std::atomic<long> protocolErrors{0};
+    std::atomic<bool> stop{false};
+    auto worker = [&](int id) {
+        std::uint64_t iter = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            // Connection churn: a fresh client every batch, alternating
+            // transports.
+            serve::ScheduleClient client;
+            std::string error;
+            bool connected =
+                (id % 2 == 0)
+                    ? client.connect(config.socketPath, &error)
+                    : client.connectTcp(address, &error);
+            if (!connected) {
+                ++protocolErrors;
+                break;
+            }
+            for (int k = 0; k < 8 && !stop.load(); ++k, ++iter) {
+                serve::JobSet set = oneJobSet(
+                    names[iter % 2],
+                    2048 + static_cast<int>((iter * 7 + id) % 16));
+                // Deadline pressure: every fourth request arrives
+                // already expired.
+                std::int64_t deadline = (k % 4 == 3) ? -1 : 0;
+                serve::Response response;
+                if (!client.schedule(set, deadline, &response,
+                                     &error)) {
+                    ++protocolErrors;
+                    return;
+                }
+                bool okStatus =
+                    response.status == serve::ResponseStatus::Ok ||
+                    (deadline < 0 &&
+                     response.status ==
+                         serve::ResponseStatus::DeadlineExceeded) ||
+                    response.status ==
+                        serve::ResponseStatus::RejectedOverload;
+                if (!okStatus)
+                    ++protocolErrors;
+            }
+        }
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t)
+        threads.emplace_back(worker, t);
+
+    // Sample while the load runs: serving and cache counters must be
+    // monotone (a regression here means lost or double-counted work).
+    std::uint64_t lastRequests = 0, lastWrites = 0, lastHits = 0;
+    auto start = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - start <
+           std::chrono::milliseconds(soakMs)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        std::uint64_t requests = server.metrics().counters().get(
+            "serve.schedule_requests");
+        auto disk = server.pipeline().cache().diskStats();
+        EXPECT_GE(requests, lastRequests);
+        EXPECT_GE(disk.writes, lastWrites);
+        EXPECT_GE(disk.hits + disk.misses, lastHits);
+        lastRequests = requests;
+        lastWrites = disk.writes;
+        lastHits = disk.hits + disk.misses;
+    }
+    stop.store(true);
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(protocolErrors.load(), 0);
+    EXPECT_GT(lastRequests, 0u);
+    EXPECT_EQ(server.metrics().counters().get("serve.bad_requests"),
+              0u);
+    EXPECT_EQ(server.metrics().counters().get("serve.write_errors"),
+              0u);
+    auto disk = server.pipeline().cache().diskStats();
+    EXPECT_EQ(disk.readErrors, 0u);
+    EXPECT_EQ(disk.writeErrors, 0u);
+    EXPECT_EQ(disk.droppedReadOnly, 0u);
+    server.stop();
 }
 
 } // namespace
