@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Fleet-sweep throughput benchmark: the design-space sweep workload
+ * (costmodel/dse.hpp machine enumeration x the cheap Table-1 kernels,
+ * option variants and herd copies included) pushed through the
+ * scheduling pipeline cold, once with the shared-analysis context
+ * cache and in-flight dedup ON (the defaults) and once with both OFF.
+ *
+ * The workload shape is the one the ISSUE's fleet-sweep story
+ * predicts: each (kernel, machine) design point is revisited by
+ * scheduler-option variants (same analysis, different content key)
+ * and by identical herd copies submitted back to back (same content
+ * key, concurrently in flight). The OFF mode rebuilds the analysis
+ * per job and schedules every duplicate; the ON mode builds each
+ * analysis once and coalesces in-flight duplicates, so cold
+ * throughput scales with *distinct* work. The headline ratio is gated
+ * by bench/perf_smoke.py (>= 1.5x) via the "dse_sweep" section of
+ * BENCH_sched.json.
+ *
+ *   bench_dse_sweep [--json] [--reps N] [--variants N] [--threads N]
+ *                   [--option-variants V] [--herd R] [--seed S]
+ *
+ * Timing note: medians are wall-clock; run on an idle machine.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "costmodel/dse.hpp"
+#include "costmodel/machine_cost.hpp"
+#include "kernels/kernels.hpp"
+#include "pipeline/pipeline.hpp"
+#include "support/logging.hpp"
+#include "support/metrics.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct Args
+{
+    bool json = false;
+    int reps = 1;
+    int variants = 63;
+    int optionVariants = 2;
+    int herd = 2;
+    unsigned threads = 4;
+    std::uint64_t seed = 1;
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto intValue = [&](const char *flag) {
+            if (i + 1 >= argc)
+                CS_FATAL(flag, " needs a value");
+            return std::atoi(argv[++i]);
+        };
+        if (arg == "--json")
+            args.json = true;
+        else if (arg == "--reps")
+            args.reps = intValue("--reps");
+        else if (arg == "--variants")
+            args.variants = intValue("--variants");
+        else if (arg == "--option-variants")
+            args.optionVariants = intValue("--option-variants");
+        else if (arg == "--herd")
+            args.herd = intValue("--herd");
+        else if (arg == "--threads")
+            args.threads = static_cast<unsigned>(intValue("--threads"));
+        else if (arg == "--seed")
+            args.seed = static_cast<std::uint64_t>(intValue("--seed"));
+        else
+            CS_FATAL("unknown argument '", arg, "'");
+    }
+    return args;
+}
+
+double
+median(std::vector<double> values)
+{
+    std::sort(values.begin(), values.end());
+    std::size_t n = values.size();
+    return n % 2 ? values[n / 2]
+                 : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+struct ModeOutcome
+{
+    double medianMs = 0.0;
+    int failures = 0;
+    cs::ContextCache::Stats contexts;
+    std::uint64_t dedupJoins = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cs;
+    setVerboseLogging(false);
+    Args args = parseArgs(argc, argv);
+
+    // The sweep's cheap-kernel suite: the full Table-1 set multiplies
+    // the wall time by ~100x (Sort/Merge) without changing what is
+    // measured — analysis reuse and duplicate coalescing.
+    const char *const kKernelNames[] = {"FFT", "Block Warp", "FIR-FP",
+                                        "DCT"};
+    std::vector<KernelSpec> specs;
+    for (const char *name : kKernelNames)
+        specs.push_back(kernelByName(name));
+
+    std::vector<DsePoint> points =
+        enumerateMachineSpace({args.seed, args.variants});
+
+    // Job order matches cs_sweep: one design point's work is adjacent
+    // (option variants, then herd copies) so duplicates overlap in
+    // flight and the analysis context is hot when its variants run.
+    std::vector<ScheduleJob> batch;
+    for (const DsePoint &point : points) {
+        for (const KernelSpec &spec : specs) {
+            for (int v = 0; v < args.optionVariants; ++v) {
+                ScheduleJob job;
+                job.label = spec.name + "@" + point.name;
+                job.kernel = spec.build();
+                job.block = BlockId(0);
+                job.machine = &point.machine;
+                job.options.permutationBudget += v;
+                for (int r = 0; r < args.herd; ++r)
+                    batch.push_back(job);
+            }
+        }
+    }
+
+    auto runMode = [&](bool shared) {
+        ModeOutcome outcome;
+        std::vector<double> walls;
+        for (int rep = 0; rep < args.reps; ++rep) {
+            PipelineConfig config;
+            config.numThreads = args.threads;
+            config.contextCacheCapacity = shared ? 1024 : 0;
+            config.dedupInFlight = shared;
+            SchedulingPipeline pipeline(config);
+            auto start = std::chrono::steady_clock::now();
+            std::vector<JobResult> results = pipeline.run(batch);
+            auto end = std::chrono::steady_clock::now();
+            walls.push_back(
+                std::chrono::duration<double, std::milli>(end - start)
+                    .count());
+            outcome.failures = 0;
+            for (const JobResult &r : results)
+                if (!r.success)
+                    ++outcome.failures;
+            outcome.contexts = pipeline.contextCache().stats();
+            outcome.dedupJoins = pipeline.statsSnapshot().get(
+                "pipeline.dedup_joins");
+        }
+        outcome.medianMs = median(walls);
+        return outcome;
+    };
+
+    ModeOutcome isolated = runMode(false);
+    ModeOutcome shared = runMode(true);
+    double ratio = shared.medianMs > 0.0
+                       ? isolated.medianMs / shared.medianMs
+                       : 0.0;
+
+    // The sweep's product: the Pareto frontier over the feasible
+    // design points (size only — cs_sweep prints the full table).
+    std::vector<DseOutcome> outcomes;
+    for (const DsePoint &point : points) {
+        MachineCost cost = machineCost(point.machine);
+        DseOutcome o;
+        o.machine = point.name;
+        o.area = cost.area();
+        o.power = cost.power();
+        o.delay = cost.delay;
+        outcomes.push_back(o);
+    }
+    std::size_t paretoPoints = paretoFrontier(outcomes).size();
+
+    if (args.json) {
+        std::cout << "{\"dse_sweep\":{\"jobs\":" << batch.size()
+                  << ",\"points\":" << points.size()
+                  << ",\"kernels\":" << specs.size()
+                  << ",\"option_variants\":" << args.optionVariants
+                  << ",\"herd_copies\":" << args.herd
+                  << ",\"threads\":" << args.threads
+                  << ",\"reps\":" << args.reps
+                  << ",\"pareto_points\":" << paretoPoints
+                  << ",\"isolated\":{\"median_ms\":"
+                  << TextTable::num(isolated.medianMs, 2)
+                  << ",\"jobs_per_sec\":"
+                  << TextTable::num(
+                         1000.0 * batch.size() / isolated.medianMs, 2)
+                  << ",\"failures\":" << isolated.failures
+                  << "},\"shared\":{\"median_ms\":"
+                  << TextTable::num(shared.medianMs, 2)
+                  << ",\"jobs_per_sec\":"
+                  << TextTable::num(
+                         1000.0 * batch.size() / shared.medianMs, 2)
+                  << ",\"failures\":" << shared.failures
+                  << ",\"dedup_joins\":" << shared.dedupJoins
+                  << ",\"context_cache\":";
+        writeCounterObject(std::cout, toCounterSet(shared.contexts),
+                           kContextCacheCounters);
+        std::cout << ",\"context_hit_rate\":"
+                  << TextTable::num(shared.contexts.hitRate(), 4)
+                  << "},\"throughput_ratio\":"
+                  << TextTable::num(ratio, 3) << "}}\n";
+        return 0;
+    }
+
+    printBanner(std::cout,
+                "DSE sweep throughput: " + std::to_string(batch.size()) +
+                    " cold jobs (" + std::to_string(points.size()) +
+                    " machines x " + std::to_string(specs.size()) +
+                    " kernels x " + std::to_string(args.optionVariants) +
+                    " variants x " + std::to_string(args.herd) +
+                    " copies) on " + std::to_string(args.threads) +
+                    " threads");
+    TextTable table({"Mode", "median ms", "jobs/s", "ctx hits",
+                     "dedup joins", "failures"});
+    table.addRow({"isolated (no share, no dedup)",
+                  TextTable::num(isolated.medianMs, 1),
+                  TextTable::num(
+                      1000.0 * batch.size() / isolated.medianMs, 1),
+                  "-", "-", std::to_string(isolated.failures)});
+    table.addRow({"shared (context cache + dedup)",
+                  TextTable::num(shared.medianMs, 1),
+                  TextTable::num(
+                      1000.0 * batch.size() / shared.medianMs, 1),
+                  std::to_string(shared.contexts.hits) + "/" +
+                      std::to_string(shared.contexts.hits +
+                                     shared.contexts.misses),
+                  std::to_string(shared.dedupJoins),
+                  std::to_string(shared.failures)});
+    table.print(std::cout);
+    std::cout << "\ncold throughput ratio (shared vs isolated): x"
+              << TextTable::num(ratio, 2) << ", Pareto frontier "
+              << paretoPoints << " of " << points.size()
+              << " design points\n";
+    return 0;
+}

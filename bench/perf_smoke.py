@@ -39,6 +39,17 @@ complexity regression even though each individual open is fast. The
 scan fallback is recorded for contrast but not gated (it is O(n) by
 design).
 
+A fifth gate covers fleet-sweep throughput: when the optional
+bench_dse_sweep binary is passed, a cold 1000-job design-space sweep
+must run at least DSE_MIN_RATIO faster with the shared-analysis
+context cache and in-flight dedup ON than with both OFF, and the
+context cache must actually be earning its keep (hit rate >=
+DSE_MIN_HIT_RATE on the sweep's option-variant workload). Both
+thresholds are absolute — the sweep's duplicate structure is built
+into the benchmark, so the ratio does not depend on the capturing
+machine — and deliberately loose against the ~2x the benchmark
+measures.
+
 Sections the committed baseline does not have yet (e.g. a snapshot
 taken before a stats field existed) are skipped with a notice rather
 than failing: the check gates regressions against what was measured,
@@ -48,6 +59,7 @@ wall times only mean something at the capturing machine's core count.
 
 Usage: perf_smoke.py <bench_sched_perf-binary> <bench_modulo_ii-binary>
        <BENCH_sched.json> [bench_serve_latency-binary]
+       [bench_dse_sweep-binary]
 """
 
 import json
@@ -69,6 +81,13 @@ RESTART_FLAT_FACTOR = 6.0
 # Opens faster than this are clamped before the ratio so microsecond
 # timer jitter on a tiny cache cannot fail (or mask) the gate.
 RESTART_MIN_MS = 0.05
+# Cold sweep throughput with sharing+dedup ON must beat OFF by at
+# least this factor (the benchmark measures ~2x; the gate leaves room
+# for scheduler noise without letting the optimization silently die).
+DSE_MIN_RATIO = 1.5
+# The context cache must serve at least this fraction of acquires on
+# the sweep's option-variant workload (~0.5 measured).
+DSE_MIN_HIT_RATE = 0.3
 
 
 def key(entry):
@@ -172,12 +191,52 @@ def check_restart(bench_serve, failures):
         )
 
 
+def check_dse(bench_dse, committed, failures):
+    """Gate fleet-sweep throughput: sharing+dedup ON vs OFF."""
+    raw = subprocess.run(
+        [bench_dse, "--json", "--reps", "1"],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    sweep = json.loads(raw).get("dse_sweep", {})
+    ratio = sweep.get("throughput_ratio", 0.0)
+    hit_rate = sweep.get("shared", {}).get("context_hit_rate", 0.0)
+    joins = sweep.get("shared", {}).get("dedup_joins", 0)
+    ref = committed.get("current", {}) if committed else {}
+    ref_note = (
+        f" (committed x{ref['throughput_ratio']:.2f})"
+        if "throughput_ratio" in ref
+        else " (no committed dse_sweep section; gating absolute "
+        "thresholds only)"
+    )
+    marker = " REGRESSION" if ratio < DSE_MIN_RATIO else ""
+    print(
+        f"dse_sweep: {sweep.get('jobs', 0)} cold jobs, shared/isolated "
+        f"x{ratio:.2f}, context hit rate {hit_rate:.2f}, {joins} "
+        f"in-flight joins{ref_note}{marker}"
+    )
+    if ratio < DSE_MIN_RATIO:
+        failures.append(
+            f"dse_sweep: shared/isolated throughput x{ratio:.2f} < "
+            f"x{DSE_MIN_RATIO} — analysis sharing / in-flight dedup "
+            f"stopped paying for itself"
+        )
+    if hit_rate < DSE_MIN_HIT_RATE:
+        failures.append(
+            f"dse_sweep: context-cache hit rate {hit_rate:.2f} < "
+            f"{DSE_MIN_HIT_RATE} on the option-variant sweep — the "
+            f"shared-analysis key no longer matches revisited work"
+        )
+
+
 def main():
-    if len(sys.argv) not in (4, 5):
+    if len(sys.argv) not in (4, 5, 6):
         print(__doc__, file=sys.stderr)
         return 2
     bench_sched, bench_ii, committed_path = sys.argv[1:4]
-    bench_serve = sys.argv[4] if len(sys.argv) == 5 else None
+    bench_serve = sys.argv[4] if len(sys.argv) >= 5 else None
+    bench_dse = sys.argv[5] if len(sys.argv) >= 6 else None
 
     with open(committed_path) as f:
         doc = json.load(f)
@@ -226,6 +285,11 @@ def main():
     else:
         print("no bench_serve_latency binary given; skipping the "
               "restart gate")
+    if bench_dse:
+        check_dse(bench_dse, doc.get("dse_sweep"), failures)
+    else:
+        print("no bench_dse_sweep binary given; skipping the sweep "
+              "gate")
 
     # Tracing-overhead gate: compiled-in-but-disabled tracer, summed
     # over every gated entry so per-kernel timer noise averages out.

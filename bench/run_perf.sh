@@ -8,7 +8,9 @@
 # --json (the II-search suite: cold vs serial vs speculative parallel)
 # into the "modulo_ii" section the same way, and bench_serve_latency
 # --json (open-loop p50/p99 through the cs_serve daemon, cold vs warm
-# cache) into the "serve_latency" section. The first capture of each
+# cache) into the "serve_latency" section, and bench_dse_sweep --json
+# (cold 1000-job design-space sweep, shared-analysis + in-flight-dedup
+# ON vs OFF) into the "dse_sweep" section. The first capture of each
 # section also becomes its "baseline" snapshot; later runs keep the
 # committed baseline so the two can be diffed release-over-release.
 #
@@ -27,14 +29,17 @@ bench="$build_dir/bench/bench_sched_perf"
 bench_ii="$build_dir/bench/bench_modulo_ii"
 bench_serve="$build_dir/bench/bench_serve_latency"
 bench_tput="$build_dir/bench/bench_pipeline_throughput"
+bench_dse="$build_dir/bench/bench_dse_sweep"
 out="$repo_root/BENCH_sched.json"
 
-for binary in "$bench" "$bench_ii" "$bench_serve" "$bench_tput"; do
+for binary in "$bench" "$bench_ii" "$bench_serve" "$bench_tput" \
+              "$bench_dse"; do
     if [ ! -x "$binary" ]; then
         echo "run_perf.sh: $binary not found; build the bench targets" \
              "first (cmake --build $build_dir --target" \
              "bench_sched_perf bench_modulo_ii" \
-             "bench_serve_latency bench_pipeline_throughput)" >&2
+             "bench_serve_latency bench_pipeline_throughput" \
+             "bench_dse_sweep)" >&2
         exit 1
     fi
 done
@@ -44,20 +49,26 @@ tmp_ii=$(mktemp)
 tmp_serve=$(mktemp)
 tmp_scaling=$(mktemp)
 tmp_tput=$(mktemp)
-trap 'rm -f "$tmp" "$tmp_ii" "$tmp_serve" "$tmp_scaling" "$tmp_tput"' EXIT
+tmp_dse=$(mktemp)
+trap 'rm -f "$tmp" "$tmp_ii" "$tmp_serve" "$tmp_scaling" "$tmp_tput" \
+      "$tmp_dse"' EXIT
 "$bench" --json --reps "$reps" > "$tmp"
 "$bench_ii" --json --reps "$reps" > "$tmp_ii"
 "$bench_serve" --json --reps "$reps" > "$tmp_serve"
 "$bench_ii" --json --scaling --reps "$reps" > "$tmp_scaling"
 "$bench_tput" --json-scaling > "$tmp_tput"
+# The sweep bench runs two cold 1000-job sweeps per rep; keep its rep
+# count separate (DSE_REPS) so the default capture stays quick.
+"$bench_dse" --json --reps "${DSE_REPS:-1}" > "$tmp_dse"
 
-python3 - "$tmp" "$tmp_ii" "$tmp_serve" "$tmp_scaling" "$tmp_tput" "$out" <<'EOF'
+python3 - "$tmp" "$tmp_ii" "$tmp_serve" "$tmp_scaling" "$tmp_tput" \
+    "$tmp_dse" "$out" <<'EOF'
 import json
 import statistics
 import sys
 
 (capture_path, capture_ii_path, capture_serve_path, capture_scaling_path,
- capture_tput_path, out_path) = sys.argv[1:7]
+ capture_tput_path, capture_dse_path, out_path) = sys.argv[1:8]
 with open(capture_path) as f:
     capture = json.load(f)
 with open(capture_ii_path) as f:
@@ -68,6 +79,8 @@ with open(capture_scaling_path) as f:
     capture_scaling = json.load(f)
 with open(capture_tput_path) as f:
     capture_tput = json.load(f)
+with open(capture_dse_path) as f:
+    capture_dse = json.load(f)["dse_sweep"]
 
 try:
     with open(out_path) as f:
@@ -88,6 +101,11 @@ serve_latency = doc.setdefault("serve_latency", {})
 if "baseline" not in serve_latency:
     serve_latency["baseline"] = capture_serve
 serve_latency["current"] = capture_serve
+
+dse_sweep = doc.setdefault("dse_sweep", {})
+if "baseline" not in dse_sweep:
+    dse_sweep["baseline"] = capture_dse
+dse_sweep["current"] = capture_dse
 
 # Scaling curves (II search + full pipeline) are recorded, not gated:
 # wall-time speedup is only meaningful at the capturing machine's core
@@ -120,6 +138,12 @@ if ratios:
     print(f"modulo_ii: {len(capture_ii['entries'])} entries, median "
           f"cold/serial x{statistics.median(ratios):.2f} "
           f"(shared-context reuse, single-threaded)")
+
+print(f"dse_sweep: {capture_dse['jobs']} cold jobs over "
+      f"{capture_dse['points']} machines, shared/isolated throughput "
+      f"x{capture_dse['throughput_ratio']:.2f} (context hit rate "
+      f"{capture_dse['shared']['context_hit_rate']:.2f}, "
+      f"{capture_dse['shared']['dedup_joins']} in-flight joins)")
 
 phases = {e["phase"]: e for e in capture_serve["entries"]}
 if "cold" in phases and "warm" in phases:

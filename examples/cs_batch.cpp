@@ -360,6 +360,23 @@ main(int argc, char **argv)
         writeCounterObject(std::cout, toCounterSet(disk),
                            kDiskCacheCounters);
     }
+    std::cout << ",\"context_cache\":";
+    writeCounterObject(std::cout,
+                       toCounterSet(pipeline.contextCache().stats()),
+                       kContextCacheCounters);
+    static const char *const kPipelineCounters[] = {
+        "jobs",
+        "cache_hits",
+        "cache_misses",
+        "dedup_joins",
+        "failures",
+    };
+    CounterSet pipelineStats;
+    for (const char *name : kPipelineCounters)
+        pipelineStats.bump(name,
+                           stats.get(std::string("pipeline.") + name));
+    std::cout << ",\"pipeline\":";
+    writeCounterObject(std::cout, pipelineStats, kPipelineCounters);
     std::cout << ",\"scheduler\":";
     writeCounterObject(std::cout, stats, kSchedulerCounters);
     std::cout << ",\"ii_search\":";

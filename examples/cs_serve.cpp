@@ -7,7 +7,8 @@
  *
  *   cs_serve [--socket PATH] [--listen-tcp HOST:PORT] [--threads N]
  *            [--cache N] [--cache-dir DIR] [--cache-shards N]
- *            [--max-inflight N] [--ii-workers N] [--no-fast-path]
+ *            [--ownership-retry-ms N] [--max-inflight N]
+ *            [--ii-workers N] [--no-fast-path]
  *
  *   --socket PATH     Unix-domain socket to listen on
  *   --listen-tcp H:P  TCP listener (same protocol; port 0 = ephemeral)
@@ -18,6 +19,11 @@
  *                     (multiple daemons may share one directory: shard
  *                     ownership is arbitrated per-file with flock)
  *   --cache-shards N  shard files for the persistent tier (default 8)
+ *   --ownership-retry-ms N
+ *                     retry interval for adopting orphaned read-only
+ *                     shards after their owning daemon exits (default
+ *                     1000; 0 never retries, preserving the read-only
+ *                     fallback of the non-winning daemon for good)
  *   --max-inflight N  admission bound before RejectedOverload (default 64)
  *   --ii-workers N    dedicated speculative II-search workers
  *                     (default 0 = serial sweep; "auto" sizes to the
@@ -52,8 +58,9 @@ usage(std::ostream &os)
 {
     os << "usage: cs_serve [--socket PATH] [--listen-tcp HOST:PORT]\n"
           "                [--threads N] [--cache N] [--cache-dir DIR]\n"
-          "                [--cache-shards N] [--max-inflight N]\n"
-          "                [--ii-workers N] [--no-fast-path]\n";
+          "                [--cache-shards N] [--ownership-retry-ms N]\n"
+          "                [--max-inflight N] [--ii-workers N]\n"
+          "                [--no-fast-path]\n";
 }
 
 } // namespace
@@ -92,6 +99,9 @@ main(int argc, char **argv)
         } else if (arg == "--cache-shards") {
             config.cacheShards =
                 std::atoi(value("--cache-shards").c_str());
+        } else if (arg == "--ownership-retry-ms") {
+            config.ownershipRetryMs =
+                std::atoi(value("--ownership-retry-ms").c_str());
         } else if (arg == "--max-inflight") {
             config.maxInFlight = static_cast<std::size_t>(
                 std::atoi(value("--max-inflight").c_str()));

@@ -12,4 +12,14 @@ scheduleBlock(const Kernel &kernel, BlockId block, const Machine &machine,
     return scheduler.run();
 }
 
+ScheduleResult
+scheduleBlock(const BlockSchedulingContext &context,
+              const SchedulerOptions &options,
+              const std::atomic<bool> *abort)
+{
+    BlockScheduler scheduler(context, options, 0);
+    scheduler.setExternalAbortFlag(abort);
+    return scheduler.run();
+}
+
 } // namespace cs

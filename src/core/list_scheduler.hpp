@@ -28,6 +28,17 @@ ScheduleResult scheduleBlock(const Kernel &kernel, BlockId block,
                              const SchedulerOptions &options = {},
                              const std::atomic<bool> *abort = nullptr);
 
+/**
+ * Same, borrowing a prebuilt analysis context instead of rebuilding
+ * one: the result is byte-identical to scheduleBlock over the
+ * context's (kernel, block, machine). This is the entry the
+ * pipeline's ContextCache uses to share one analysis across a batch.
+ * @p context must outlive the call.
+ */
+ScheduleResult scheduleBlock(const BlockSchedulingContext &context,
+                             const SchedulerOptions &options = {},
+                             const std::atomic<bool> *abort = nullptr);
+
 } // namespace cs
 
 #endif // CS_CORE_LIST_SCHEDULER_HPP

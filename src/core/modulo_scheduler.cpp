@@ -79,13 +79,22 @@ schedulePipelined(const Kernel &kernel, BlockId block,
                   const SchedulerOptions &options, int maxIiSlack,
                   const std::atomic<bool> *abort)
 {
-    PipelineResult result;
     BlockSchedulingContext context(kernel, block, machine);
+    return schedulePipelined(context, options, maxIiSlack, abort);
+}
+
+PipelineResult
+schedulePipelined(const BlockSchedulingContext &context,
+                  const SchedulerOptions &options, int maxIiSlack,
+                  const std::atomic<bool> *abort)
+{
+    PipelineResult result;
     result.resMii = context.resMii();
     result.recMii = context.recMii();
     int mii = context.mii();
 
-    std::vector<SchedulerOptions> variants = iiRetryVariants(options);
+    const std::vector<SchedulerOptions> variants =
+        iiRetryVariants(options);
     for (int ii = mii; ii <= mii + maxIiSlack; ++ii) {
         for (std::size_t v = 0; v < variants.size(); ++v) {
             const SchedulerOptions &variant = variants[v];

@@ -66,6 +66,19 @@ PipelineResult schedulePipelined(const Kernel &kernel, BlockId block,
                                  const std::atomic<bool> *abort = nullptr);
 
 /**
+ * Same, borrowing a prebuilt analysis context instead of building one:
+ * byte-identical results for the context's (kernel, block, machine).
+ * Lets the pipeline's ContextCache amortize the analysis across every
+ * job in a sweep that revisits the pair. @p context must outlive the
+ * call.
+ */
+PipelineResult
+schedulePipelined(const BlockSchedulingContext &context,
+                  const SchedulerOptions &options = {},
+                  int maxIiSlack = 64,
+                  const std::atomic<bool> *abort = nullptr);
+
+/**
  * The retry variants the II search tries, in order, at every candidate
  * II: the options as given, then — when options.retryVariants — a
  * wider placement window and the flipped scheduling order. Exposed so

@@ -40,11 +40,24 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
         return schedulePipelined(kernel, block, machine, options,
                                  maxIiSlack, config.abort);
     }
+    BlockSchedulingContext context(kernel, block, machine);
+    return schedulePipelinedParallel(context, options, maxIiSlack,
+                                     config);
+}
+
+PipelineResult
+schedulePipelinedParallel(const BlockSchedulingContext &context,
+                          const SchedulerOptions &options,
+                          int maxIiSlack, const IiSearchConfig &config)
+{
+    if (config.pool == nullptr) {
+        return schedulePipelined(context, options, maxIiSlack,
+                                 config.abort);
+    }
 
     using Clock = std::chrono::steady_clock;
 
     PipelineResult result;
-    BlockSchedulingContext context(kernel, block, machine);
     result.resMii = context.resMii();
     result.recMii = context.recMii();
     const int mii = context.mii();

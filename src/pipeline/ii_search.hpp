@@ -85,6 +85,20 @@ schedulePipelinedParallel(const Kernel &kernel, BlockId block,
                           int maxIiSlack,
                           const IiSearchConfig &config);
 
+/**
+ * Same, borrowing a prebuilt analysis context (the pipeline's
+ * ContextCache): byte-identical results for the context's
+ * (kernel, block, machine), with the analysis cost paid once per
+ * distinct pair instead of once per job. @p context must outlive the
+ * call; concurrent searches may share one context (it is immutable,
+ * and the no-good exchange is internally synchronized).
+ */
+PipelineResult
+schedulePipelinedParallel(const BlockSchedulingContext &context,
+                          const SchedulerOptions &options,
+                          int maxIiSlack,
+                          const IiSearchConfig &config);
+
 } // namespace cs
 
 #endif // CS_PIPELINE_II_SEARCH_HPP

@@ -188,6 +188,13 @@ runScheduleJob(const ScheduleJob &job)
 JobResult
 runScheduleJob(const ScheduleJob &job, const IiSearchConfig &iiSearch)
 {
+    return runScheduleJob(job, iiSearch, nullptr);
+}
+
+JobResult
+runScheduleJob(const ScheduleJob &job, const IiSearchConfig &iiSearch,
+               const BlockSchedulingContext *sharedContext)
+{
     CS_ASSERT(job.machine != nullptr, "job '", job.label,
               "' has no machine");
 #ifndef CS_TRACE_DISABLED
@@ -207,9 +214,13 @@ runScheduleJob(const ScheduleJob &job, const IiSearchConfig &iiSearch)
         IiSearchConfig search = iiSearch;
         if (job.abortFlag != nullptr)
             search.abort = job.abortFlag;
-        PipelineResult pipe = schedulePipelinedParallel(
-            job.kernel, job.block, *job.machine, job.options,
-            job.maxIiSlack, search);
+        PipelineResult pipe =
+            sharedContext != nullptr
+                ? schedulePipelinedParallel(*sharedContext, job.options,
+                                            job.maxIiSlack, search)
+                : schedulePipelinedParallel(job.kernel, job.block,
+                                            *job.machine, job.options,
+                                            job.maxIiSlack, search);
         out.success = pipe.success;
         out.ii = pipe.ii;
         out.resMii = pipe.resMii;
@@ -218,8 +229,12 @@ runScheduleJob(const ScheduleJob &job, const IiSearchConfig &iiSearch)
         out.iiAttemptsWasted = pipe.attemptsWasted;
         out.sched = std::move(pipe.inner);
     } else {
-        out.sched = scheduleBlock(job.kernel, job.block, *job.machine,
-                                  job.options, job.abortFlag);
+        out.sched =
+            sharedContext != nullptr
+                ? scheduleBlock(*sharedContext, job.options,
+                                job.abortFlag)
+                : scheduleBlock(job.kernel, job.block, *job.machine,
+                                job.options, job.abortFlag);
         out.success = out.sched.success;
     }
     out.cancelled = out.sched.cancelled;

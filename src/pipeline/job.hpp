@@ -124,6 +124,18 @@ JobResult runScheduleJob(const ScheduleJob &job);
 JobResult runScheduleJob(const ScheduleJob &job,
                          const IiSearchConfig &iiSearch);
 
+/**
+ * Same, optionally borrowing a shared analysis context (the
+ * pipeline's ContextCache). @p sharedContext must have been built for
+ * this job's (kernel dataflow, block, machine connectivity) — i.e.
+ * acquired under ContextCache::key for these inputs — and must
+ * outlive the call; nullptr builds the analysis locally as before.
+ * The schedule and listing are byte-identical either way.
+ */
+JobResult runScheduleJob(const ScheduleJob &job,
+                         const IiSearchConfig &iiSearch,
+                         const BlockSchedulingContext *sharedContext);
+
 /** @name Content hashing (FNV-1a, 64-bit) */
 /// @{
 

@@ -112,8 +112,10 @@ footerBlockValid(const std::uint8_t *bytes, std::size_t size,
 } // namespace
 
 PersistentScheduleCache::PersistentScheduleCache(
-    std::size_t memoryCapacity, std::string directory, int shards)
-    : memory_(memoryCapacity), directory_(std::move(directory))
+    std::size_t memoryCapacity, std::string directory, int shards,
+    int ownershipRetryMs)
+    : memory_(memoryCapacity), directory_(std::move(directory)),
+      ownershipRetryMs_(ownershipRetryMs)
 {
     if (directory_.empty() || memoryCapacity == 0)
         return;
@@ -200,11 +202,63 @@ PersistentScheduleCache::openOne(Shard &shard)
         if (shard.owned)
             ++diskStats_.ownedShards;
     }
+    if (!shard.owned)
+        shard.lastOwnershipTry = std::chrono::steady_clock::now();
     if (size == 0)
         return; // fresh shard
     if (loadFromFooter(shard, bytes, size))
         return;
     loadFromScan(shard, bytes, size);
+}
+
+void
+PersistentScheduleCache::maybePromote(Shard &shard)
+{
+    if (shard.owned || shard.fd < 0 || ownershipRetryMs_ <= 0)
+        return;
+    auto now = std::chrono::steady_clock::now();
+    if (now - shard.lastOwnershipTry <
+        std::chrono::milliseconds(ownershipRetryMs_))
+        return;
+    shard.lastOwnershipTry = now;
+    if (::flock(shard.fd, LOCK_EX | LOCK_NB) != 0)
+        return; // the owner is still alive
+
+    // The lock is released with the dead owner's last fd, so holding
+    // it means no other daemon can append any more: re-index to pick
+    // up every record (and possibly a close footer) the owner wrote
+    // after our open, then take over appending. The scan path may now
+    // self-heal a torn tail the owner left — we own the shard.
+    shard.owned = true;
+    shard.index.clear();
+    shard.appendPos = 0;
+    shard.footerIntact = false;
+    std::vector<std::uint8_t> fallback;
+    const std::uint8_t *bytes = nullptr;
+    std::size_t size = 0;
+    if (shard.map.valid())
+        shard.map.remap(shard.fd);
+    else
+        shard.map.map(shard.fd);
+    if (shard.map.valid()) {
+        bytes = shard.map.data();
+        size = shard.map.size();
+    } else {
+        std::uint64_t fsize = fileSize(shard.fd);
+        fallback.resize(fsize);
+        if (fsize > 0 &&
+            !preadAll(shard.fd, fallback.data(), fallback.size(), 0))
+            fallback.clear();
+        bytes = fallback.data();
+        size = fallback.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++diskStats_.ownedShards;
+        ++diskStats_.ownershipPromotions;
+    }
+    if (size != 0 && !loadFromFooter(shard, bytes, size))
+        loadFromScan(shard, bytes, size);
 }
 
 bool
@@ -355,6 +409,7 @@ PersistentScheduleCache::lookup(std::uint64_t key)
 
     Shard &shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
+    maybePromote(shard);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
         std::lock_guard<std::mutex> slock(statsMutex_);
@@ -444,6 +499,7 @@ PersistentScheduleCache::insert(std::uint64_t key,
 
     Shard &shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
+    maybePromote(shard);
     if (!shard.owned || shard.fd < 0) {
         std::lock_guard<std::mutex> slock(statsMutex_);
         if (shard.fd < 0)
@@ -548,6 +604,7 @@ toCounterSet(const PersistentScheduleCache::DiskStats &stats)
     out.bump("write_errors", stats.writeErrors);
     out.bump("dropped_read_only", stats.droppedReadOnly);
     out.bump("remaps", stats.remaps);
+    out.bump("ownership_promotions", stats.ownershipPromotions);
     return out;
 }
 

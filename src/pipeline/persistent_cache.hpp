@@ -59,6 +59,13 @@
  * records region a read-only opener could have indexed, so concurrent
  * daemons on one cache directory cannot corrupt each other.
  *
+ * Owner failover: with ownershipRetryMs > 0, a read-only shard retries
+ * the flock (rate-limited, piggybacked on lookup/insert traffic) and —
+ * since the kernel releases a dead owner's lock with its last fd —
+ * promotes itself when the owner has exited: it re-indexes the shard
+ * to pick up whatever the owner appended after our open, then starts
+ * appending. Counted as ownership_promotions.
+ *
  * Thread safety: all operations are safe from any thread. Each shard
  * has its own mutex, so concurrent traffic to different shards does
  * not serialize; the memory tier has its own lock.
@@ -67,6 +74,7 @@
 #ifndef CS_PIPELINE_PERSISTENT_CACHE_HPP
 #define CS_PIPELINE_PERSISTENT_CACHE_HPP
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -104,9 +112,20 @@ class PersistentScheduleCache
      *                        empty disables the disk tier (the cache
      *                        degenerates to the plain memory LRU)
      * @param shards          shard file count (clamped to >= 1)
+     * @param ownershipRetryMs  non-owned shards retry the flock at
+     *                        most every this many milliseconds (on
+     *                        lookup/insert traffic) and promote to
+     *                        owner when it succeeds — i.e. when the
+     *                        owning daemon has exited and its lock was
+     *                        released. Promotion re-indexes the shard
+     *                        (the dead owner may have appended records
+     *                        or a footer since our open) and counts
+     *                        ownership_promotions. 0 never retries
+     *                        (the PR 8 behavior).
      */
     PersistentScheduleCache(std::size_t memoryCapacity,
-                            std::string directory, int shards = 8);
+                            std::string directory, int shards = 8,
+                            int ownershipRetryMs = 0);
 
     /** Clean close: owned shards get their index footer appended. */
     ~PersistentScheduleCache();
@@ -156,6 +175,9 @@ class PersistentScheduleCache
         std::uint64_t droppedReadOnly = 0;
         /** Mapping refreshes forced by reading post-open appends. */
         std::uint64_t remaps = 0;
+        /** Read-only shards that took the flock after the owner died
+         *  (ownershipRetryMs > 0) and became appendable. */
+        std::uint64_t ownershipPromotions = 0;
     };
 
     DiskStats diskStats() const;
@@ -194,6 +216,8 @@ class PersistentScheduleCache
         bool suppressFooter = false;
         /** End of the records region == next append offset. */
         std::uint64_t appendPos = 0;
+        /** Last flock-ownership retry (read-only shards only). */
+        std::chrono::steady_clock::time_point lastOwnershipTry{};
         MmapFile map;
         /** key -> (payload offset, payload length) of the last valid
          *  record for that key. */
@@ -205,6 +229,8 @@ class PersistentScheduleCache
     Shard &shardFor(std::uint64_t key);
     void openShards();
     void openOne(Shard &shard);
+    /** Ownership-retry check; shard.mutex must be held. */
+    void maybePromote(Shard &shard);
     bool loadFromFooter(Shard &shard, const std::uint8_t *bytes,
                         std::size_t size);
     void loadFromScan(Shard &shard, const std::uint8_t *bytes,
@@ -213,6 +239,7 @@ class PersistentScheduleCache
 
     ScheduleCache memory_;
     std::string directory_;
+    int ownershipRetryMs_ = 0;
     std::vector<std::unique_ptr<Shard>> shards_;
 
     mutable std::mutex statsMutex_;
@@ -225,6 +252,7 @@ inline constexpr const char *kDiskCacheCounters[] = {
     "scan_loads",     "owned_shards",    "hits",
     "misses",         "read_errors",     "writes",
     "write_errors",   "dropped_read_only", "remaps",
+    "ownership_promotions",
 };
 
 /** DiskStats as a CounterSet for the shared JSON emitters. */

@@ -1,12 +1,28 @@
 #include "pipeline/pipeline.hpp"
 
 #include <chrono>
+#include <condition_variable>
 #include <thread>
 
 #include "support/logging.hpp"
 #include "support/trace.hpp"
 
 namespace cs {
+
+/**
+ * Rendezvous for duplicate in-flight jobs: the leader schedules and
+ * publishes here; joiners block on the condition variable and copy
+ * the result out. Held by shared_ptr so a leader that finishes after
+ * its key was already re-inserted (or the map cleared) still has a
+ * live object to publish into.
+ */
+struct SchedulingPipeline::InFlightJob
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    JobResult result;
+};
 
 namespace {
 
@@ -35,7 +51,10 @@ PipelineConfig::resolvedIiWorkers(unsigned requested)
 
 SchedulingPipeline::SchedulingPipeline(const PipelineConfig &config)
     : cache_(config.cacheCapacity, config.cacheDirectory,
-             config.cacheShards),
+             config.cacheShards, config.ownershipRetryMs),
+      contextCache_(config.contextCacheCapacity),
+      shareContexts_(config.contextCacheCapacity != 0),
+      dedupInFlight_(config.dedupInFlight),
       pool_(resolveThreads(config.numThreads))
 {
     unsigned iiWorkers =
@@ -89,6 +108,85 @@ SchedulingPipeline::lookupCached(const ScheduleJob &job)
 }
 
 JobResult
+SchedulingPipeline::scheduleOne(const ScheduleJob &job)
+{
+    IiSearchConfig ii_search;
+    ii_search.pool = iiPool_.get();
+    // Borrow the shared analysis when sharing is on: jobs that pair
+    // the same kernel dataflow with the same machine shape (a sweep's
+    // option variants, repeat traffic) skip DDG/serviceability-table
+    // construction. The shared_ptr keeps the entry alive past any
+    // eviction for the duration of the run.
+    std::shared_ptr<const SharedBlockContext> shared;
+    if (shareContexts_)
+        shared = contextCache_.acquire(job.kernel, job.block,
+                                       *job.machine);
+    return runScheduleJob(job, ii_search,
+                          shared != nullptr ? &shared->context()
+                                            : nullptr);
+}
+
+JobResult
+SchedulingPipeline::joinInFlight(const ScheduleJob &job,
+                                 InFlightJob &flight)
+{
+    auto start = std::chrono::steady_clock::now();
+    {
+        std::unique_lock<std::mutex> lock(flight.mutex);
+        while (!flight.done) {
+            if (job.abortFlag != nullptr &&
+                job.abortFlag->load(std::memory_order_relaxed)) {
+                // Our deadline, not the leader's: abandon the join.
+                JobResult out;
+                out.cancelled = true;
+                auto end = std::chrono::steady_clock::now();
+                out.wallMs = std::chrono::duration<double, std::milli>(
+                                 end - start)
+                                 .count();
+                stats_.bump("pipeline.jobs");
+                stats_.bump("pipeline.dedup_joins");
+                stats_.bump("pipeline.cancelled");
+                return out;
+            }
+            // Timed wait only to poll the abort flag; an unarmed job
+            // sleeps until the leader's notify.
+            if (job.abortFlag != nullptr) {
+                flight.cv.wait_for(lock, std::chrono::milliseconds(1));
+            } else {
+                flight.cv.wait(lock);
+            }
+        }
+        if (!flight.result.cancelled) {
+            JobResult out = flight.result;
+            auto end = std::chrono::steady_clock::now();
+            out.wallMs =
+                std::chrono::duration<double, std::milli>(end - start)
+                    .count();
+            stats_.bump("pipeline.jobs");
+            stats_.bump("pipeline.dedup_joins");
+            if (!out.success)
+                stats_.bump("pipeline.failures");
+            return out;
+        }
+    }
+    // The leader hit *its* deadline; its result says nothing about
+    // ours. Schedule for ourselves (rare: only under cancellation).
+    JobResult result = scheduleOne(job);
+    if (!result.cancelled)
+        cache_.insert(scheduleJobKey(job), result);
+    stats_.bump("pipeline.jobs");
+    stats_.bump("pipeline.cache_misses");
+    if (result.cancelled)
+        stats_.bump("pipeline.cancelled");
+    if (!result.success)
+        stats_.bump("pipeline.failures");
+    if (!result.verifierErrors.empty())
+        stats_.bump("pipeline.verifier_rejects");
+    stats_.merge(result.sched.stats);
+    return result;
+}
+
+JobResult
 SchedulingPipeline::runOne(const ScheduleJob &job)
 {
     // The hit path *is* the serving fast path: runOne and the
@@ -99,13 +197,46 @@ SchedulingPipeline::runOne(const ScheduleJob &job)
 
     std::uint64_t key = scheduleJobKey(job);
     CS_TRACE_INSTANT1("cache_probe", "hit", 0);
-    IiSearchConfig ii_search;
-    ii_search.pool = iiPool_.get();
-    JobResult result = runScheduleJob(job, ii_search);
+
+    // Singleflight: concurrent duplicates all miss the cache (the
+    // first insert has not landed yet), so the first one in becomes
+    // the leader and the rest attach to its result.
+    std::shared_ptr<InFlightJob> flight;
+    bool leader = true;
+    if (dedupInFlight_) {
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        auto [it, inserted] = inflight_.try_emplace(key);
+        if (inserted)
+            it->second = std::make_shared<InFlightJob>();
+        flight = it->second;
+        leader = inserted;
+    }
+    if (!leader) {
+        CS_TRACE_INSTANT1("dedup_join", "hit", 1);
+        return joinInFlight(job, *flight);
+    }
+
+    JobResult result = scheduleOne(job);
     // A cancelled result reflects the caller's deadline, not the job's
     // content — caching it would serve a stale abort to future callers.
     if (!result.cancelled)
         cache_.insert(key, result);
+
+    if (flight != nullptr) {
+        // Retire the key first so late arrivals start a fresh run (or
+        // hit the cache) instead of attaching to a completed flight,
+        // then publish for the joiners already attached.
+        {
+            std::lock_guard<std::mutex> lock(inflightMutex_);
+            inflight_.erase(key);
+        }
+        {
+            std::lock_guard<std::mutex> lock(flight->mutex);
+            flight->result = result;
+            flight->done = true;
+        }
+        flight->cv.notify_all();
+    }
 
     stats_.bump("pipeline.jobs");
     stats_.bump("pipeline.cache_misses");

@@ -20,12 +20,16 @@
 #define CS_PIPELINE_PIPELINE_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "pipeline/context_cache.hpp"
 #include "pipeline/job.hpp"
 #include "pipeline/persistent_cache.hpp"
 #include "pipeline/thread_pool.hpp"
@@ -75,6 +79,31 @@ struct PipelineConfig
     std::string cacheDirectory;
     /** Shard-file count for the disk tier (ignored when memory-only). */
     int cacheShards = 8;
+    /**
+     * Milliseconds between flock-ownership retries on read-only disk
+     * shards: a non-owner that finds the owner gone promotes itself
+     * and starts appending (persistent_cache.hpp). 0 keeps the
+     * PR 8 behavior (never retry). Ignored when memory-only.
+     */
+    int ownershipRetryMs = 0;
+    /**
+     * Shared-analysis cache entries: BlockSchedulingContexts (DDG,
+     * MII bounds, serviceability tables) keyed by kernel x machine
+     * content so jobs that revisit a pair — a sweep's option
+     * variants, repeated service traffic — skip the analysis. 0
+     * disables sharing (every job builds privately, the pre-cache
+     * behavior). Results are byte-identical either way.
+     */
+    std::size_t contextCacheCapacity = 256;
+    /**
+     * Coalesce identical in-flight jobs: a job whose full content key
+     * matches one currently scheduling attaches to that run's result
+     * instead of scheduling again ("pipeline.dedup_joins"). Closes
+     * the thundering-herd window the result cache cannot: concurrent
+     * duplicates all miss before the first insert lands. Results stay
+     * byte-identical; only wall time and counters differ.
+     */
+    bool dedupInFlight = true;
 };
 
 /**
@@ -123,22 +152,43 @@ class SchedulingPipeline
     /** The shared result cache (for stats and tests). */
     const PersistentScheduleCache &cache() const { return cache_; }
 
+    /** The shared analysis cache (for stats and tests). */
+    const ContextCache &contextCache() const { return contextCache_; }
+
     /**
      * Aggregated counters across every job ever run: "pipeline.jobs",
      * "pipeline.cache_hits", "pipeline.cache_misses",
-     * "pipeline.failures", plus the merged per-job scheduler counters.
+     * "pipeline.dedup_joins" (jobs that attached to an identical
+     * in-flight run), "pipeline.failures", plus the merged per-job
+     * scheduler counters. jobs = cache_hits + cache_misses +
+     * dedup_joins, and scheduler counters are merged once per actual
+     * scheduling run (misses only).
      */
     CounterSet statsSnapshot() const;
 
     unsigned numThreads() const { return pool_.size(); }
 
   private:
-    JobResult runOne(const ScheduleJob &job);
+    /** One in-flight scheduling run joiners can attach to. */
+    struct InFlightJob;
 
-    // Workers touch cache_ and stats_ until the pools join, so both
-    // must be declared before the pools (destroyed after them).
+    JobResult runOne(const ScheduleJob &job);
+    /** Schedule (no cache probe), via the shared analysis cache. */
+    JobResult scheduleOne(const ScheduleJob &job);
+    /** Block until the leader finishes, then adopt its result. */
+    JobResult joinInFlight(const ScheduleJob &job, InFlightJob &flight);
+
+    // Workers touch the caches and stats_ until the pools join, so
+    // all must be declared before the pools (destroyed after them).
     PersistentScheduleCache cache_;
+    ContextCache contextCache_;
+    bool shareContexts_;
+    bool dedupInFlight_;
     CounterSet stats_;
+    std::mutex inflightMutex_;
+    /** Content key -> the run in flight for it (leader-owned). */
+    std::unordered_map<std::uint64_t, std::shared_ptr<InFlightJob>>
+        inflight_;
     ThreadPool pool_;
     /** Dedicated II-search workers (null when iiSearchWorkers == 0). */
     std::unique_ptr<ThreadPool> iiPool_;

@@ -29,6 +29,7 @@ pipelineConfig(const ServerConfig &config)
     out.cacheCapacity = config.cacheCapacity;
     out.cacheDirectory = config.cacheDirectory;
     out.cacheShards = config.cacheShards;
+    out.ownershipRetryMs = config.ownershipRetryMs;
     out.iiSearchWorkers = config.iiSearchWorkers;
     return out;
 }
@@ -559,8 +560,8 @@ ScheduleServer::statsJson() const
     };
     static const char *const kPipelineCounters[] = {
         "pipeline.jobs",      "pipeline.cache_hits",
-        "pipeline.cache_misses", "pipeline.failures",
-        "pipeline.cancelled",
+        "pipeline.cache_misses", "pipeline.dedup_joins",
+        "pipeline.failures",  "pipeline.cancelled",
     };
 
     std::ostringstream os;
@@ -572,6 +573,9 @@ ScheduleServer::statsJson() const
     writeCounterObject(os, toCounterSet(memory), kMemoryCacheCounters);
     os << ",\"disk\":";
     writeCounterObject(os, toCounterSet(disk), kDiskCacheCounters);
+    os << ",\"context\":";
+    writeCounterObject(os, toCounterSet(pipeline_.contextCache().stats()),
+                       kContextCacheCounters);
     os << "}}";
     return os.str();
 }

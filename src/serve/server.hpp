@@ -76,6 +76,17 @@ struct ServerConfig
     /** Persistent cache directory; empty = memory-only. */
     std::string cacheDirectory;
     int cacheShards = 8;
+    /**
+     * Milliseconds between flock-ownership retries on read-only disk
+     * shards (PipelineConfig::ownershipRetryMs): a daemon that lost
+     * the shard race keeps probing, and when the owner exits — crash
+     * or drain — it promotes itself and resumes persisting. Daemons
+     * default to retrying every second (a daemon is long-lived, so
+     * ownership should follow liveness); 0 disables retries (the
+     * batch front-ends' default, where the process is gone before a
+     * retry would fire).
+     */
+    int ownershipRetryMs = 1000;
     /** Dedicated II-search workers (see PipelineConfig). */
     unsigned iiSearchWorkers = 0;
     /**

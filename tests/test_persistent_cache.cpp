@@ -594,6 +594,7 @@ TEST(CacheCounterEmitters, SharedWritersMatchHandCounts)
     disk.writeErrors = 0;
     disk.droppedReadOnly = 2;
     disk.remaps = 6;
+    disk.ownershipPromotions = 1;
     CounterSet diskSet = toCounterSet(disk);
     std::ostringstream diskJson;
     writeCounterObject(diskJson, diskSet, kDiskCacheCounters);
@@ -602,7 +603,8 @@ TEST(CacheCounterEmitters, SharedWritersMatchHandCounts)
               "\"footer_loads\":3,\"scan_loads\":1,"
               "\"owned_shards\":4,\"hits\":5,\"misses\":1,"
               "\"read_errors\":1,\"writes\":9,\"write_errors\":0,"
-              "\"dropped_read_only\":2,\"remaps\":6}");
+              "\"dropped_read_only\":2,\"remaps\":6,"
+              "\"ownership_promotions\":1}");
 }
 
 TEST(ResultIo, RoundTripPreservesEveryField)

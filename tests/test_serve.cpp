@@ -31,6 +31,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
@@ -793,6 +794,73 @@ TEST(Serve, TwoDaemonsShareCacheDirectoryViaFlock)
     EXPECT_TRUE(fromC.cacheHit);
     EXPECT_EQ(fromC.listing, expected);
     c.stop();
+}
+
+TEST(Serve, OwnershipFailoverPromotesSurvivorDaemon)
+{
+    setVerboseLogging(false);
+    std::string dir = freshCacheDir("cs_serve_failover");
+    serve::JobSet firstSet = oneJobSet("DCT");
+    serve::JobSet secondSet = oneJobSet("FFT");
+    std::string expectedFirst = localListing(firstSet);
+    std::string expectedSecond = localListing(secondSet);
+    std::string error;
+
+    // Daemon A wins the single shard; B opens it read-only but keeps
+    // retrying ownership at a test-fast interval.
+    serve::ServerConfig configA =
+        baseConfig(testSocketPath("failover_a"));
+    configA.cacheDirectory = dir;
+    configA.cacheShards = 1;
+    std::optional<serve::ScheduleServer> a;
+    a.emplace(configA);
+    ASSERT_TRUE(a->start());
+
+    serve::ServerConfig configB =
+        baseConfig(testSocketPath("failover_b"));
+    configB.cacheDirectory = dir;
+    configB.cacheShards = 1;
+    configB.ownershipRetryMs = 10;
+    serve::ScheduleServer b(configB);
+    ASSERT_TRUE(b.start());
+    EXPECT_EQ(a->pipeline().cache().diskStats().ownedShards, 1u);
+    EXPECT_EQ(b.pipeline().cache().diskStats().ownedShards, 0u);
+
+    // A persists one result, then dies (drain + destruction releases
+    // its flock and writes the shard footer).
+    serve::ScheduleClient clientA;
+    ASSERT_TRUE(clientA.connect(configA.socketPath, &error)) << error;
+    serve::Response fromA;
+    ASSERT_TRUE(clientA.schedule(firstSet, 0, &fromA, &error)) << error;
+    ASSERT_EQ(fromA.status, serve::ResponseStatus::Ok);
+    ASSERT_GE(a->pipeline().cache().diskStats().writes, 1u);
+    a->stop();
+    a.reset();
+
+    // B's next cache traffic crosses the retry interval, wins the
+    // orphaned flock, and re-indexes the shard — A's entry included.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    serve::ScheduleClient clientB;
+    ASSERT_TRUE(clientB.connect(configB.socketPath, &error)) << error;
+    serve::Response firstFromB;
+    ASSERT_TRUE(clientB.schedule(firstSet, 0, &firstFromB, &error))
+        << error;
+    ASSERT_EQ(firstFromB.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(firstFromB.listing, expectedFirst);
+    auto statsB = b.pipeline().cache().diskStats();
+    EXPECT_EQ(statsB.ownershipPromotions, 1u);
+    EXPECT_EQ(statsB.ownedShards, 1u);
+    EXPECT_GE(statsB.loadedEntries, 1u);
+
+    // The promoted daemon now persists new work where the pre-PR
+    // behavior dropped it read-only forever.
+    serve::Response secondFromB;
+    ASSERT_TRUE(clientB.schedule(secondSet, 0, &secondFromB, &error))
+        << error;
+    ASSERT_EQ(secondFromB.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(secondFromB.listing, expectedSecond);
+    EXPECT_GE(b.pipeline().cache().diskStats().writes, 1u);
+    b.stop();
 }
 
 // ---------------------------------------------------------------------
