@@ -24,10 +24,18 @@
  * persistent cache directly, as a function of cache size: open a
  * populated shard directory via its index footer (O(1) in records)
  * and via the fallback full scan (O(n)), then time the first disk
- * hit. --json emits both sections in the capture bench/run_perf.sh
- * stores under "serve_latency" in BENCH_sched.json; --restart-only /
- * --latency-only select one section (perf_smoke.py gates the restart
- * section).
+ * hit.
+ *
+ * A third section is the telemetry-overhead A/B: the warm fast-path
+ * pass with the JSONL sampler (support/telemetry.hpp) OFF and then ON
+ * at a fast interval, same server. The sampler only snapshots
+ * counters and histograms off the hot path, so warm p50 must not
+ * move; perf_smoke.py gates ON within 2% of OFF.
+ *
+ * --json emits every section in the capture bench/run_perf.sh stores
+ * under "serve_latency" / "serve_telemetry" in BENCH_sched.json;
+ * --restart-only / --latency-only / --telemetry-only select one
+ * (perf_smoke.py gates the restart and telemetry sections).
  */
 
 #include <unistd.h>
@@ -49,6 +57,7 @@
 #include "serve/server.hpp"
 #include "support/logging.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 
 namespace {
 
@@ -269,6 +278,68 @@ runRestartBench(int trials)
     return points;
 }
 
+// ---------------------------------------------------------------------
+// Telemetry-overhead A/B: warm fast-path pass, sampler OFF vs ON.
+// ---------------------------------------------------------------------
+
+struct TelemetryAb
+{
+    PhaseStats off;
+    PhaseStats on;
+    unsigned samplerIntervalMs = 25;
+};
+
+TelemetryAb
+runTelemetryBench(int reps, double arrivalMs)
+{
+    namespace fs = std::filesystem;
+    TelemetryAb ab;
+    std::vector<serve::JobSet> sets = buildJobSets(4);
+    std::vector<double> off, on;
+    for (int rep = 0; rep < reps; ++rep) {
+        std::string tag = std::to_string(::getpid()) + "_tel" +
+                          std::to_string(rep);
+        serve::ServerConfig config;
+        config.socketPath = "/tmp/cs_bench_serve_" + tag + ".sock";
+        config.workerThreads = 2;
+        config.cacheCapacity = 2 * sets.size();
+        config.maxInFlight = sets.size();
+        serve::ScheduleServer server(config);
+        CS_ASSERT(server.start(), "telemetry server failed to start");
+
+        // One cold pass to fill the cache, then the measured pair on
+        // the same warm server: OFF first, ON second, so any drift
+        // from OS warm-up favors OFF and cannot hide sampler cost.
+        (void)runPhase(config.socketPath, "", sets, arrivalMs);
+        std::vector<double> o =
+            runPhase(config.socketPath, "", sets, arrivalMs);
+        off.insert(off.end(), o.begin(), o.end());
+
+        fs::path telemetryPath =
+            fs::path("/tmp") / ("cs_bench_telemetry_" + tag + ".jsonl");
+        TelemetrySampler sampler;
+        TelemetryConfig telemetry;
+        telemetry.path = telemetryPath.string();
+        telemetry.intervalMs = ab.samplerIntervalMs;
+        CS_ASSERT(sampler.start(
+                      telemetry,
+                      [&server] { return server.counterSnapshot(); },
+                      [&server](std::ostream &os) {
+                          server.writeTelemetryFields(os);
+                      }),
+                  "sampler failed to start");
+        std::vector<double> n =
+            runPhase(config.socketPath, "", sets, arrivalMs);
+        on.insert(on.end(), n.begin(), n.end());
+        sampler.stop();
+        fs::remove(telemetryPath);
+        server.stop();
+    }
+    ab.off = summarize(off);
+    ab.on = summarize(on);
+    return ab;
+}
+
 } // namespace
 
 int
@@ -278,6 +349,7 @@ main(int argc, char **argv)
     bool json = false;
     bool latency = true;
     bool restart = true;
+    bool telemetry = true;
     int reps = 3;
     double arrivalMs = 5.0;
     for (int i = 1; i < argc; ++i) {
@@ -290,12 +362,18 @@ main(int argc, char **argv)
             arrivalMs = std::atof(argv[++i]);
         } else if (arg == "--restart-only") {
             latency = false;
+            telemetry = false;
         } else if (arg == "--latency-only") {
+            restart = false;
+            telemetry = false;
+        } else if (arg == "--telemetry-only") {
+            latency = false;
             restart = false;
         } else {
             std::cerr << "usage: bench_serve_latency [--json] "
                          "[--reps N] [--arrival-ms MS] "
-                         "[--restart-only] [--latency-only]\n";
+                         "[--restart-only] [--latency-only] "
+                         "[--telemetry-only]\n";
             return 2;
         }
     }
@@ -360,6 +438,10 @@ main(int argc, char **argv)
     if (restart)
         points = runRestartBench(std::max(reps, 2));
 
+    TelemetryAb ab;
+    if (telemetry)
+        ab = runTelemetryBench(reps, arrivalMs);
+
     if (json) {
         auto entry = [&](const char *phase, const PhaseStats &stats) {
             return std::string("{\"phase\":\"") + phase +
@@ -392,7 +474,20 @@ main(int argc, char **argv)
                 << ",\"scan_first_hit_ms\":"
                 << TextTable::num(p.scanHitMs, 4) << "}";
         }
-        std::cout << "]}\n";
+        std::cout << "]";
+        if (telemetry) {
+            std::cout << ",\"telemetry\":{\"requests\":"
+                      << ab.off.requests << ",\"sampler_interval_ms\":"
+                      << ab.samplerIntervalMs << ",\"p50_off_ms\":"
+                      << TextTable::num(ab.off.p50, 3)
+                      << ",\"p99_off_ms\":"
+                      << TextTable::num(ab.off.p99, 3)
+                      << ",\"p50_on_ms\":"
+                      << TextTable::num(ab.on.p50, 3)
+                      << ",\"p99_on_ms\":"
+                      << TextTable::num(ab.on.p99, 3) << "}";
+        }
+        std::cout << "}\n";
         return 0;
     }
 
@@ -432,6 +527,24 @@ main(int argc, char **argv)
                  TextTable::num(p.footerHitMs, 4),
                  TextTable::num(p.scanOpenMs, 4),
                  TextTable::num(p.scanHitMs, 4)});
+        table.print(std::cout);
+    }
+    if (telemetry) {
+        printBanner(std::cout,
+                    "telemetry-overhead A/B: warm fast-path pass, "
+                    "sampler off vs on (" +
+                        std::to_string(ab.samplerIntervalMs) +
+                        " ms interval)");
+        TextTable table(
+            {"sampler", "requests", "p50 ms", "p99 ms", "max ms"});
+        auto row = [&](const char *label, const PhaseStats &stats) {
+            table.addRow({label, std::to_string(stats.requests),
+                          TextTable::num(stats.p50, 3),
+                          TextTable::num(stats.p99, 3),
+                          TextTable::num(stats.maxMs, 3)});
+        };
+        row("off", ab.off);
+        row("on", ab.on);
         table.print(std::cout);
     }
     return 0;

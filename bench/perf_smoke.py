@@ -39,6 +39,16 @@ complexity regression even though each individual open is fast. The
 scan fallback is recorded for contrast but not gated (it is O(n) by
 design).
 
+A sixth gate bounds the telemetry sampler's cost on the serving hot
+path: bench_serve_latency --telemetry-only runs the warm fast-path
+pass with the JSONL sampler off and then on (same server, fast
+sampler interval), and warm p50 with the sampler ON must stay within
+TELEMETRY_OVERHEAD_FACTOR (2%) of OFF, with a small absolute clamp
+(TELEMETRY_MIN_DELTA_MS) so microsecond jitter on a sub-millisecond
+p50 cannot fail the gate. The sampler only snapshots counters and
+lock-free histograms off the hot path, so a violation means recording
+leaked into the request path.
+
 A fifth gate covers fleet-sweep throughput: when the optional
 bench_dse_sweep binary is passed, a cold 1000-job design-space sweep
 must run at least DSE_MIN_RATIO faster with the shared-analysis
@@ -88,6 +98,13 @@ DSE_MIN_RATIO = 1.5
 # The context cache must serve at least this fraction of acquires on
 # the sweep's option-variant workload (~0.5 measured).
 DSE_MIN_HIT_RATE = 0.3
+# Warm p50 with the telemetry sampler ON vs OFF (same server, same
+# arrival schedule): the sampler runs off the hot path, so 2% is the
+# whole budget.
+TELEMETRY_OVERHEAD_FACTOR = 1.02
+# 2% of a ~0.7 ms warm p50 is ~14 us — below timer noise. The gate
+# allows at least this absolute delta so jitter cannot fail it.
+TELEMETRY_MIN_DELTA_MS = 0.05
 
 
 def key(entry):
@@ -191,6 +208,40 @@ def check_restart(bench_serve, failures):
         )
 
 
+def check_serve_telemetry(bench_serve, failures):
+    """Gate the telemetry sampler's warm-path overhead (ON vs OFF)."""
+    raw = subprocess.run(
+        [bench_serve, "--json", "--telemetry-only", "--reps", str(REPS)],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    ab = json.loads(raw).get("telemetry")
+    if not ab or ab.get("requests", 0) == 0:
+        print("no telemetry section in the bench output; skipping the "
+              "telemetry gate")
+        return
+    p50_off = ab["p50_off_ms"]
+    p50_on = ab["p50_on_ms"]
+    allowed = max(
+        p50_off * TELEMETRY_OVERHEAD_FACTOR,
+        p50_off + TELEMETRY_MIN_DELTA_MS,
+    )
+    marker = " REGRESSION" if p50_on > allowed else ""
+    print(
+        f"serve_telemetry: warm p50 {p50_off:.3f} ms off -> "
+        f"{p50_on:.3f} ms on (allowed {allowed:.3f}, p99 "
+        f"{ab['p99_off_ms']:.3f} -> {ab['p99_on_ms']:.3f}){marker}"
+    )
+    if p50_on > allowed:
+        failures.append(
+            f"serve_telemetry: warm p50 {p50_on:.3f} ms with the "
+            f"sampler on vs {p50_off:.3f} ms off (allowed "
+            f"{allowed:.3f} ms) — telemetry cost leaked into the "
+            f"request path"
+        )
+
+
 def check_dse(bench_dse, committed, failures):
     """Gate fleet-sweep throughput: sharing+dedup ON vs OFF."""
     raw = subprocess.run(
@@ -282,9 +333,10 @@ def main():
         print("no committed modulo_ii snapshot; skipping the II gate")
     if bench_serve:
         check_restart(bench_serve, failures)
+        check_serve_telemetry(bench_serve, failures)
     else:
         print("no bench_serve_latency binary given; skipping the "
-              "restart gate")
+              "restart and telemetry gates")
     if bench_dse:
         check_dse(bench_dse, doc.get("dse_sweep"), failures)
     else:

@@ -8,7 +8,9 @@
 # --json (the II-search suite: cold vs serial vs speculative parallel)
 # into the "modulo_ii" section the same way, and bench_serve_latency
 # --json (open-loop p50/p99 through the cs_serve daemon, cold vs warm
-# cache) into the "serve_latency" section, and bench_dse_sweep --json
+# cache) into the "serve_latency" section — its telemetry-overhead A/B
+# (warm p50 with the JSONL sampler off vs on) lands in the
+# "serve_telemetry" section — and bench_dse_sweep --json
 # (cold 1000-job design-space sweep, shared-analysis + in-flight-dedup
 # ON vs OFF) into the "dse_sweep" section. The first capture of each
 # section also becomes its "baseline" snapshot; later runs keep the
@@ -102,6 +104,14 @@ if "baseline" not in serve_latency:
     serve_latency["baseline"] = capture_serve
 serve_latency["current"] = capture_serve
 
+# The telemetry A/B rides in the same serve capture; store it as its
+# own section so the overhead trajectory is diffable on its own.
+if "telemetry" in capture_serve:
+    serve_telemetry = doc.setdefault("serve_telemetry", {})
+    if "baseline" not in serve_telemetry:
+        serve_telemetry["baseline"] = capture_serve["telemetry"]
+    serve_telemetry["current"] = capture_serve["telemetry"]
+
 dse_sweep = doc.setdefault("dse_sweep", {})
 if "baseline" not in dse_sweep:
     dse_sweep["baseline"] = capture_dse
@@ -150,6 +160,12 @@ if "cold" in phases and "warm" in phases:
     print(f"serve_latency: cold p50 {phases['cold']['p50_ms']:.2f} ms / "
           f"warm p50 {phases['warm']['p50_ms']:.2f} ms "
           f"({phases['cold']['requests']} open-loop requests per phase)")
+
+ab = capture_serve.get("telemetry")
+if ab:
+    print(f"serve_telemetry: warm p50 {ab['p50_off_ms']:.3f} ms off -> "
+          f"{ab['p50_on_ms']:.3f} ms on "
+          f"(sampler every {ab['sampler_interval_ms']} ms)")
 
 by_point = {(p["workers"], p["order"]): p
             for p in capture_scaling["points"]}

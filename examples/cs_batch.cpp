@@ -8,7 +8,8 @@
  *
  *   cs_batch [--threads N] [--repeat R] [--cache N] [--plain]
  *            [--ii-workers N] [--jobs FILE] [--cache-dir DIR]
- *            [--trace=FILE] [--metrics=FILE] [--help]
+ *            [--trace=FILE] [--metrics=FILE] [--telemetry=FILE]
+ *            [--telemetry-interval-ms N] [--help]
  *
  *   --threads N     worker threads (default: hardware concurrency)
  *   --repeat R      submit the whole batch R times (default 1); repeats
@@ -33,6 +34,13 @@
  *                   Perfetto) covering the whole batch
  *   --metrics=FILE  write the unified metrics registry (counters,
  *                   timers, histograms) as JSON
+ *   --telemetry=FILE
+ *                   run the time-series sampler for the duration of
+ *                   the batch: one JSONL snapshot per interval
+ *                   (pipeline counters + deltas, RSS, shard sizes,
+ *                   cache occupancy — support/telemetry.hpp)
+ *   --telemetry-interval-ms N
+ *                   sample period (default 250)
  */
 
 #include <algorithm>
@@ -51,6 +59,7 @@
 #include "support/metrics.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 #include "support/trace.hpp"
 
 namespace {
@@ -64,6 +73,8 @@ struct Args
     unsigned iiWorkers = 0; // 0 = serial II sweep
     std::string traceFile;
     std::string metricsFile;
+    std::string telemetryFile;
+    unsigned telemetryIntervalMs = 250;
     std::string jobsFile;
     std::string dumpJobsFile;
     std::string cacheDir;
@@ -74,6 +85,7 @@ const char *const kUsage =
     "usage: cs_batch [--threads N] [--repeat R] [--cache N] [--plain]\n"
     "                [--ii-workers N] [--jobs FILE] [--dump-jobs FILE]\n"
     "                [--cache-dir DIR] [--trace=FILE] [--metrics=FILE]\n"
+    "                [--telemetry=FILE] [--telemetry-interval-ms N]\n"
     "                [--help]\n";
 
 Args
@@ -127,6 +139,11 @@ parseArgs(int argc, char **argv)
             args.traceFile = strValue("--trace", inlineValue);
         } else if (arg == "--metrics") {
             args.metricsFile = strValue("--metrics", inlineValue);
+        } else if (arg == "--telemetry") {
+            args.telemetryFile = strValue("--telemetry", inlineValue);
+        } else if (arg == "--telemetry-interval-ms") {
+            args.telemetryIntervalMs = static_cast<unsigned>(
+                intValue("--telemetry-interval-ms"));
         } else if (arg == "--jobs") {
             args.jobsFile = strValue("--jobs", inlineValue);
         } else if (arg == "--dump-jobs") {
@@ -253,6 +270,24 @@ main(int argc, char **argv)
                     " submission(s) on " +
                     std::to_string(pipeline.numThreads()) + " thread(s)");
 
+    TelemetrySampler sampler;
+    if (!args.telemetryFile.empty()) {
+        TelemetryConfig telemetry;
+        telemetry.path = args.telemetryFile;
+        telemetry.intervalMs = args.telemetryIntervalMs;
+        bool ok = sampler.start(
+            telemetry,
+            [&pipeline] { return pipeline.statsSnapshot(); },
+            [&pipeline](std::ostream &os) {
+                pipeline.writeTelemetryJson(os);
+            });
+        if (!ok) {
+            std::cerr << "cs_batch: cannot write telemetry file '"
+                      << args.telemetryFile << "'\n";
+            return 2;
+        }
+    }
+
     MetricsRegistry metrics;
     double totalMs = 0.0;
     std::vector<JobResult> results;
@@ -270,6 +305,12 @@ main(int argc, char **argv)
                   << TextTable::num(1000.0 * batch.size() / ms, 1)
                   << " jobs/s\n";
     }
+    // Stop after all rounds: the final JSONL line captures the fully
+    // warmed end state.
+    sampler.stop();
+    if (!args.telemetryFile.empty())
+        std::cout << "telemetry written to " << args.telemetryFile
+                  << "\n";
 
     TextTable table({"Job",
                      !args.jobsFile.empty()

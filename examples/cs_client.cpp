@@ -7,14 +7,24 @@
  *   cs_client (--socket PATH | --tcp HOST:PORT) stats
  *   cs_client (--socket PATH | --tcp HOST:PORT) schedule --jobs FILE
  *             [--deadline MS] [--listings]
+ *   cs_client (--socket PATH | --tcp HOST:PORT) watch
+ *             [--interval-ms N] [--ticks N] [--raw]
  *
  * "schedule" reads a jobset description (the text format of
  * serve/proto.hpp; see cs_batch --jobs for the same ingestion) and
  * submits each job as one request, printing a summary line per reply.
  * --deadline applies the same relative deadline to every request; a
  * negative value exercises the already-expired fast path.
+ *
+ * "watch" subscribes to the server's stats stream (protocol v2) and
+ * prints one line per tick — req/s, p50/p99 latency, warm hit rate,
+ * in-flight depth, RSS, shard growth — until interrupted (or after
+ * --ticks N frames). --raw prints the server's flat JSON frames
+ * verbatim instead, one per line (the telemetry-file schema minus the
+ * counters object).
  */
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -33,7 +43,25 @@ usage(std::ostream &os)
           "       cs_client (--socket PATH | --tcp HOST:PORT) stats\n"
           "       cs_client (--socket PATH | --tcp HOST:PORT)\n"
           "                 schedule --jobs FILE\n"
-          "                 [--deadline MS] [--listings]\n";
+          "                 [--deadline MS] [--listings]\n"
+          "       cs_client (--socket PATH | --tcp HOST:PORT) watch\n"
+          "                 [--interval-ms N] [--ticks N] [--raw]\n";
+}
+
+/**
+ * Extract one numeric field from a flat JSON object ({"key":123,...}).
+ * The watch frames are all-numeric and unnested, so a substring scan
+ * is exact here — no JSON library in the repo, none needed.
+ */
+double
+jsonNumber(const std::string &json, const std::string &key,
+           double fallback = 0.0)
+{
+    std::string needle = "\"" + key + "\":";
+    std::size_t pos = json.find(needle);
+    if (pos == std::string::npos)
+        return fallback;
+    return std::atof(json.c_str() + pos + needle.size());
 }
 
 } // namespace
@@ -49,6 +77,9 @@ main(int argc, char **argv)
     std::string jobsFile;
     std::int64_t deadlineMs = 0;
     bool listings = false;
+    std::int64_t intervalMs = 0; // 0 = server default
+    int ticks = 0;               // 0 = unbounded
+    bool raw = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -69,11 +100,17 @@ main(int argc, char **argv)
             deadlineMs = std::atoll(value("--deadline").c_str());
         } else if (arg == "--listings") {
             listings = true;
+        } else if (arg == "--interval-ms") {
+            intervalMs = std::atoll(value("--interval-ms").c_str());
+        } else if (arg == "--ticks") {
+            ticks = std::atoi(value("--ticks").c_str());
+        } else if (arg == "--raw") {
+            raw = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(std::cout);
             return 0;
         } else if (arg == "ping" || arg == "stats" ||
-                   arg == "schedule") {
+                   arg == "schedule" || arg == "watch") {
             command = arg;
         } else {
             std::cerr << "cs_client: unknown argument '" << arg << "'\n";
@@ -112,6 +149,40 @@ main(int argc, char **argv)
             return 1;
         }
         std::cout << json << "\n";
+        return 0;
+    }
+    if (command == "watch") {
+        int seen = 0;
+        auto onFrame = [&](const std::string &frame) -> bool {
+            if (raw) {
+                std::cout << frame << "\n" << std::flush;
+            } else {
+                double p50Ms = jsonNumber(frame, "p50_us") / 1000.0;
+                double p99Ms = jsonNumber(frame, "p99_us") / 1000.0;
+                double hitPct = jsonNumber(frame, "hit_rate") * 100.0;
+                char line[256];
+                std::snprintf(
+                    line, sizeof line,
+                    "[%5.0f] %7.1f req/s  p50 %7.3f ms  p99 %7.3f ms"
+                    "  hit %5.1f%%  inflight %2.0f  rss %6.1f MB"
+                    "  shards %.0f rec / %.1f KB  ctx %.0f  dedup %.0f",
+                    jsonNumber(frame, "seq"),
+                    jsonNumber(frame, "req_per_s"), p50Ms, p99Ms,
+                    hitPct, jsonNumber(frame, "inflight"),
+                    jsonNumber(frame, "rss_kb") / 1024.0,
+                    jsonNumber(frame, "shard_records"),
+                    jsonNumber(frame, "shard_bytes") / 1024.0,
+                    jsonNumber(frame, "context_entries"),
+                    jsonNumber(frame, "dedup_inflight"));
+                std::cout << line << "\n" << std::flush;
+            }
+            ++seen;
+            return ticks == 0 || seen < ticks;
+        };
+        if (!client.watch(intervalMs, onFrame, &error)) {
+            std::cerr << "cs_client: " << error << "\n";
+            return 1;
+        }
         return 0;
     }
 

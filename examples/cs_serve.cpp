@@ -8,7 +8,8 @@
  *   cs_serve [--socket PATH] [--listen-tcp HOST:PORT] [--threads N]
  *            [--cache N] [--cache-dir DIR] [--cache-shards N]
  *            [--ownership-retry-ms N] [--max-inflight N]
- *            [--ii-workers N] [--no-fast-path]
+ *            [--ii-workers N] [--no-fast-path] [--telemetry FILE]
+ *            [--telemetry-interval-ms N]
  *
  *   --socket PATH     Unix-domain socket to listen on
  *   --listen-tcp H:P  TCP listener (same protocol; port 0 = ephemeral)
@@ -30,6 +31,13 @@
  *                     hardware, serial on a single core)
  *   --no-fast-path    disable the reader-thread warm-hit fast path
  *                     (for A/B latency measurements)
+ *   --telemetry FILE  append one JSONL telemetry snapshot per interval
+ *                     (counters + deltas, RSS, latency quantiles,
+ *                     per-shard sizes — support/telemetry.hpp); the
+ *                     final line lands on drain. `cs_client watch` is
+ *                     the live-over-the-wire view of the same data
+ *   --telemetry-interval-ms N
+ *                     sample period (default 250)
  */
 
 #include <atomic>
@@ -42,6 +50,7 @@
 
 #include "serve/server.hpp"
 #include "support/logging.hpp"
+#include "support/telemetry.hpp"
 
 namespace {
 
@@ -60,7 +69,8 @@ usage(std::ostream &os)
           "                [--threads N] [--cache N] [--cache-dir DIR]\n"
           "                [--cache-shards N] [--ownership-retry-ms N]\n"
           "                [--max-inflight N] [--ii-workers N]\n"
-          "                [--no-fast-path]\n";
+          "                [--no-fast-path] [--telemetry FILE]\n"
+          "                [--telemetry-interval-ms N]\n";
 }
 
 } // namespace
@@ -72,6 +82,7 @@ main(int argc, char **argv)
     setVerboseLogging(true);
 
     serve::ServerConfig config;
+    TelemetryConfig telemetry;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto value = [&](const char *flag) -> std::string {
@@ -105,6 +116,18 @@ main(int argc, char **argv)
         } else if (arg == "--max-inflight") {
             config.maxInFlight = static_cast<std::size_t>(
                 std::atoi(value("--max-inflight").c_str()));
+        } else if (arg == "--telemetry") {
+            telemetry.path = value("--telemetry");
+        } else if (arg.rfind("--telemetry=", 0) == 0) {
+            // =-joined form, matching cs_batch / cs_sweep.
+            telemetry.path = arg.substr(std::string("--telemetry=").size());
+        } else if (arg == "--telemetry-interval-ms") {
+            telemetry.intervalMs = static_cast<unsigned>(
+                std::atoi(value("--telemetry-interval-ms").c_str()));
+        } else if (arg.rfind("--telemetry-interval-ms=", 0) == 0) {
+            telemetry.intervalMs = static_cast<unsigned>(std::atoi(
+                arg.substr(std::string("--telemetry-interval-ms=").size())
+                    .c_str()));
         } else if (arg == "--ii-workers") {
             std::string v = value("--ii-workers");
             config.iiSearchWorkers =
@@ -129,6 +152,23 @@ main(int argc, char **argv)
     if (!server.start())
         return 1;
 
+    TelemetrySampler sampler;
+    if (!telemetry.path.empty()) {
+        bool ok = sampler.start(
+            telemetry, [&server] { return server.counterSnapshot(); },
+            [&server](std::ostream &os) {
+                server.writeTelemetryFields(os);
+            });
+        if (!ok) {
+            std::cerr << "cs_serve: cannot write telemetry file '"
+                      << telemetry.path << "'\n";
+            server.stop();
+            return 2;
+        }
+        CS_INFORM("cs_serve: telemetry -> ", telemetry.path, " every ",
+                  telemetry.intervalMs, " ms");
+    }
+
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
     while (!g_stop.load())
@@ -136,6 +176,9 @@ main(int argc, char **argv)
 
     std::cout << "cs_serve: draining...\n";
     server.stop();
+    // Stop after the drain: the final JSONL line reflects the fully
+    // drained end state.
+    sampler.stop();
     std::cout << server.statsJson() << "\n";
     return 0;
 }

@@ -10,7 +10,8 @@
  *   cs_sweep [--variants N] [--seed S] [--kernels LIST]
  *            [--option-variants V] [--repeat R] [--threads N]
  *            [--ii-workers N] [--plain] [--no-share] [--no-dedup]
- *            [--cache N] [--context-cache N] [--help]
+ *            [--cache N] [--context-cache N] [--telemetry=FILE]
+ *            [--telemetry-interval-ms N] [--help]
  *
  *   --variants N         machine design points to enumerate (default
  *                        16, min 4; the four paper machines always
@@ -40,6 +41,12 @@
  *   --no-dedup           disable in-flight job coalescing
  *   --cache N            schedule-cache entries (default 4096)
  *   --context-cache N    context-cache entries (default 1024)
+ *   --telemetry=FILE     run the time-series sampler for the duration
+ *                        of the sweep: one JSONL snapshot per interval
+ *                        (pipeline counters + deltas, RSS, cache and
+ *                        dedup occupancy — support/telemetry.hpp)
+ *   --telemetry-interval-ms N
+ *                        sample period (default 250)
  *
  * Output: a Pareto-frontier table (area/power/delay normalized to the
  * central baseline, plus the summed achieved II over the kernel
@@ -63,6 +70,7 @@
 #include "support/metrics.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 
 namespace {
 
@@ -80,6 +88,8 @@ struct Args
     bool dedup = true;
     std::size_t cacheCapacity = 4096;
     std::size_t contextCacheCapacity = 1024;
+    std::string telemetryFile;
+    unsigned telemetryIntervalMs = 250;
     bool help = false;
 };
 
@@ -88,6 +98,7 @@ const char *const kUsage =
     "                [--option-variants V] [--repeat R] [--threads N]\n"
     "                [--ii-workers N] [--plain] [--no-share]\n"
     "                [--no-dedup] [--cache N] [--context-cache N]\n"
+    "                [--telemetry=FILE] [--telemetry-interval-ms N]\n"
     "                [--help]\n";
 
 Args
@@ -145,6 +156,11 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--context-cache") {
             args.contextCacheCapacity =
                 static_cast<std::size_t>(intValue("--context-cache"));
+        } else if (arg == "--telemetry") {
+            args.telemetryFile = strValue("--telemetry");
+        } else if (arg == "--telemetry-interval-ms") {
+            args.telemetryIntervalMs = static_cast<unsigned>(
+                intValue("--telemetry-interval-ms"));
         } else if (arg == "--help" || arg == "-h") {
             args.help = true;
         } else {
@@ -255,11 +271,31 @@ main(int argc, char **argv)
                     std::to_string(pipeline.numThreads()) +
                     " thread(s)");
 
+    TelemetrySampler sampler;
+    if (!args.telemetryFile.empty()) {
+        TelemetryConfig telemetry;
+        telemetry.path = args.telemetryFile;
+        telemetry.intervalMs = args.telemetryIntervalMs;
+        bool ok = sampler.start(
+            telemetry,
+            [&pipeline] { return pipeline.statsSnapshot(); },
+            [&pipeline](std::ostream &os) {
+                pipeline.writeTelemetryJson(os);
+            });
+        if (!ok) {
+            std::cerr << "cs_sweep: cannot write telemetry file '"
+                      << args.telemetryFile << "'\n";
+            return 2;
+        }
+    }
+
     auto start = std::chrono::steady_clock::now();
     std::vector<JobResult> results = pipeline.run(batch);
     auto end = std::chrono::steady_clock::now();
     double wallMs =
         std::chrono::duration<double, std::milli>(end - start).count();
+    // Stop right after the run: the final line is the drained state.
+    sampler.stop();
 
     // Aggregate achieved II per design point over the kernel suite
     // (variant 0, copy 0 of each job — all variants/copies achieve the

@@ -545,6 +545,23 @@ PersistentScheduleCache::diskStats() const
     return diskStats_;
 }
 
+std::vector<PersistentScheduleCache::ShardInfo>
+PersistentScheduleCache::shardInfos() const
+{
+    std::vector<ShardInfo> out;
+    out.reserve(shards_.size());
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        ShardInfo info;
+        info.path = shard->path;
+        info.bytes = shard->appendPos;
+        info.records = shard->index.size();
+        info.owned = shard->owned;
+        out.push_back(std::move(info));
+    }
+    return out;
+}
+
 void
 PersistentScheduleCache::clear()
 {

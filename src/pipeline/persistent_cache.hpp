@@ -182,6 +182,24 @@ class PersistentScheduleCache
 
     DiskStats diskStats() const;
 
+    /**
+     * Point-in-time view of one shard file, for telemetry: bytes is
+     * the records region (the next append offset, excluding any index
+     * footer), records is the *indexed* count — last-wins per key, so
+     * overwritten duplicates are not counted.
+     */
+    struct ShardInfo
+    {
+        std::string path;
+        std::uint64_t bytes = 0;
+        std::uint64_t records = 0;
+        bool owned = false;
+    };
+
+    /** Snapshot every shard (empty when the disk tier is disabled).
+     *  Takes each shard mutex briefly; safe against live traffic. */
+    std::vector<ShardInfo> shardInfos() const;
+
     /** Whether a disk tier is configured. */
     bool persistent() const { return !shards_.empty(); }
 

@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <ostream>
 #include <thread>
 
 #include "support/logging.hpp"
+#include "support/metrics.hpp"
 #include "support/trace.hpp"
 
 namespace cs {
@@ -254,6 +256,38 @@ CounterSet
 SchedulingPipeline::statsSnapshot() const
 {
     return stats_;
+}
+
+std::size_t
+SchedulingPipeline::inflightDepth() const
+{
+    std::lock_guard<std::mutex> lock(inflightMutex_);
+    return inflight_.size();
+}
+
+void
+SchedulingPipeline::writeTelemetryJson(std::ostream &os) const
+{
+    std::uint64_t totalBytes = 0;
+    std::uint64_t totalRecords = 0;
+    os << ",\"shards\":[";
+    bool first = true;
+    for (const auto &info : cache_.shardInfos()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"path\":";
+        writeJsonQuoted(os, info.path);
+        os << ",\"bytes\":" << info.bytes
+           << ",\"records\":" << info.records << ",\"owned\":"
+           << (info.owned ? "true" : "false") << "}";
+        totalBytes += info.bytes;
+        totalRecords += info.records;
+    }
+    os << "],\"shard_bytes\":" << totalBytes
+       << ",\"shard_records\":" << totalRecords
+       << ",\"context_entries\":" << contextCache_.stats().entries
+       << ",\"dedup_inflight\":" << inflightDepth();
 }
 
 } // namespace cs

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -166,6 +167,19 @@ class SchedulingPipeline
      */
     CounterSet statsSnapshot() const;
 
+    /** Jobs currently scheduling (in-flight dedup map occupancy). */
+    std::size_t inflightDepth() const;
+
+    /**
+     * Append the pipeline's occupancy telemetry as leading-comma JSON
+     * fields — `,"shards":[{"path":..,"bytes":..,"records":..,
+     * "owned":..},...],"shard_bytes":..,"shard_records":..,
+     * "context_entries":..,"dedup_inflight":..` — the shape the
+     * telemetry sampler's extras closure and the server's watch
+     * frames both emit. Safe to call concurrently with workers.
+     */
+    void writeTelemetryJson(std::ostream &os) const;
+
     unsigned numThreads() const { return pool_.size(); }
 
   private:
@@ -185,7 +199,7 @@ class SchedulingPipeline
     bool shareContexts_;
     bool dedupInFlight_;
     CounterSet stats_;
-    std::mutex inflightMutex_;
+    mutable std::mutex inflightMutex_;
     /** Content key -> the run in flight for it (leader-owned). */
     std::unordered_map<std::uint64_t, std::shared_ptr<InFlightJob>>
         inflight_;

@@ -186,6 +186,65 @@ ScheduleClient::ping(std::string *error)
 }
 
 bool
+ScheduleClient::watch(
+    std::int64_t intervalMs,
+    const std::function<bool(const std::string &)> &onFrame,
+    std::string *error)
+{
+    if (fd_ < 0) {
+        if (error != nullptr)
+            *error = "not connected";
+        return false;
+    }
+    Request request;
+    request.type = RequestType::Watch;
+    request.requestId = nextId_++;
+    request.deadlineMs = intervalMs; // Watch reuses the field
+    std::vector<std::uint8_t> payload;
+    {
+        wire::ByteWriter writer(payload);
+        encodeRequest(writer, request);
+    }
+    if (!writeFrame(fd_, payload)) {
+        if (error != nullptr)
+            *error = "send failed (connection lost?)";
+        close();
+        return false;
+    }
+    // The reply is a stream: one stats frame per tick on this
+    // connection, first tick immediately. Stop by closing.
+    std::vector<std::uint8_t> frame;
+    while (readFrame(fd_, &frame)) {
+        wire::ByteReader reader(std::span<const std::uint8_t>(
+            frame.data(), frame.size()));
+        Response response;
+        if (!decodeResponse(reader, &response)) {
+            if (error != nullptr)
+                *error = "bad stats frame: " + reader.error();
+            close();
+            return false;
+        }
+        if (response.status != ResponseStatus::Ok) {
+            if (error != nullptr)
+                *error = std::string("watch: ") +
+                         statusName(response.status) +
+                         (response.message.empty()
+                              ? ""
+                              : " (" + response.message + ")");
+            close();
+            return false;
+        }
+        if (!onFrame(response.message)) {
+            close();
+            return true;
+        }
+    }
+    // EOF mid-stream: normal when the daemon stops while we watch.
+    close();
+    return true;
+}
+
+bool
 ScheduleClient::stats(std::string *json, std::string *error)
 {
     Request request;

@@ -11,6 +11,7 @@
 #define CS_SERVE_CLIENT_HPP
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "serve/proto.hpp"
@@ -57,6 +58,18 @@ class ScheduleClient
 
     /** Fetch the server's stats JSON. */
     bool stats(std::string *json, std::string *error);
+
+    /**
+     * Subscribe to the server's stats stream (protocol v2 Watch) and
+     * invoke @p onFrame with each tick's flat JSON stats object until
+     * @p onFrame returns false (client-side stop: the connection is
+     * closed, which also unsubscribes server-side), the connection
+     * drops, or the server refuses the subscription (false + error).
+     * @p intervalMs <= 0 asks for the server default (1000 ms).
+     */
+    bool watch(std::int64_t intervalMs,
+               const std::function<bool(const std::string &)> &onFrame,
+               std::string *error);
 
   private:
     int fd_ = -1;

@@ -454,7 +454,11 @@ statusName(ResponseStatus status)
 void
 encodeRequest(wire::ByteWriter &writer, const Request &request)
 {
-    writer.u8(kProtocolVersion);
+    // Normally kProtocolVersion (the field's default); tests override
+    // it to impersonate old clients — the v1 body layout for
+    // Schedule/Stats/Ping is identical, only the tail of the response
+    // differs.
+    writer.u8(request.protocolVersion);
     writer.u8(static_cast<std::uint8_t>(request.type));
     writer.u64(request.requestId);
     writer.i64(request.deadlineMs);
@@ -466,11 +470,13 @@ bool
 decodeRequest(wire::ByteReader &reader, Request *out)
 {
     std::uint8_t version = reader.u8();
-    if (!reader.failed() && version != kProtocolVersion) {
+    if (!reader.failed() && (version < kMinProtocolVersion ||
+                             version > kProtocolVersion)) {
         reader.fail("unsupported protocol version " +
                     std::to_string(version));
         return false;
     }
+    out->protocolVersion = version;
     std::uint8_t type = reader.u8();
     out->requestId = reader.u64();
     out->deadlineMs = reader.i64();
@@ -481,6 +487,13 @@ decodeRequest(wire::ByteReader &reader, Request *out)
     case static_cast<std::uint8_t>(RequestType::Stats):
     case static_cast<std::uint8_t>(RequestType::Ping):
         out->type = static_cast<RequestType>(type);
+        break;
+    case static_cast<std::uint8_t>(RequestType::Watch):
+        if (version < 2) {
+            reader.fail("watch requires protocol version 2");
+            return false;
+        }
+        out->type = RequestType::Watch;
         break;
     default:
         reader.fail("unknown request type " + std::to_string(type));
@@ -500,7 +513,8 @@ decodeRequest(wire::ByteReader &reader, Request *out)
 }
 
 void
-encodeResponse(wire::ByteWriter &writer, const Response &response)
+encodeResponse(wire::ByteWriter &writer, const Response &response,
+               std::uint8_t peerVersion)
 {
     writer.u64(response.requestId);
     writer.u8(static_cast<std::uint8_t>(response.status));
@@ -519,6 +533,9 @@ encodeResponse(wire::ByteWriter &writer, const Response &response)
         static_cast<std::uint32_t>(response.verifierErrors.size()));
     for (const std::string &error : response.verifierErrors)
         writer.str(error);
+    // v2 tail: v1 peers get the exact v1 byte layout above.
+    if (peerVersion >= 2)
+        writer.u64(response.serverRequestId);
 }
 
 bool
@@ -547,6 +564,11 @@ decodeResponse(wire::ByteReader &reader, Response *out)
     out->verifierErrors.clear();
     for (std::uint32_t i = 0; i < numErrors && !reader.failed(); ++i)
         out->verifierErrors.push_back(reader.str());
+    // Optional v2 tail: absent from v1 servers, so only read it when
+    // bytes remain. Defaults to 0 otherwise.
+    out->serverRequestId = 0;
+    if (!reader.failed() && !reader.atEnd())
+        out->serverRequestId = reader.u64();
     return !reader.failed();
 }
 

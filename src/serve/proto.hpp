@@ -93,8 +93,20 @@ std::vector<ScheduleJob> jobSetToScheduleJobs(const JobSet &set);
 // Wire protocol (cs_serve / cs_client)
 // ---------------------------------------------------------------------
 
-/** Protocol version carried in every request. */
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/**
+ * Protocol version carried in every request. v2 adds (a) the Watch
+ * request type and (b) a trailing server-allocated request id on
+ * every Response. The server still speaks to v1 clients: it accepts
+ * any version in [kMinProtocolVersion, kProtocolVersion], remembers
+ * the peer's version per request, and only appends the v2 response
+ * tail for v2 peers — v1 clients never see bytes they would not
+ * expect, and v2 clients decode the tail only when it is present
+ * (so v1 servers' responses still parse, with serverRequestId == 0).
+ */
+inline constexpr std::uint8_t kProtocolVersion = 2;
+
+/** Oldest request version the server still accepts. */
+inline constexpr std::uint8_t kMinProtocolVersion = 1;
 
 /** Hard cap on one frame; hostile lengths fail before allocation. */
 inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
@@ -103,6 +115,8 @@ enum class RequestType : std::uint8_t {
     Schedule = 1, ///< schedule the embedded one-job JobSet
     Stats = 2,    ///< server counters as a JSON string
     Ping = 3,     ///< liveness probe
+    Watch = 4,    ///< v2+: stream periodic stats frames on this
+                  ///< connection until it closes
 };
 
 enum class ResponseStatus : std::uint8_t {
@@ -119,6 +133,13 @@ const char *statusName(ResponseStatus status);
 
 struct Request
 {
+    /**
+     * Version this request was encoded with. Encoders always write
+     * kProtocolVersion; after decodeRequest it holds the *peer's*
+     * version, which the server threads through to encodeResponse so
+     * old clients get old-shaped responses.
+     */
+    std::uint8_t protocolVersion = kProtocolVersion;
     RequestType type = RequestType::Ping;
     /** Client-chosen id, echoed verbatim in the response. */
     std::uint64_t requestId = 0;
@@ -127,6 +148,8 @@ struct Request
      * 0 means no deadline; a negative value is *already expired* and
      * must come back DeadlineExceeded without any scheduling work
      * (clients use this to probe the deadline path deterministically).
+     * Watch requests reuse the field as the tick interval in ms
+     * (0 = the server default of 1000).
      */
     std::int64_t deadlineMs = 0;
     /** Schedule requests only: a set with exactly one job. */
@@ -152,11 +175,25 @@ struct Response
     double wallMs = 0.0;
     std::string listing;
     std::vector<std::string> verifierErrors;
+
+    /**
+     * v2 tail: server-allocated lifecycle id (0 from v1 servers and
+     * for responses that never entered the schedule path). Watch
+     * stats frames echo the Watch request's id here too.
+     */
+    std::uint64_t serverRequestId = 0;
 };
 
 void encodeRequest(wire::ByteWriter &writer, const Request &request);
 bool decodeRequest(wire::ByteReader &reader, Request *out);
-void encodeResponse(wire::ByteWriter &writer, const Response &response);
+
+/**
+ * Encode @p response for a peer speaking @p peerVersion: the
+ * serverRequestId tail is appended only for v2+ peers. The default
+ * emits the current full shape.
+ */
+void encodeResponse(wire::ByteWriter &writer, const Response &response,
+                    std::uint8_t peerVersion = kProtocolVersion);
 bool decodeResponse(wire::ByteReader &reader, Response *out);
 
 /** Fill a Response's result summary from a completed JobResult. */

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "support/logging.hpp"
+#include "support/telemetry.hpp"
 #include "support/trace.hpp"
 
 namespace cs::serve {
@@ -98,7 +99,25 @@ bindTcpListener(const std::string &spec, int backlog, int *portOut,
 } // namespace
 
 ScheduleServer::ScheduleServer(const ServerConfig &config)
-    : config_(config), pipeline_(pipelineConfig(config))
+    : config_(config), pipeline_(pipelineConfig(config)),
+      latencyAll_(
+          &metrics_.streamingHistogram("serve.latency_us.all")),
+      latencyWarm_(
+          &metrics_.streamingHistogram("serve.latency_us.warm")),
+      latencyDispatched_(
+          &metrics_.streamingHistogram("serve.latency_us.dispatched")),
+      latencyDeadline_(
+          &metrics_.streamingHistogram("serve.latency_us.deadline")),
+      latencyOverload_(
+          &metrics_.streamingHistogram("serve.latency_us.overload")),
+      phaseDecode_(
+          &metrics_.streamingHistogram("serve.phase_us.decode")),
+      phaseAdmit_(&metrics_.streamingHistogram("serve.phase_us.admit")),
+      phaseQueue_(&metrics_.streamingHistogram("serve.phase_us.queue")),
+      phaseSchedule_(
+          &metrics_.streamingHistogram("serve.phase_us.schedule")),
+      phaseReply_(&metrics_.streamingHistogram("serve.phase_us.reply")),
+      inflightGauge_(&metrics_.gauge("serve.inflight"))
 {}
 
 ScheduleServer::~ScheduleServer()
@@ -173,6 +192,7 @@ ScheduleServer::start()
     running_.store(true);
     draining_.store(false);
     deadlineStop_ = false;
+    watchStop_ = false;
     if (listenFd_.load() >= 0) {
         acceptThread_ =
             std::thread([this] { acceptLoop(listenFd_, false); });
@@ -185,6 +205,7 @@ ScheduleServer::start()
                   " (port ", boundTcpPort_, ")");
     }
     deadlineThread_ = std::thread([this] { deadlineLoop(); });
+    watchThread_ = std::thread([this] { watchLoop(); });
     return true;
 }
 
@@ -218,7 +239,9 @@ ScheduleServer::stop()
         drainCv_.wait(lock, [this] { return inFlight_.load() == 0; });
     }
 
-    // 3. Tear down the deadline watcher.
+    // 3. Tear down the deadline watcher and the watch streamer. Both
+    //    stop before the connections close, so no stats frame races a
+    //    closing fd.
     {
         std::lock_guard<std::mutex> lock(deadlineMutex_);
         deadlineStop_ = true;
@@ -226,6 +249,15 @@ ScheduleServer::stop()
     deadlineCv_.notify_all();
     if (deadlineThread_.joinable())
         deadlineThread_.join();
+    {
+        std::lock_guard<std::mutex> lock(watchMutex_);
+        watchStop_ = true;
+        watches_.clear();
+    }
+    watchCv_.notify_all();
+    // The watch thread joins below, after the connection shutdowns:
+    // it may be blocked writing a stats frame to a peer that stopped
+    // reading, and only shutdown() unblocks that write.
 
     // 4. Close connections; shutdown() unblocks blocked readFrame()s.
     std::vector<std::shared_ptr<Connection>> conns;
@@ -241,6 +273,8 @@ ScheduleServer::stop()
         if (conn->fd >= 0)
             ::shutdown(conn->fd, SHUT_RDWR);
     }
+    if (watchThread_.joinable())
+        watchThread_.join();
     for (std::thread &thread : threads) {
         if (thread.joinable())
             thread.join();
@@ -293,6 +327,7 @@ ScheduleServer::connectionLoop(std::shared_ptr<Connection> conn)
 {
     std::vector<std::uint8_t> frame;
     while (conn->open.load() && readFrame(conn->fd, &frame)) {
+        auto received = std::chrono::steady_clock::now();
         metrics_.counters().bump("serve.frames_in");
         wire::ByteReader reader(
             std::span<const std::uint8_t>(frame.data(), frame.size()));
@@ -306,7 +341,8 @@ ScheduleServer::connectionLoop(std::shared_ptr<Connection> conn)
             sendResponse(conn, response);
             continue;
         }
-        handleRequest(conn, std::move(request));
+        handleRequest(conn, std::move(request), received,
+                      std::chrono::steady_clock::now());
     }
     // The connection is done (EOF, hostile frame, or drain): close the
     // fd now so the peer sees EOF immediately and a long-lived daemon
@@ -322,27 +358,62 @@ ScheduleServer::connectionLoop(std::shared_ptr<Connection> conn)
     }
 }
 
-void
-ScheduleServer::handleRequest(const std::shared_ptr<Connection> &conn,
-                              Request &&request)
+namespace {
+
+std::uint64_t
+elapsedUs(std::chrono::steady_clock::time_point from,
+          std::chrono::steady_clock::time_point to)
 {
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  to - from)
+                  .count();
+    return us < 0 ? 0u : static_cast<std::uint64_t>(us);
+}
+
+} // namespace
+
+void
+ScheduleServer::handleRequest(
+    const std::shared_ptr<Connection> &conn, Request &&request,
+    std::chrono::steady_clock::time_point received,
+    std::chrono::steady_clock::time_point decoded)
+{
+    using Clock = std::chrono::steady_clock;
     CS_TRACE_SPAN1("serve_request", "type",
                    static_cast<int>(request.type));
     metrics_.counters().bump("serve.requests");
+    phaseDecode_->record(elapsedUs(received, decoded));
+    // Lifecycle id: allocated for every request that reaches the
+    // handler, echoed in the v2 response tail. The peer's version
+    // decides whether the tail is actually written.
+    const std::uint8_t peer = request.protocolVersion;
+    const std::uint64_t serverId = nextServerRequestId_.fetch_add(1);
     Response response;
     response.requestId = request.requestId;
+    response.serverRequestId = serverId;
 
     if (request.type == RequestType::Ping) {
         metrics_.counters().bump("serve.pings");
         response.status = ResponseStatus::Ok;
-        sendResponse(conn, response);
+        sendResponse(conn, response, peer);
         return;
     }
     if (request.type == RequestType::Stats) {
         metrics_.counters().bump("serve.stats_requests");
         response.status = ResponseStatus::Ok;
         response.message = statsJson();
-        sendResponse(conn, response);
+        sendResponse(conn, response, peer);
+        return;
+    }
+    if (request.type == RequestType::Watch) {
+        metrics_.counters().bump("serve.watch_requests");
+        if (draining_.load()) {
+            response.status = ResponseStatus::ShuttingDown;
+            response.message = "server is draining";
+            sendResponse(conn, response, peer);
+            return;
+        }
+        startWatch(conn, request, serverId);
         return;
     }
 
@@ -353,6 +424,23 @@ ScheduleServer::handleRequest(const std::shared_ptr<Connection> &conn,
     // sends its response first and only then calls finishRequest().
     metrics_.counters().bump("serve.schedule_requests");
     std::size_t admitted = inFlight_.fetch_add(1) + 1;
+    inflightGauge_->store(static_cast<std::int64_t>(admitted),
+                          std::memory_order_relaxed);
+    // Send the reply, record the reply phase and the request's total
+    // latency into @p outcome (plus the .all histogram), and release
+    // the in-flight slot — the shared tail of every early-return
+    // path below.
+    auto replyAndFinish = [&](StreamingHistogram *outcome) {
+        auto beforeReply = Clock::now();
+        sendResponse(conn, response, peer);
+        auto afterReply = Clock::now();
+        phaseReply_->record(elapsedUs(beforeReply, afterReply));
+        std::uint64_t totalUs = elapsedUs(received, afterReply);
+        if (outcome)
+            outcome->record(totalUs);
+        latencyAll_->record(totalUs);
+        finishRequest();
+    };
     if (draining_.load()) {
         // Checked after the increment: if stop() flipped draining_
         // first, its drain wait now holds until this reply is out; if
@@ -360,8 +448,7 @@ ScheduleServer::handleRequest(const std::shared_ptr<Connection> &conn,
         metrics_.counters().bump("serve.shutting_down");
         response.status = ResponseStatus::ShuttingDown;
         response.message = "server is draining";
-        sendResponse(conn, response);
-        finishRequest();
+        replyAndFinish(nullptr);
         return;
     }
     if (request.deadlineMs < 0) {
@@ -370,8 +457,7 @@ ScheduleServer::handleRequest(const std::shared_ptr<Connection> &conn,
         metrics_.counters().bump("serve.deadline_expired");
         response.status = ResponseStatus::DeadlineExceeded;
         response.message = "deadline expired before scheduling";
-        sendResponse(conn, response);
-        finishRequest();
+        replyAndFinish(latencyDeadline_);
         return;
     }
 
@@ -399,8 +485,8 @@ ScheduleServer::handleRequest(const std::shared_ptr<Connection> &conn,
                 response.status = ResponseStatus::Ok;
             }
             metrics_.recordTimeMs("serve.request", hit->wallMs);
-            sendResponse(conn, response);
-            finishRequest();
+            phaseAdmit_->record(elapsedUs(decoded, Clock::now()));
+            replyAndFinish(latencyWarm_);
             return;
         }
         metrics_.counters().bump("serve.fast_path_misses");
@@ -413,15 +499,20 @@ ScheduleServer::handleRequest(const std::shared_ptr<Connection> &conn,
         metrics_.counters().bump("serve.rejected_overload");
         response.status = ResponseStatus::RejectedOverload;
         response.message = "in-flight limit reached, retry later";
-        sendResponse(conn, response);
-        finishRequest();
+        replyAndFinish(latencyOverload_);
         return;
     }
+    // Admit phase: decode completion up to the dispatch decision
+    // (fast-path probe included).
+    phaseAdmit_->record(elapsedUs(decoded, Clock::now()));
 
     auto state = std::make_shared<RequestState>();
     state->conn = conn;
     state->requestId = request.requestId;
+    state->protocolVersion = peer;
+    state->serverRequestId = serverId;
     state->jobs = std::move(request.jobs);
+    state->received = received;
     if (request.deadlineMs > 0) {
         state->hasDeadline = true;
         state->deadline = std::chrono::steady_clock::now() +
@@ -431,10 +522,13 @@ ScheduleServer::handleRequest(const std::shared_ptr<Connection> &conn,
 
     ScheduleJob job = jobSetToScheduleJobs(state->jobs).front();
     job.abortFlag = &state->abort;
+    state->dispatched = Clock::now();
     bool submitted = pipeline_.submit(
         std::move(job), [this, state](JobResult result) {
+            auto completed = Clock::now();
             Response reply;
             reply.requestId = state->requestId;
+            reply.serverRequestId = state->serverRequestId;
             summarizeResult(result, &reply);
             if (result.cancelled) {
                 metrics_.counters().bump("serve.deadline_preempted");
@@ -449,22 +543,43 @@ ScheduleServer::handleRequest(const std::shared_ptr<Connection> &conn,
                 reply.status = ResponseStatus::Ok;
             }
             metrics_.recordTimeMs("serve.request", result.wallMs);
-            sendResponse(state->conn, reply);
+            // Phase split: wallMs is the pure scheduling time the
+            // pipeline measured; what else passed since dispatch is
+            // queueing (worker wait + dedup joins).
+            auto scheduleUs = static_cast<std::uint64_t>(
+                result.wallMs > 0.0 ? result.wallMs * 1000.0 : 0.0);
+            std::uint64_t sinceDispatch =
+                elapsedUs(state->dispatched, completed);
+            phaseSchedule_->record(scheduleUs);
+            phaseQueue_->record(sinceDispatch > scheduleUs
+                                    ? sinceDispatch - scheduleUs
+                                    : 0);
+            auto beforeReply = Clock::now();
+            sendResponse(state->conn, reply, state->protocolVersion);
+            auto afterReply = Clock::now();
+            phaseReply_->record(elapsedUs(beforeReply, afterReply));
+            std::uint64_t totalUs =
+                elapsedUs(state->received, afterReply);
+            (result.cancelled ? latencyDeadline_ : latencyDispatched_)
+                ->record(totalUs);
+            latencyAll_->record(totalUs);
             finishRequest();
         });
     if (!submitted) {
         metrics_.counters().bump("serve.shutting_down");
         response.status = ResponseStatus::ShuttingDown;
         response.message = "server is draining";
-        sendResponse(conn, response);
-        finishRequest();
+        replyAndFinish(nullptr);
     }
 }
 
 void
 ScheduleServer::finishRequest()
 {
-    if (inFlight_.fetch_sub(1) == 1) {
+    std::size_t remaining = inFlight_.fetch_sub(1) - 1;
+    inflightGauge_->store(static_cast<std::int64_t>(remaining),
+                          std::memory_order_relaxed);
+    if (remaining == 0) {
         std::lock_guard<std::mutex> lock(drainMutex_);
         drainCv_.notify_all();
     }
@@ -472,12 +587,13 @@ ScheduleServer::finishRequest()
 
 bool
 ScheduleServer::sendResponse(const std::shared_ptr<Connection> &conn,
-                             const Response &response)
+                             const Response &response,
+                             std::uint8_t peerVersion)
 {
     std::vector<std::uint8_t> payload;
     {
         wire::ByteWriter writer(payload);
-        encodeResponse(writer, response);
+        encodeResponse(writer, response, peerVersion);
     }
     std::lock_guard<std::mutex> lock(conn->writeMutex);
     if (!conn->open.load())
@@ -539,6 +655,174 @@ ScheduleServer::deadlineLoop()
     }
 }
 
+void
+ScheduleServer::startWatch(const std::shared_ptr<Connection> &conn,
+                           const Request &request,
+                           std::uint64_t serverRequestId)
+{
+    auto sub = std::make_shared<WatchSubscription>();
+    sub->conn = conn;
+    sub->requestId = request.requestId;
+    sub->serverRequestId = serverRequestId;
+    // Watch reuses deadlineMs as the tick interval; clamp against
+    // busy-looping on hostile values.
+    std::int64_t ms = request.deadlineMs;
+    if (ms <= 0)
+        ms = 1000;
+    if (ms < 10)
+        ms = 10;
+    sub->interval = std::chrono::milliseconds(ms);
+    auto now = std::chrono::steady_clock::now();
+    sub->nextDue = now; // first frame immediately (it is the ack)
+    sub->prevTime = now;
+    sub->prevRequests = metrics_.counters().get("serve.requests");
+    {
+        std::lock_guard<std::mutex> lock(watchMutex_);
+        if (watchStop_)
+            return;
+        watches_.push_back(std::move(sub));
+    }
+    watchCv_.notify_all();
+}
+
+std::string
+ScheduleServer::watchFrameJson(WatchSubscription &sub)
+{
+    auto now = std::chrono::steady_clock::now();
+    const CounterSet &counters = metrics_.counters();
+    std::uint64_t requests = counters.get("serve.requests");
+    double dt = std::chrono::duration<double>(now - sub.prevTime)
+                    .count();
+    double reqPerS =
+        dt > 0.0 ? static_cast<double>(requests - sub.prevRequests) / dt
+                 : 0.0;
+    sub.prevRequests = requests;
+    sub.prevTime = now;
+    std::uint64_t warmHits = counters.get("serve.fast_path_hits");
+    std::uint64_t warmMisses = counters.get("serve.fast_path_misses");
+    double hitRate =
+        warmHits + warmMisses
+            ? static_cast<double>(warmHits) /
+                  static_cast<double>(warmHits + warmMisses)
+            : 0.0;
+    HistogramSummary latency =
+        summarizeHistogram(latencyAll_->snapshot());
+    std::uint64_t shardBytes = 0;
+    std::uint64_t shardRecords = 0;
+    for (const auto &info : pipeline_.cache().shardInfos()) {
+        shardBytes += info.bytes;
+        shardRecords += info.records;
+    }
+    std::ostringstream os;
+    os << "{\"seq\":" << sub.seq++
+       << ",\"interval_ms\":" << sub.interval.count()
+       << ",\"requests_total\":" << requests
+       << ",\"req_per_s\":" << reqPerS
+       << ",\"ok_total\":" << counters.get("serve.ok")
+       << ",\"errors_total\":" << counters.get("serve.errors")
+       << ",\"inflight\":" << inFlight_.load()
+       << ",\"warm_hits_total\":" << warmHits
+       << ",\"hit_rate\":" << hitRate
+       << ",\"p50_us\":" << latency.p50
+       << ",\"p99_us\":" << latency.p99
+       << ",\"max_us\":" << latency.max
+       << ",\"rss_kb\":" << readRssKb()
+       << ",\"shard_bytes\":" << shardBytes
+       << ",\"shard_records\":" << shardRecords << ",\"context_entries\":"
+       << pipeline_.contextCache().stats().entries
+       << ",\"dedup_inflight\":" << pipeline_.inflightDepth() << "}";
+    return os.str();
+}
+
+void
+ScheduleServer::watchLoop()
+{
+    std::unique_lock<std::mutex> lock(watchMutex_);
+    for (;;) {
+        if (watchStop_)
+            return;
+        auto now = std::chrono::steady_clock::now();
+        auto next = now + std::chrono::hours(1);
+        bool haveNext = false;
+        std::vector<std::shared_ptr<WatchSubscription>> due;
+        auto it = watches_.begin();
+        while (it != watches_.end()) {
+            const std::shared_ptr<WatchSubscription> &sub = *it;
+            if (!sub->conn->open.load()) {
+                it = watches_.erase(it);
+                continue;
+            }
+            if (sub->nextDue <= now) {
+                due.push_back(sub);
+                sub->nextDue = now + sub->interval;
+            }
+            if (!haveNext || sub->nextDue < next) {
+                next = sub->nextDue;
+                haveNext = true;
+            }
+            ++it;
+        }
+        if (!due.empty()) {
+            // Send outside the lock: a frame to a slow peer must not
+            // stall startWatch()/stop(). A failed write marks the
+            // connection closed (sendResponse), so the open check
+            // above culls the subscription next pass.
+            lock.unlock();
+            for (const auto &sub : due) {
+                Response frame;
+                frame.requestId = sub->requestId;
+                frame.serverRequestId = sub->serverRequestId;
+                frame.status = ResponseStatus::Ok;
+                frame.message = watchFrameJson(*sub);
+                sendResponse(sub->conn, frame);
+            }
+            lock.lock();
+            continue; // re-check stop and recompute the wake-up
+        }
+        if (haveNext)
+            watchCv_.wait_until(lock, next);
+        else
+            watchCv_.wait(lock);
+    }
+}
+
+CounterSet
+ScheduleServer::counterSnapshot() const
+{
+    CounterSet out = metrics_.counters();
+    out.merge(pipeline_.statsSnapshot());
+    auto addPrefixed = [&out](const char *prefix,
+                              const CounterSet &tier) {
+        tier.forEach(
+            [&out, prefix](const std::string &name, std::uint64_t v) {
+                out.bump(std::string(prefix) + name, v);
+            });
+    };
+    addPrefixed("cache.memory.", toCounterSet(pipeline_.cache().stats()));
+    addPrefixed("cache.disk.",
+                toCounterSet(pipeline_.cache().diskStats()));
+    addPrefixed("context.",
+                toCounterSet(pipeline_.contextCache().stats()));
+    return out;
+}
+
+void
+ScheduleServer::writeTelemetryFields(std::ostream &os) const
+{
+    os << ",\"inflight\":" << inFlight_.load() << ",\"latency\":{";
+    bool first = true;
+    for (const auto &[name, snapshot] : metrics_.streamingSnapshot()) {
+        if (!first)
+            os << ",";
+        first = false;
+        writeJsonQuoted(os, name);
+        os << ":";
+        writeHistogramSummary(os, summarizeHistogram(snapshot));
+    }
+    os << "}";
+    pipeline_.writeTelemetryJson(os);
+}
+
 std::string
 ScheduleServer::statsJson() const
 {
@@ -556,7 +840,7 @@ ScheduleServer::statsJson() const
         "serve.bad_requests",     "serve.pings",
         "serve.stats_requests",   "serve.connections",
         "serve.frames_in",        "serve.frames_out",
-        "serve.write_errors",
+        "serve.write_errors",     "serve.watch_requests",
     };
     static const char *const kPipelineCounters[] = {
         "pipeline.jobs",      "pipeline.cache_hits",

@@ -135,6 +135,24 @@ class ScheduleServer
     /** Serving + pipeline + cache counters as one JSON object. */
     std::string statsJson() const;
 
+    /**
+     * One flat CounterSet across the whole server, for the telemetry
+     * sampler: the serve.* counters, the pipeline counters, and the
+     * cache tiers prefixed as cache.memory.* / cache.disk.* /
+     * context.* (the tiers share counter names, so the prefixes keep
+     * the merge collision-free).
+     */
+    CounterSet counterSnapshot() const;
+
+    /**
+     * Append the server's occupancy/latency telemetry as
+     * leading-comma JSON fields — inflight depth, every streaming
+     * histogram's quantile summary, and the pipeline's shard/cache
+     * fields (SchedulingPipeline::writeTelemetryJson). This is the
+     * extras closure cs_serve hands the TelemetrySampler.
+     */
+    void writeTelemetryFields(std::ostream &os) const;
+
     /** Serving metrics (counters + request timers). */
     const MetricsRegistry &metrics() const { return metrics_; }
 
@@ -153,25 +171,74 @@ class ScheduleServer
     {
         std::shared_ptr<Connection> conn;
         std::uint64_t requestId = 0;
+        /** Peer protocol version, threaded to encodeResponse. */
+        std::uint8_t protocolVersion = kProtocolVersion;
+        /** Server-allocated lifecycle id (v2 response tail). */
+        std::uint64_t serverRequestId = 0;
         JobSet jobs; ///< keeps the job's machine/kernel alive
         std::atomic<bool> abort{false};
         bool hasDeadline = false;
         std::chrono::steady_clock::time_point deadline{};
+        /** Frame receipt / pipeline submit times (lifecycle phases). */
+        std::chrono::steady_clock::time_point received{};
+        std::chrono::steady_clock::time_point dispatched{};
+    };
+
+    /** One live Watch stream (v2): periodic stats frames until the
+     *  connection closes or a write fails. */
+    struct WatchSubscription
+    {
+        std::shared_ptr<Connection> conn;
+        std::uint64_t requestId = 0;
+        std::uint64_t serverRequestId = 0;
+        std::chrono::milliseconds interval{1000};
+        std::chrono::steady_clock::time_point nextDue{};
+        std::uint64_t seq = 0;
+        /** Previous tick's totals, for per-tick rates. */
+        std::uint64_t prevRequests = 0;
+        std::chrono::steady_clock::time_point prevTime{};
     };
 
     void acceptLoop(std::atomic<int> &listenFd, bool tcp);
     void connectionLoop(std::shared_ptr<Connection> conn);
     void handleRequest(const std::shared_ptr<Connection> &conn,
-                       Request &&request);
+                       Request &&request,
+                       std::chrono::steady_clock::time_point received,
+                       std::chrono::steady_clock::time_point decoded);
     void deadlineLoop();
     void watchDeadline(const std::shared_ptr<RequestState> &state);
+    void watchLoop();
+    void startWatch(const std::shared_ptr<Connection> &conn,
+                    const Request &request,
+                    std::uint64_t serverRequestId);
+    /** One-line flat JSON stats frame for a Watch tick. */
+    std::string watchFrameJson(WatchSubscription &sub);
     bool sendResponse(const std::shared_ptr<Connection> &conn,
-                      const Response &response);
+                      const Response &response,
+                      std::uint8_t peerVersion = kProtocolVersion);
     void finishRequest();
 
     ServerConfig config_;
     SchedulingPipeline pipeline_;
     MetricsRegistry metrics_;
+
+    // Lifecycle histograms and the in-flight gauge, resolved once in
+    // the constructor (stable addresses) so the request paths record
+    // without touching the registry lock.
+    StreamingHistogram *latencyAll_;
+    StreamingHistogram *latencyWarm_;
+    StreamingHistogram *latencyDispatched_;
+    StreamingHistogram *latencyDeadline_;
+    StreamingHistogram *latencyOverload_;
+    StreamingHistogram *phaseDecode_;
+    StreamingHistogram *phaseAdmit_;
+    StreamingHistogram *phaseQueue_;
+    StreamingHistogram *phaseSchedule_;
+    StreamingHistogram *phaseReply_;
+    std::atomic<std::int64_t> *inflightGauge_;
+
+    /** Lifecycle ids; 0 is reserved for "never entered the server". */
+    std::atomic<std::uint64_t> nextServerRequestId_{1};
 
     // Atomic: stop() closes the listeners (and writes -1) while the
     // accept threads are still reading them for the next accept().
@@ -196,6 +263,15 @@ class ScheduleServer
     std::vector<std::weak_ptr<RequestState>> deadlines_;
     bool deadlineStop_ = false;
     std::thread deadlineThread_;
+
+    // Watch streamer, same lifecycle shape as the deadline watcher.
+    // Watch streams are not Schedule work: they never count against
+    // inFlight_, so a live watch does not block the graceful drain.
+    std::mutex watchMutex_;
+    std::condition_variable watchCv_;
+    std::vector<std::shared_ptr<WatchSubscription>> watches_;
+    bool watchStop_ = false;
+    std::thread watchThread_;
 };
 
 } // namespace cs::serve

@@ -1,0 +1,97 @@
+#include "support/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace cs {
+
+std::size_t
+StreamingHistogram::bucketIndex(std::uint64_t value)
+{
+    if (value < kSub)
+        return static_cast<std::size_t>(value);
+    // Top set bit selects the octave; the kSubBits bits below it
+    // select the linear sub-bucket. Continuous with the direct range:
+    // values in [16, 32) have shift == 0 and map to index == value.
+    unsigned top = 63u - static_cast<unsigned>(std::countl_zero(value));
+    unsigned shift = top - kSubBits;
+    std::uint64_t mantissa = (value >> shift) - kSub;
+    return ((static_cast<std::size_t>(top) - kSubBits + 1)
+            << kSubBits) +
+           static_cast<std::size_t>(mantissa);
+}
+
+std::uint64_t
+StreamingHistogram::bucketLowerBound(std::size_t index)
+{
+    if (index < kSub)
+        return static_cast<std::uint64_t>(index);
+    std::size_t block = index >> kSubBits; // >= 1
+    std::uint64_t mantissa = index & (kSub - 1);
+    return (kSub + mantissa) << (block - 1);
+}
+
+StreamingHistogram::Snapshot
+StreamingHistogram::snapshot() const
+{
+    Snapshot out;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+        out.buckets[i] = n;
+        out.count += n;
+    }
+    out.total = total_.load(std::memory_order_relaxed);
+    out.max = max_.load(std::memory_order_relaxed);
+    return out;
+}
+
+std::uint64_t
+StreamingHistogram::Snapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > count)
+        rank = count;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        cumulative += buckets[i];
+        if (cumulative >= rank)
+            return bucketLowerBound(i);
+    }
+    return max;
+}
+
+void
+StreamingHistogram::Snapshot::merge(const Snapshot &other)
+{
+    count += other.count;
+    total += other.total;
+    if (other.max > max)
+        max = other.max;
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        buckets[i] += other.buckets[i];
+}
+
+HistogramSummary
+summarizeHistogram(const StreamingHistogram::Snapshot &snapshot)
+{
+    HistogramSummary out;
+    out.count = snapshot.count;
+    out.mean = snapshot.mean();
+    out.p50 = snapshot.quantile(0.50);
+    out.p90 = snapshot.quantile(0.90);
+    out.p99 = snapshot.quantile(0.99);
+    out.p999 = snapshot.quantile(0.999);
+    out.max = snapshot.max;
+    return out;
+}
+
+} // namespace cs

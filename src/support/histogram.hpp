@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Lock-cheap log-bucketed streaming histogram for service latency
+ * distributions.
+ *
+ * Recording is wait-free: a sample lands in one of 976 fixed
+ * power-of-two buckets (16 linear sub-buckets per octave, ~6.25% max
+ * relative error) with a relaxed atomic increment, so worker and
+ * reader threads can record on the hot path while a sampler thread
+ * snapshots concurrently. Snapshots are plain structs that merge
+ * across histograms/processes and answer p50/p90/p99/p99.9/max; the
+ * quantile walk returns the bucket lower bound, which is exact for
+ * values below 16 and a <=6.25% underestimate above.
+ *
+ * Units are the caller's choice; the serving tier records
+ * microseconds (`serve.latency_us.*`). MetricsRegistry owns named
+ * instances (support/metrics.hpp) and folds their quantiles into the
+ * unified JSON dump.
+ */
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace cs {
+
+class StreamingHistogram
+{
+public:
+    /// Linear sub-buckets per octave: 2^4 = 16 -> max relative
+    /// bucket-width error of 1/16.
+    static constexpr unsigned kSubBits = 4;
+    static constexpr std::uint64_t kSub = 1ull << kSubBits;
+    /// Values 0..15 map directly; octaves 4..63 contribute 16 buckets
+    /// each: 16 + 60*16 = 976.
+    static constexpr std::size_t kBuckets =
+        ((64 - kSubBits) + 1) << kSubBits;
+
+    /** Immutable, mergeable copy of the histogram state. */
+    struct Snapshot
+    {
+        std::uint64_t count = 0;
+        std::uint64_t total = 0;
+        std::uint64_t max = 0;
+        std::array<std::uint64_t, kBuckets> buckets{};
+
+        /**
+         * Value at quantile @p q in [0, 1]: the lower bound of the
+         * bucket holding the ceil(q * count)-th smallest sample
+         * (0 when empty).
+         */
+        std::uint64_t quantile(double q) const;
+
+        double mean() const
+        {
+            return count == 0
+                       ? 0.0
+                       : static_cast<double>(total) /
+                             static_cast<double>(count);
+        }
+
+        /** Pointwise sum; max takes the larger side. */
+        void merge(const Snapshot &other);
+    };
+
+    StreamingHistogram() = default;
+    StreamingHistogram(const StreamingHistogram &) = delete;
+    StreamingHistogram &operator=(const StreamingHistogram &) = delete;
+
+    /** Wait-free: relaxed bucket increment + CAS max. */
+    void record(std::uint64_t value)
+    {
+        buckets_[bucketIndex(value)].fetch_add(
+            1, std::memory_order_relaxed);
+        total_.fetch_add(value, std::memory_order_relaxed);
+        std::uint64_t seen = max_.load(std::memory_order_relaxed);
+        while (value > seen &&
+               !max_.compare_exchange_weak(seen, value,
+                                           std::memory_order_relaxed))
+            ;
+    }
+
+    /**
+     * Consistent-enough copy for reporting: concurrent record()s may
+     * or may not be included, but every sample lands in exactly one
+     * snapshot-visible bucket (count is summed from the buckets, not
+     * tracked separately, so count always equals the bucket sum).
+     */
+    Snapshot snapshot() const;
+
+    /** Bucket index for @p value (exact below kSub, log-linear above). */
+    static std::size_t bucketIndex(std::uint64_t value);
+
+    /** Smallest value mapping to bucket @p index (quantile inverse). */
+    static std::uint64_t bucketLowerBound(std::size_t index);
+
+private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> total_{0};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/**
+ * The quantile set every emitter prints, in emission order:
+ * count/mean plus p50/p90/p99/p99.9/max.
+ */
+struct HistogramSummary
+{
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
+    std::uint64_t max = 0;
+};
+
+HistogramSummary summarizeHistogram(
+    const StreamingHistogram::Snapshot &snapshot);
+
+} // namespace cs

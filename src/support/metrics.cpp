@@ -1,6 +1,7 @@
 #include "support/metrics.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <ostream>
 
 namespace cs {
@@ -90,6 +91,46 @@ MetricsRegistry::histogramSnapshot() const
     return summarizeAll(histograms_);
 }
 
+StreamingHistogram &
+MetricsRegistry::streamingHistogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = streaming_[name];
+    if (!slot)
+        slot = std::make_unique<StreamingHistogram>();
+    return *slot;
+}
+
+std::map<std::string, StreamingHistogram::Snapshot>
+MetricsRegistry::streamingSnapshot() const
+{
+    std::map<std::string, StreamingHistogram::Snapshot> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, histogram] : streaming_)
+        out.emplace(name, histogram->snapshot());
+    return out;
+}
+
+std::atomic<std::int64_t> &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<std::atomic<std::int64_t>>(0);
+    return *slot;
+}
+
+std::map<std::string, std::int64_t>
+MetricsRegistry::gaugeSnapshot() const
+{
+    std::map<std::string, std::int64_t> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, value] : gauges_)
+        out.emplace(name, value->load(std::memory_order_relaxed));
+    return out;
+}
+
 void
 MetricsRegistry::writeJson(std::ostream &os) const
 {
@@ -99,7 +140,26 @@ MetricsRegistry::writeJson(std::ostream &os) const
     writeDistributionObject(os, timerSnapshot(), "_ms");
     os << ",\"histograms\":";
     writeDistributionObject(os, histogramSnapshot(), "");
-    os << "}";
+    os << ",\"streaming\":{";
+    bool first = true;
+    for (const auto &[name, snapshot] : streamingSnapshot()) {
+        if (!first)
+            os << ",";
+        first = false;
+        writeJsonQuoted(os, name);
+        os << ":";
+        writeHistogramSummary(os, summarizeHistogram(snapshot));
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, value] : gaugeSnapshot()) {
+        if (!first)
+            os << ",";
+        first = false;
+        writeJsonQuoted(os, name);
+        os << ":" << value;
+    }
+    os << "}}";
 }
 
 void
@@ -128,13 +188,29 @@ void
 writeCounterObject(std::ostream &os, const CounterSet &stats,
                    const char *const *names, std::size_t count)
 {
+    // Sort a copy of the name list so the byte layout depends only on
+    // the name set, never on call-site declaration order.
+    std::vector<const char *> sorted(names, names + count);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const char *a, const char *b) {
+                  return std::strcmp(a, b) < 0;
+              });
     os << "{";
-    for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
         if (i)
             os << ",";
-        os << "\"" << names[i] << "\":" << stats.get(names[i]);
+        os << "\"" << sorted[i] << "\":" << stats.get(sorted[i]);
     }
     os << "}";
+}
+
+void
+writeHistogramSummary(std::ostream &os, const HistogramSummary &summary)
+{
+    os << "{\"count\":" << summary.count << ",\"mean\":" << summary.mean
+       << ",\"p50\":" << summary.p50 << ",\"p90\":" << summary.p90
+       << ",\"p99\":" << summary.p99 << ",\"p999\":" << summary.p999
+       << ",\"max\":" << summary.max << "}";
 }
 
 void

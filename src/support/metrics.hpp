@@ -9,19 +9,26 @@
  * Counters are monotonically increasing integers ("ops_scheduled").
  * Timers and histograms are both sample distributions — a timer's
  * samples are milliseconds, a histogram's are dimensionless values —
- * summarized as count/total/p50/p95/max on export.
+ * summarized as count/total/p50/p95/max on export. Streaming
+ * histograms (support/histogram.hpp) are the hot-path variant:
+ * fixed-footprint, wait-free to record, snapshot-able from a sampler
+ * thread while workers keep recording. Gauges are point-in-time
+ * signed levels ("serve.inflight") read and written atomically.
  */
 
 #ifndef CS_SUPPORT_METRICS_HPP
 #define CS_SUPPORT_METRICS_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "support/histogram.hpp"
 #include "support/stats.hpp"
 
 namespace cs {
@@ -57,13 +64,36 @@ class MetricsRegistry
     std::map<std::string, DistributionStats> histogramSnapshot() const;
 
     /**
+     * Named streaming histogram, created on first use. The reference
+     * is stable for the registry's lifetime (unique_ptr storage), so
+     * hot paths resolve the name once and record lock-free after.
+     */
+    StreamingHistogram &streamingHistogram(const std::string &name);
+
+    /** Snapshots of every streaming histogram, keyed by name. */
+    std::map<std::string, StreamingHistogram::Snapshot>
+    streamingSnapshot() const;
+
+    /**
+     * Named gauge (signed level, e.g. in-flight depth), created on
+     * first use at 0. Stable reference; read/write with atomic ops.
+     */
+    std::atomic<std::int64_t> &gauge(const std::string &name);
+
+    /** Current value of every gauge, keyed by name. */
+    std::map<std::string, std::int64_t> gaugeSnapshot() const;
+
+    /**
      * Emit the whole registry as one JSON object:
      *
      *   {"counters":{...},
      *    "timers":{"name":{"count":..,"total_ms":..,"p50_ms":..,
      *                      "p95_ms":..,"max_ms":..},...},
      *    "histograms":{"name":{"count":..,"total":..,"p50":..,
-     *                          "p95":..,"max":..},...}}
+     *                          "p95":..,"max":..},...},
+     *    "streaming":{"name":{"count":..,"mean":..,"p50":..,"p90":..,
+     *                         "p99":..,"p999":..,"max":..},...},
+     *    "gauges":{"name":value,...}}
      */
     void writeJson(std::ostream &os) const;
 
@@ -72,6 +102,10 @@ class MetricsRegistry
     mutable std::mutex mutex_;
     std::map<std::string, std::vector<double>> timers_;
     std::map<std::string, std::vector<double>> histograms_;
+    std::map<std::string, std::unique_ptr<StreamingHistogram>>
+        streaming_;
+    std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>>
+        gauges_;
 };
 
 /** Summarize one sample set (sorts a copy). */
@@ -81,10 +115,13 @@ DistributionStats summarizeDistribution(std::vector<double> samples);
 void writeJsonQuoted(std::ostream &os, const std::string &s);
 
 /**
- * Write the named counters of @p stats as a JSON object in exactly
- * the given order: {"a":1,"b":2}. Absent counters print as 0. This is
- * the bench harnesses' stable emission format — BENCH_sched.json and
- * bench/perf_smoke.py parse it — so the byte layout must not change.
+ * Write the named counters of @p stats as a JSON object in sorted
+ * key order: {"a":1,"b":2}. Absent counters print as 0. Sorting is
+ * deliberate: every call site (cs_serve statsJson, cs_batch/cs_sweep
+ * --json, the bench harnesses) emits the same byte layout for the
+ * same name set regardless of the order the caller listed them in,
+ * so diffs of BENCH_sched.json and stats dumps never churn on
+ * emission order. Pinned by MetricsJson.CounterObjectSortsKeys.
  */
 void writeCounterObject(std::ostream &os, const CounterSet &stats,
                         const char *const *names, std::size_t count);
@@ -99,6 +136,14 @@ writeCounterObject(std::ostream &os, const CounterSet &stats,
 
 /** Write every counter of @p stats, in name order, as a JSON object. */
 void writeAllCounters(std::ostream &os, const CounterSet &stats);
+
+/**
+ * Write one streaming-histogram summary as a JSON object:
+ * {"count":..,"mean":..,"p50":..,"p90":..,"p99":..,"p999":..,"max":..}
+ * (quantiles in the histogram's recorded unit, integers).
+ */
+void writeHistogramSummary(std::ostream &os,
+                           const HistogramSummary &summary);
 
 } // namespace cs
 

@@ -577,9 +577,10 @@ TEST(CacheCounterEmitters, SharedWritersMatchHandCounts)
     CounterSet memorySet = toCounterSet(memory);
     std::ostringstream memoryJson;
     writeCounterObject(memoryJson, memorySet, kMemoryCacheCounters);
+    // writeCounterObject emits sorted key order everywhere.
     EXPECT_EQ(memoryJson.str(),
-              "{\"hits\":3,\"misses\":2,\"evictions\":1,"
-              "\"entries\":4,\"capacity\":16}");
+              "{\"capacity\":16,\"entries\":4,\"evictions\":1,"
+              "\"hits\":3,\"misses\":2}");
 
     PersistentScheduleCache::DiskStats disk;
     disk.loadedEntries = 7;
@@ -599,12 +600,12 @@ TEST(CacheCounterEmitters, SharedWritersMatchHandCounts)
     std::ostringstream diskJson;
     writeCounterObject(diskJson, diskSet, kDiskCacheCounters);
     EXPECT_EQ(diskJson.str(),
-              "{\"loaded_entries\":7,\"truncated_bytes\":24,"
-              "\"footer_loads\":3,\"scan_loads\":1,"
-              "\"owned_shards\":4,\"hits\":5,\"misses\":1,"
-              "\"read_errors\":1,\"writes\":9,\"write_errors\":0,"
-              "\"dropped_read_only\":2,\"remaps\":6,"
-              "\"ownership_promotions\":1}");
+              "{\"dropped_read_only\":2,\"footer_loads\":3,"
+              "\"hits\":5,\"loaded_entries\":7,\"misses\":1,"
+              "\"owned_shards\":4,\"ownership_promotions\":1,"
+              "\"read_errors\":1,\"remaps\":6,\"scan_loads\":1,"
+              "\"truncated_bytes\":24,\"write_errors\":0,"
+              "\"writes\":9}");
 }
 
 TEST(ResultIo, RoundTripPreservesEveryField)

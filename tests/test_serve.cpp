@@ -44,6 +44,7 @@
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "support/logging.hpp"
+#include "support/telemetry.hpp"
 
 namespace cs {
 namespace {
@@ -534,8 +535,9 @@ TEST(ServeTcp, HostileFramesAndVersionMismatch)
         ::close(fd);
     }
 
-    // A future protocol version: well-formed ping frame with version 2
-    // must come back BadRequest naming the version, not crash or hang.
+    // A future protocol version: a well-formed ping frame from one
+    // version past the ceiling must come back BadRequest naming the
+    // version, not crash or hang.
     {
         int fd = rawConnectTcp(port);
         std::vector<std::uint8_t> payload;
@@ -869,6 +871,234 @@ TEST(Serve, OwnershipFailoverPromotesSurvivorDaemon)
 // CS_SOAK_MS to stretch the default few seconds into a real soak.
 // ---------------------------------------------------------------------
 
+/** Numeric field from a flat JSON line (-1 when absent). */
+std::int64_t
+jsonField(const std::string &line, const std::string &key)
+{
+    std::string needle = "\"" + key + "\":";
+    std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return -1;
+    return std::atoll(line.c_str() + pos + needle.size());
+}
+
+TEST(Serve, ResponsesEchoServerRequestIds)
+{
+    setVerboseLogging(false);
+    serve::ServerConfig config = baseConfig(testSocketPath("reqid"));
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+
+    serve::ScheduleClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(config.socketPath, &error)) << error;
+
+    // Every request type gets a server-allocated id, echoed in the
+    // reply (protocol v2); ids are nonzero and strictly increasing on
+    // one connection.
+    std::uint64_t last = 0;
+    for (int i = 0; i < 3; ++i) {
+        serve::Response response;
+        serve::JobSet set = oneJobSet("DCT");
+        ASSERT_TRUE(client.schedule(set, 0, &response, &error))
+            << error;
+        ASSERT_EQ(response.status, serve::ResponseStatus::Ok);
+        EXPECT_GT(response.serverRequestId, last);
+        last = response.serverRequestId;
+    }
+    serve::Request ping;
+    ping.type = serve::RequestType::Ping;
+    serve::Response pong;
+    ASSERT_TRUE(client.call(std::move(ping), &pong, &error)) << error;
+    EXPECT_GT(pong.serverRequestId, last);
+    server.stop();
+}
+
+TEST(Serve, OldProtocolClientsGetUntailedResponses)
+{
+    // Backward compatibility: a v1 client's frames still decode, and
+    // its replies carry no serverRequestId tail — byte for byte the
+    // v1 layout, exactly 8 bytes shorter than the v2 reply to the
+    // same request.
+    setVerboseLogging(false);
+    serve::ServerConfig config = baseConfig(testSocketPath("v1"));
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+
+    auto rawPing = [&](std::uint8_t version, std::uint64_t id,
+                       std::vector<std::uint8_t> *reply) {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, config.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof addr),
+                  0);
+        serve::Request request;
+        request.type = serve::RequestType::Ping;
+        request.requestId = id;
+        request.protocolVersion = version;
+        std::vector<std::uint8_t> payload;
+        wire::ByteWriter writer(payload);
+        serve::encodeRequest(writer, request);
+        ASSERT_TRUE(serve::writeFrame(fd, payload));
+        ASSERT_TRUE(serve::readFrame(fd, reply));
+        ::close(fd);
+    };
+
+    std::vector<std::uint8_t> v1Reply, v2Reply;
+    rawPing(1, 42, &v1Reply);
+    rawPing(serve::kProtocolVersion, 43, &v2Reply);
+    EXPECT_EQ(v1Reply.size() + 8, v2Reply.size());
+
+    serve::Response v1Response;
+    {
+        wire::ByteReader reader(std::span<const std::uint8_t>(
+            v1Reply.data(), v1Reply.size()));
+        ASSERT_TRUE(serve::decodeResponse(reader, &v1Response));
+    }
+    EXPECT_EQ(v1Response.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(v1Response.requestId, 42u);
+    EXPECT_EQ(v1Response.serverRequestId, 0u);
+
+    serve::Response v2Response;
+    {
+        wire::ByteReader reader(std::span<const std::uint8_t>(
+            v2Reply.data(), v2Reply.size()));
+        ASSERT_TRUE(serve::decodeResponse(reader, &v2Response));
+    }
+    EXPECT_EQ(v2Response.requestId, 43u);
+    EXPECT_GT(v2Response.serverRequestId, 0u);
+
+    // Watch is v2-only: a v1 client asking for it gets BadRequest,
+    // not a stream.
+    {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, config.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof addr),
+                  0);
+        serve::Request request;
+        request.type = serve::RequestType::Watch;
+        request.requestId = 9;
+        request.protocolVersion = 1;
+        std::vector<std::uint8_t> payload;
+        wire::ByteWriter writer(payload);
+        serve::encodeRequest(writer, request);
+        ASSERT_TRUE(serve::writeFrame(fd, payload));
+        std::vector<std::uint8_t> reply;
+        ASSERT_TRUE(serve::readFrame(fd, &reply));
+        wire::ByteReader reader(std::span<const std::uint8_t>(
+            reply.data(), reply.size()));
+        serve::Response response;
+        ASSERT_TRUE(serve::decodeResponse(reader, &response));
+        EXPECT_EQ(response.status, serve::ResponseStatus::BadRequest);
+        ::close(fd);
+    }
+    server.stop();
+}
+
+TEST(Serve, WatchStreamsLiveStatsOverUds)
+{
+    setVerboseLogging(false);
+    serve::ServerConfig config = baseConfig(testSocketPath("watch"));
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+
+    serve::ScheduleClient worker;
+    std::string error;
+    ASSERT_TRUE(worker.connect(config.socketPath, &error)) << error;
+    serve::JobSet set = oneJobSet("DCT");
+    serve::Response response;
+    ASSERT_TRUE(worker.schedule(set, 0, &response, &error)) << error;
+    ASSERT_TRUE(worker.schedule(set, 0, &response, &error)) << error;
+
+    serve::ScheduleClient watcher;
+    ASSERT_TRUE(watcher.connect(config.socketPath, &error)) << error;
+    std::vector<std::string> frames;
+    ASSERT_TRUE(watcher.watch(
+        20,
+        [&frames](const std::string &frame) {
+            frames.push_back(frame);
+            return frames.size() < 3;
+        },
+        &error))
+        << error;
+    ASSERT_EQ(frames.size(), 3u);
+    std::int64_t lastSeq = -1;
+    for (const std::string &frame : frames) {
+        EXPECT_EQ(frame.front(), '{');
+        EXPECT_EQ(frame.back(), '}');
+        EXPECT_EQ(jsonField(frame, "seq"), lastSeq + 1);
+        lastSeq = jsonField(frame, "seq");
+        EXPECT_EQ(jsonField(frame, "interval_ms"), 20);
+        EXPECT_GE(jsonField(frame, "requests_total"), 2);
+        EXPECT_GE(jsonField(frame, "p50_us"), 0);
+        EXPECT_GT(jsonField(frame, "rss_kb"), 0);
+        EXPECT_GE(jsonField(frame, "inflight"), 0);
+    }
+    // The second schedule was a warm hit, so the stream reports it.
+    EXPECT_GE(jsonField(frames.back(), "warm_hits_total"), 1);
+    server.stop();
+}
+
+TEST(ServeTcp, WatchStreamsOverTcp)
+{
+    setVerboseLogging(false);
+    serve::ServerConfig config = tcpConfig();
+    serve::ScheduleServer server(config);
+    ASSERT_TRUE(server.start());
+
+    serve::ScheduleClient worker;
+    std::string error;
+    ASSERT_TRUE(worker.connectTcp(tcpAddress(server), &error))
+        << error;
+    serve::JobSet set = oneJobSet("DCT");
+    serve::Response response;
+    ASSERT_TRUE(worker.schedule(set, 0, &response, &error)) << error;
+
+    serve::ScheduleClient watcher;
+    ASSERT_TRUE(watcher.connectTcp(tcpAddress(server), &error))
+        << error;
+    int ticks = 0;
+    ASSERT_TRUE(watcher.watch(
+        10,
+        [&ticks](const std::string &frame) {
+            EXPECT_GE(jsonField(frame, "requests_total"), 1);
+            return ++ticks < 2;
+        },
+        &error))
+        << error;
+    EXPECT_EQ(ticks, 2);
+
+    // A watcher left subscribed when the server stops gets EOF, which
+    // the client reports as a clean end of stream.
+    serve::ScheduleClient lingering;
+    ASSERT_TRUE(lingering.connectTcp(tcpAddress(server), &error))
+        << error;
+    std::thread stopper([&server] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(60));
+        server.stop();
+    });
+    int seen = 0;
+    EXPECT_TRUE(lingering.watch(
+        10,
+        [&seen](const std::string &) {
+            ++seen;
+            return true;
+        },
+        &error))
+        << error;
+    EXPECT_GE(seen, 1);
+    stopper.join();
+}
+
 TEST(ServeSoak, OpenLoopChurnStaysClean)
 {
     setVerboseLogging(false);
@@ -885,6 +1115,25 @@ TEST(ServeSoak, OpenLoopChurnStaysClean)
     serve::ScheduleServer server(config);
     ASSERT_TRUE(server.start());
     std::string address = tcpAddress(server);
+
+    // The soak runs with the telemetry sampler on, exactly as a
+    // production soak would (cs_serve --telemetry): the JSONL it
+    // writes is parsed and asserted on below.
+    namespace fs = std::filesystem;
+    std::string telemetryPath =
+        (fs::path(::testing::TempDir()) / "cs_soak_telemetry.jsonl")
+            .string();
+    std::uint64_t rssAtStart = readRssKb();
+    TelemetrySampler sampler;
+    TelemetryConfig telemetryConfig;
+    telemetryConfig.path = telemetryPath;
+    telemetryConfig.intervalMs = 100;
+    ASSERT_TRUE(sampler.start(
+        telemetryConfig,
+        [&server] { return server.counterSnapshot(); },
+        [&server](std::ostream &os) {
+            server.writeTelemetryFields(os);
+        }));
 
     // Cheap kernels with a rotating maxDelay: a bounded working set so
     // warm hits dominate, plus a steady trickle of cold inserts.
@@ -966,6 +1215,54 @@ TEST(ServeSoak, OpenLoopChurnStaysClean)
     EXPECT_EQ(disk.readErrors, 0u);
     EXPECT_EQ(disk.writeErrors, 0u);
     EXPECT_EQ(disk.droppedReadOnly, 0u);
+
+    // Telemetry assertions: the sampler saw the whole soak. Every
+    // line parses, the serving counters are monotone across lines,
+    // and the resource story holds — RSS growth and shard-file bytes
+    // stay inside documented bounds (256 MiB and 16 MiB: generous
+    // multiples of what a clean soak of this length produces, tight
+    // enough to catch a leak or unbounded shard growth).
+    sampler.stop();
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(telemetryPath);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_GE(lines.size(), 3u);
+    std::int64_t lastSeq = -1, lastRequestsSeen = -1;
+    for (const std::string &line : lines) {
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        long depth = 0;
+        for (char c : line) {
+            if (c == '{')
+                ++depth;
+            else if (c == '}')
+                --depth;
+            ASSERT_GE(depth, 0) << line;
+        }
+        ASSERT_EQ(depth, 0) << line;
+        EXPECT_EQ(jsonField(line, "seq"), lastSeq + 1);
+        lastSeq = jsonField(line, "seq");
+        EXPECT_GE(jsonField(line, "serve.schedule_requests"),
+                  lastRequestsSeen);
+        lastRequestsSeen = jsonField(line, "serve.schedule_requests");
+        EXPECT_GE(jsonField(line, "inflight"), 0);
+        EXPECT_GE(jsonField(line, "shard_bytes"), 0);
+        EXPECT_GT(jsonField(line, "rss_kb"), 0);
+    }
+    EXPECT_GT(lastRequestsSeen, 0);
+    const std::string &last = lines.back();
+    EXPECT_LT(jsonField(last, "rss_kb"),
+              static_cast<std::int64_t>(rssAtStart) + 256 * 1024);
+    EXPECT_LT(jsonField(last, "shard_bytes"), 16 * 1024 * 1024);
+    EXPECT_GT(jsonField(last, "shard_records"), 0);
+    // The latency histograms rode along: the all-outcomes summary has
+    // every request.
+    EXPECT_NE(last.find("\"latency\":{"), std::string::npos);
     server.stop();
 }
 
